@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_*`` module regenerates one table or figure of the paper: it
+runs the workload on the simulated platform, renders the same rows/series
+the paper reports, prints them, and archives them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["emit", "RESULTS_DIR", "BENCH_SCALE"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: dataset scale used by all benchmarks (tests use smaller scales)
+BENCH_SCALE = 0.35
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and archive it under results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

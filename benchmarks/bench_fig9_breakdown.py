@@ -1,0 +1,99 @@
+"""Figure 9 — per-component time breakdown across the optimization ladder.
+
+For GCN and GAT at 2/3/4 layers on the three large graphs, runs the three
+communication configurations:
+
+* Baseline — each chunk's neighbor set transferred individually,
+* +P2P     — inter-GPU deduplication added,
+* +RU      — intra-GPU reuse added on top (full HongTu),
+
+and reports the GPU / H2D / D2D / CPU split of the simulated epoch.
+
+Expected shape (paper): the ladder monotonically reduces epoch time for an
+overall 1.3-3.4x gain; H2D shrinks at each step while D2D appears with
++P2P; GCN is communication-dominated while GAT's GPU share is much larger.
+"""
+
+from repro.bench import bench_model, render_table
+from repro.core import HongTuConfig, HongTuTrainer
+from repro.graph import load_dataset
+from repro.hardware import A100_SERVER, MultiGPUPlatform
+
+from benchmarks._common import BENCH_SCALE, emit
+
+DATASETS = ["it2004_sim", "papers_sim", "friendster_sim"]
+LAYER_COUNTS = [2, 3, 4]
+HIDDEN = 128
+NUM_CHUNKS = {"it2004_sim": 8, "papers_sim": 16, "friendster_sim": 16}
+LADDER = [("Baseline", "baseline"), ("+P2P", "p2p"), ("+RU", "hongtu")]
+
+
+def run_cell(dataset, arch, layers, comm_mode):
+    graph = load_dataset(dataset, scale=BENCH_SCALE)
+    chunks = NUM_CHUNKS[dataset] * (2 if arch == "gat" else 1)
+    model = bench_model(arch, graph, layers, HIDDEN, seed=1)
+    trainer = HongTuTrainer(
+        graph, model, MultiGPUPlatform(A100_SERVER),
+        HongTuConfig(num_chunks=chunks, comm_mode=comm_mode, seed=0),
+    )
+    return trainer.train_epoch()
+
+
+def build_tables(arch):
+    rows = []
+    results = {}
+    for dataset in DATASETS:
+        for layers in LAYER_COUNTS:
+            for label, mode in LADDER:
+                result = run_cell(dataset, arch, layers, mode)
+                results[(dataset, layers, label)] = result
+                seconds = result.clock.seconds
+                rows.append([
+                    dataset, layers, label,
+                    f"{seconds['gpu']:.5f}", f"{seconds['h2d']:.5f}",
+                    f"{seconds['d2d']:.5f}", f"{seconds['cpu']:.5f}",
+                    f"{result.epoch_seconds:.5f}",
+                ])
+    table = render_table(
+        ["Dataset", "Layers", "Config", "GPU", "H2D", "D2D", "CPU", "Total"],
+        rows,
+        title=f"Figure 9 ({arch.upper()}): time breakdown, simulated "
+              "seconds per epoch",
+    )
+    return table, results
+
+
+def _check_shapes(results):
+    for dataset in DATASETS:
+        for layers in LAYER_COUNTS:
+            baseline = results[(dataset, layers, "Baseline")]
+            p2p = results[(dataset, layers, "+P2P")]
+            full = results[(dataset, layers, "+RU")]
+            # Ladder is monotone and the full stack wins by >= 1.15x.
+            assert p2p.epoch_seconds <= baseline.epoch_seconds
+            assert full.epoch_seconds <= p2p.epoch_seconds
+            assert baseline.epoch_seconds > 1.15 * full.epoch_seconds
+            # H2D shrinks along the ladder; D2D appears with +P2P.
+            assert p2p.clock.seconds["h2d"] < baseline.clock.seconds["h2d"]
+            assert full.clock.seconds["h2d"] <= p2p.clock.seconds["h2d"]
+            assert p2p.clock.seconds["d2d"] > 0
+
+
+def bench_fig9_gcn(benchmark):
+    table, results = benchmark.pedantic(build_tables, args=("gcn",),
+                                        rounds=1, iterations=1)
+    emit("fig9_breakdown_gcn", table)
+    _check_shapes(results)
+
+
+def bench_fig9_gat(benchmark):
+    table, results = benchmark.pedantic(build_tables, args=("gat",),
+                                        rounds=1, iterations=1)
+    emit("fig9_breakdown_gat", table)
+    _check_shapes(results)
+    # GAT's GPU share exceeds GCN's (heavy edge computation).
+    gcn_sample = run_cell("it2004_sim", "gcn", 3, "hongtu")
+    gat_sample = results[("it2004_sim", 3, "+RU")]
+    gcn_share = gcn_sample.clock.seconds["gpu"] / gcn_sample.epoch_seconds
+    gat_share = gat_sample.clock.seconds["gpu"] / gat_sample.epoch_seconds
+    assert gat_share > gcn_share

@@ -1,0 +1,15 @@
+"""Benchmark-suite collection hygiene.
+
+The pytest config collects ``bench_*`` callables so the benchmark files'
+entry points are discovered — but the workload helpers ``bench_model`` /
+``bench_graph`` imported from :mod:`repro.bench.workloads` match the same
+pattern. Filter out anything not actually defined in a benchmark module.
+"""
+
+
+def pytest_collection_modifyitems(items):
+    items[:] = [
+        item for item in items
+        if getattr(item.function, "__module__", "").startswith("benchmarks")
+        or getattr(item.function, "__module__", "") == item.module.__name__
+    ]

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build. ``python
+setup.py develop`` achieves the same editable install with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

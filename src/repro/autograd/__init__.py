@@ -1,0 +1,23 @@
+"""Reverse-mode autograd engine on numpy (the neural-network substrate).
+
+Public surface::
+
+    from repro.autograd import Tensor, no_grad, ops
+    from repro.autograd import Module, Linear, Parameter
+    from repro.autograd import SGD, Adam
+    from repro.autograd.functional import cross_entropy, accuracy
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops
+from repro.autograd.module import Module, Linear, Parameter
+from repro.autograd.optim import Optimizer, SGD, Adam
+from repro.autograd import init
+from repro.autograd import functional
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "ops",
+    "Module", "Linear", "Parameter",
+    "Optimizer", "SGD", "Adam",
+    "init", "functional",
+]

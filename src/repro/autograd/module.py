@@ -1,0 +1,150 @@
+"""Lightweight Module/Parameter containers (a deliberate PyTorch subset).
+
+A :class:`Parameter` is just a Tensor with ``requires_grad=True`` and a
+stable name. A :class:`Module` collects parameters from its attributes and
+sub-modules, providing ``parameters()`` / ``named_parameters()`` /
+``state_dict()`` traversal — enough for optimizers, parameter all-reduce
+across simulated GPUs, and checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(np.asarray(data), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network building blocks."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- traversal ------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield (dotted_name, parameter) for this module and children."""
+        for attr, value in vars(self).items():
+            full = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, in deterministic traversal order."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every sub-module."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- train/eval mode --------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # -- state management -------------------------------------------------
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data = state[name].copy()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def parameter_nbytes(self) -> int:
+        """Total parameter payload in bytes (for the memory model)."""
+        return sum(p.nbytes() for p in self.parameters())
+
+    # -- call protocol ------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine transform ``x @ W + b``.
+
+    Weight shape is (in_features, out_features) so the forward is a plain
+    right-multiplication, matching the paper's ``a × W`` notation (§2.3).
+    """
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True,
+                 dtype=np.float64):
+        super().__init__()
+        from repro.autograd.init import xavier_uniform, zeros
+
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            xavier_uniform((in_features, out_features), rng, dtype=dtype),
+            name="weight",
+        )
+        self.bias = Parameter(zeros((out_features,), dtype=dtype), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.autograd import ops
+
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+    def flops(self, num_rows: int) -> int:
+        """Multiply-accumulate count for ``num_rows`` input rows (fwd only)."""
+        return 2 * num_rows * self.in_features * self.out_features

@@ -1,0 +1,455 @@
+"""Differentiable operations for the autograd engine.
+
+Each op computes a numpy result eagerly and registers a vector-Jacobian
+product (VJP) closure on the output tensor. The op set covers the needs of
+GNN training:
+
+* dense ops — ``matmul``, elementwise arithmetic, activations, reductions;
+* irregular ops — ``gather_rows`` (neighbor lookup), ``scatter_add_rows``
+  (gradient accumulation along out-edges), ``segment_sum`` and
+  ``segment_softmax`` (per-destination edge reductions used by GAT);
+* utility ops — ``concat``, ``dropout``, ``reshape``, ``transpose``.
+
+Broadcasting follows numpy semantics; :func:`_unbroadcast` reduces an output
+adjoint back to an input's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import AutogradError
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow_", "matmul",
+    "relu", "leaky_relu", "sigmoid", "tanh", "exp", "log",
+    "sum_", "mean", "reshape", "transpose", "concat",
+    "gather_rows", "scatter_add_rows", "segment_sum", "segment_softmax",
+    "dropout", "slice_rows", "softmax", "log_softmax", "elu",
+]
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size-1 in the input.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# elementwise arithmetic
+# ----------------------------------------------------------------------
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    a, b = Tensor.as_tensor(a), Tensor.as_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad, a.shape))
+        b.accumulate_grad(_unbroadcast(grad, b.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="add")
+
+
+def sub(a: Tensor, b: Tensor) -> Tensor:
+    a, b = Tensor.as_tensor(a), Tensor.as_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad, a.shape))
+        b.accumulate_grad(_unbroadcast(-grad, b.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="sub")
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    a, b = Tensor.as_tensor(a), Tensor.as_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad * b.data, a.shape))
+        b.accumulate_grad(_unbroadcast(grad * a.data, b.shape))
+
+    return Tensor.from_op(out_data, (a, b), backward, name="mul")
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    a, b = Tensor.as_tensor(a), Tensor.as_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(_unbroadcast(grad / b.data, a.shape))
+        b.accumulate_grad(
+            _unbroadcast(-grad * a.data / (b.data * b.data), b.shape)
+        )
+
+    return Tensor.from_op(out_data, (a, b), backward, name="div")
+
+
+def neg(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(-grad)
+
+    return Tensor.from_op(-a.data, (a,), backward, name="neg")
+
+
+def pow_(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise power with a constant (non-differentiated) exponent."""
+    a = Tensor.as_tensor(a)
+    out_data = a.data ** exponent
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * exponent * a.data ** (exponent - 1))
+
+    return Tensor.from_op(out_data, (a,), backward, name="pow")
+
+
+# ----------------------------------------------------------------------
+# linear algebra
+# ----------------------------------------------------------------------
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product ``a @ b`` for 2-D operands."""
+    a, b = Tensor.as_tensor(a), Tensor.as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise AutogradError(
+            f"matmul expects 2-D operands, got {a.shape} @ {b.shape}"
+        )
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad @ b.data.T)
+        b.accumulate_grad(a.data.T @ grad)
+
+    return Tensor.from_op(out_data, (a, b), backward, name="matmul")
+
+
+def transpose(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad.T)
+
+    return Tensor.from_op(a.data.T, (a,), backward, name="transpose")
+
+
+def reshape(a: Tensor, shape: tuple) -> Tensor:
+    a = Tensor.as_tensor(a)
+    in_shape = a.shape
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad.reshape(in_shape))
+
+    return Tensor.from_op(a.data.reshape(shape), (a,), backward, name="reshape")
+
+
+# ----------------------------------------------------------------------
+# activations
+# ----------------------------------------------------------------------
+
+def relu(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+    mask = a.data > 0
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(a.data * mask, (a,), backward, name="relu")
+
+
+def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
+    a = Tensor.as_tensor(a)
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * scale)
+
+    return Tensor.from_op(a.data * scale, (a,), backward, name="leaky_relu")
+
+
+def elu(a: Tensor, alpha: float = 1.0) -> Tensor:
+    a = Tensor.as_tensor(a)
+    mask = a.data > 0
+    exp_part = alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0)
+    out_data = np.where(mask, a.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * np.where(mask, 1.0, exp_part + alpha))
+
+    return Tensor.from_op(out_data, (a,), backward, name="elu")
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * out_data * (1.0 - out_data))
+
+    return Tensor.from_op(out_data, (a,), backward, name="sigmoid")
+
+
+def tanh(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * (1.0 - out_data * out_data))
+
+    return Tensor.from_op(out_data, (a,), backward, name="tanh")
+
+
+def exp(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * out_data)
+
+    return Tensor.from_op(out_data, (a,), backward, name="exp")
+
+
+def log(a: Tensor) -> Tensor:
+    a = Tensor.as_tensor(a)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad / a.data)
+
+    return Tensor.from_op(np.log(a.data), (a,), backward, name="log")
+
+
+# ----------------------------------------------------------------------
+# reductions
+# ----------------------------------------------------------------------
+
+def sum_(a: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    a = Tensor.as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        a.accumulate_grad(np.broadcast_to(g, a.shape).astype(a.dtype))
+
+    return Tensor.from_op(out_data, (a,), backward, name="sum")
+
+
+def mean(a: Tensor, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
+    a = Tensor.as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else a.shape[axis]
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad / count
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        a.accumulate_grad(np.broadcast_to(g, a.shape).astype(a.dtype))
+
+    return Tensor.from_op(out_data, (a,), backward, name="mean")
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    a = Tensor.as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        a.accumulate_grad(out_data * (grad - dot))
+
+    return Tensor.from_op(out_data, (a,), backward, name="softmax")
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    a = Tensor.as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - logsumexp
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor.from_op(out_data, (a,), backward, name="log_softmax")
+
+
+# ----------------------------------------------------------------------
+# shape manipulation
+# ----------------------------------------------------------------------
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    tensors = [Tensor.as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            tensor.accumulate_grad(grad[tuple(index)])
+
+    return Tensor.from_op(out_data, tensors, backward, name="concat")
+
+
+def slice_rows(a: Tensor, start: int, stop: int) -> Tensor:
+    """Differentiable row slice ``a[start:stop]``."""
+    a = Tensor.as_tensor(a)
+    out_data = a.data[start:stop]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(a.data)
+        full[start:stop] = grad
+        a.accumulate_grad(full)
+
+    return Tensor.from_op(out_data, (a,), backward, name="slice_rows")
+
+
+# ----------------------------------------------------------------------
+# irregular (graph) ops
+# ----------------------------------------------------------------------
+
+def gather_rows(a: Tensor, index: np.ndarray) -> Tensor:
+    """Row lookup ``a[index]`` — the edge-source gather of GNN aggregation.
+
+    The VJP is a scatter-add: several edges may read the same source row, so
+    their adjoints sum (this *is* the out-edge gradient accumulation that
+    Section 4.1 of the paper relies on being associative).
+    """
+    a = Tensor.as_tensor(a)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = a.data[index]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        a.accumulate_grad(full)
+
+    return Tensor.from_op(out_data, (a,), backward, name="gather_rows")
+
+
+def scatter_add_rows(a: Tensor, index: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter-add rows of ``a`` into a ``(num_rows, dim)`` output.
+
+    ``out[index[i]] += a[i]``. This is the destination-side reduction of
+    message passing; the VJP is a plain gather.
+    """
+    a = Tensor.as_tensor(a)
+    index = np.asarray(index, dtype=np.int64)
+    out_shape = (num_rows,) + a.shape[1:]
+    out_data = np.zeros(out_shape, dtype=a.dtype)
+    np.add.at(out_data, index, a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad[index])
+
+    return Tensor.from_op(out_data, (a,), backward, name="scatter_add_rows")
+
+
+def segment_sum(a: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``a`` grouped by ``segments`` (alias of scatter-add)."""
+    return scatter_add_rows(a, segments, num_segments)
+
+
+def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> Tensor:
+    """Numerically-stable softmax over variable-length segments.
+
+    ``segments[i]`` names the destination vertex of edge ``i``; the softmax is
+    taken over all edges sharing a destination. This is GAT's
+    neighbor-oriented softmax (Eq. 3 in the paper) and is the reason HongTu's
+    chunking must keep *all* in-edges of a destination in one chunk.
+    """
+    scores = Tensor.as_tensor(scores)
+    segments = np.asarray(segments, dtype=np.int64)
+    if scores.ndim not in (1, 2):
+        raise AutogradError(
+            f"segment_softmax expects 1-D or 2-D scores, got {scores.shape}"
+        )
+
+    data = scores.data
+    # Per-segment max for stability.
+    if data.ndim == 1:
+        seg_max = np.full(num_segments, -np.inf, dtype=data.dtype)
+        np.maximum.at(seg_max, segments, data)
+        shifted = data - seg_max[segments]
+        e = np.exp(shifted)
+        seg_sum = np.zeros(num_segments, dtype=data.dtype)
+        np.add.at(seg_sum, segments, e)
+        out_data = e / seg_sum[segments]
+    else:
+        seg_max = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=data.dtype)
+        np.maximum.at(seg_max, segments, data)
+        shifted = data - seg_max[segments]
+        e = np.exp(shifted)
+        seg_sum = np.zeros((num_segments,) + data.shape[1:], dtype=data.dtype)
+        np.add.at(seg_sum, segments, e)
+        out_data = e / seg_sum[segments]
+
+    def backward(grad: np.ndarray) -> None:
+        # d softmax: s * (g - sum_j s_j g_j) within each segment.
+        weighted = grad * out_data
+        if weighted.ndim == 1:
+            seg_dot = np.zeros(num_segments, dtype=weighted.dtype)
+        else:
+            seg_dot = np.zeros((num_segments,) + weighted.shape[1:], dtype=weighted.dtype)
+        np.add.at(seg_dot, segments, weighted)
+        scores.accumulate_grad(out_data * (grad - seg_dot[segments]))
+
+    return Tensor.from_op(out_data, (scores,), backward, name="segment_softmax")
+
+
+# ----------------------------------------------------------------------
+# regularization
+# ----------------------------------------------------------------------
+
+def dropout(a: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    a = Tensor.as_tensor(a)
+    if not training or p <= 0.0:
+        return a
+    if not 0.0 <= p < 1.0:
+        raise AutogradError(f"dropout probability must be in [0, 1), got {p}")
+    keep = 1.0 - p
+    mask = (rng.random(a.shape) < keep).astype(a.dtype) / keep
+
+    def backward(grad: np.ndarray) -> None:
+        a.accumulate_grad(grad * mask)
+
+    return Tensor.from_op(a.data * mask, (a,), backward, name="dropout")
+
+
+# ----------------------------------------------------------------------
+# operator binding
+# ----------------------------------------------------------------------
+
+def _bind_operators() -> None:
+    """Attach arithmetic dunders to Tensor (kept here to avoid import cycle)."""
+    Tensor.__add__ = lambda self, other: add(self, other)
+    Tensor.__radd__ = lambda self, other: add(other, self)
+    Tensor.__sub__ = lambda self, other: sub(self, other)
+    Tensor.__rsub__ = lambda self, other: sub(other, self)
+    Tensor.__mul__ = lambda self, other: mul(self, other)
+    Tensor.__rmul__ = lambda self, other: mul(other, self)
+    Tensor.__truediv__ = lambda self, other: div(self, other)
+    Tensor.__rtruediv__ = lambda self, other: div(other, self)
+    Tensor.__neg__ = lambda self: neg(self)
+    Tensor.__pow__ = lambda self, exponent: pow_(self, exponent)
+    Tensor.__matmul__ = lambda self, other: matmul(self, other)
+
+
+_bind_operators()

@@ -1,0 +1,20 @@
+"""Comparison systems: monolithic, in-memory multi-GPU, CPU cluster, mini-batch."""
+
+from repro.baselines.fullgraph import FullGraphTrainer, FullGraphEpochResult
+from repro.baselines.inmemory import (
+    InMemoryMultiGPUTrainer,
+    InMemoryEpochResult,
+)
+from repro.baselines.distgnn import DistGNNSimulator, DistGNNEpochResult
+from repro.baselines.minibatch import (
+    NeighborSampler,
+    MiniBatchTrainer,
+    MiniBatchEpochResult,
+)
+
+__all__ = [
+    "FullGraphTrainer", "FullGraphEpochResult",
+    "InMemoryMultiGPUTrainer", "InMemoryEpochResult",
+    "DistGNNSimulator", "DistGNNEpochResult",
+    "NeighborSampler", "MiniBatchTrainer", "MiniBatchEpochResult",
+]

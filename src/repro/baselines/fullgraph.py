@@ -1,0 +1,137 @@
+"""Single-device monolithic full-graph trainer (the DGL-like reference).
+
+Runs the entire graph as one block with a full autograd tape — the memory-
+hungry textbook method that Table 1 shows cannot scale. It serves three
+roles in the reproduction:
+
+* the numerical reference: HongTu must produce identical parameters;
+* the DGL comparison row of Table 5 (single-GPU full-graph system);
+* the accuracy reference of Fig. 8 (``DGL-FG`` curve).
+
+Timing/memory are charged against one simulated GPU; if the full working
+set (vertex + intermediate data) exceeds its capacity, the trainer raises
+:class:`~repro.errors.DeviceOutOfMemoryError` — the "OOM" entries of
+Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.functional import (
+    accuracy,
+    cross_entropy,
+    masked_cross_entropy_value_and_grad,
+)
+from repro.autograd.optim import Adam, Optimizer
+from repro.core.memory_model import estimate_for_model
+from repro.errors import ConfigurationError
+from repro.gnn.block import Block
+from repro.gnn.models import GNNModel
+from repro.graph.graph import Graph
+from repro.hardware.clock import TimeBreakdown
+from repro.hardware.platform import MultiGPUPlatform
+
+__all__ = ["FullGraphTrainer", "FullGraphEpochResult"]
+
+
+@dataclass
+class FullGraphEpochResult:
+    epoch: int
+    loss: float
+    clock: TimeBreakdown
+    peak_gpu_bytes: int
+
+    @property
+    def epoch_seconds(self) -> float:
+        return self.clock.total
+
+
+class FullGraphTrainer:
+    """Whole-graph training on one (simulated) device.
+
+    Parameters
+    ----------
+    platform:
+        Optional; when given, the working set is allocated on GPU 0 (raising
+        OOM when it does not fit) and epochs are timed. When omitted the
+        trainer is a pure numerical reference.
+    """
+
+    def __init__(self, graph: Graph, model: GNNModel,
+                 platform: Optional[MultiGPUPlatform] = None,
+                 optimizer: Optional[Optimizer] = None,
+                 bytes_per_scalar: int = 4):
+        if graph.features is None or graph.labels is None:
+            raise ConfigurationError("training requires features and labels")
+        if model.dims[0] != graph.feature_dim:
+            raise ConfigurationError(
+                f"model input dim {model.dims[0]} != feature dim "
+                f"{graph.feature_dim}"
+            )
+        self.graph = graph
+        self.model = model
+        self.platform = platform
+        self.optimizer = optimizer or Adam(model.parameters(), lr=0.01)
+        self.bytes_per_scalar = bytes_per_scalar
+        self.block = Block.from_graph(graph)
+        self._epoch = 0
+        self._logits: Optional[np.ndarray] = None
+
+        if platform is not None:
+            estimate = estimate_for_model(
+                graph.num_vertices, graph.num_edges, model, bytes_per_scalar
+            )
+            # The full working set lives on one device for the whole run.
+            platform.gpus[0].memory.alloc("full_graph_working_set",
+                                          estimate.total_bytes)
+
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> FullGraphEpochResult:
+        clock = TimeBreakdown()
+        self.model.zero_grad()
+
+        h = Tensor(self.graph.features.astype(np.float64))
+        out = self.model(self.block, h)
+        loss, seed = masked_cross_entropy_value_and_grad(
+            out.data, self.graph.labels, self.graph.train_mask
+        )
+        out.backward(seed)
+        self._logits = out.data
+
+        if self.platform is not None:
+            flops = self.model.forward_flops(
+                self.block.num_src, self.block.num_dst, self.block.num_edges
+            )
+            clock.add("gpu", self.platform.gpu_compute_seconds(3 * flops))
+
+        self.optimizer.step()
+        self._epoch += 1
+        peak = (self.platform.gpus[0].memory.peak
+                if self.platform is not None else 0)
+        return FullGraphEpochResult(self._epoch, loss, clock, peak)
+
+    def train(self, num_epochs: int) -> List[FullGraphEpochResult]:
+        return [self.train_epoch() for _ in range(num_epochs)]
+
+    def logits(self) -> np.ndarray:
+        if self._logits is None:
+            h = Tensor(self.graph.features.astype(np.float64))
+            self._logits = self.model(self.block, h).data
+        return self._logits
+
+    def evaluate(self) -> Dict[str, float]:
+        h = Tensor(self.graph.features.astype(np.float64))
+        logits = self.model(self.block, h).data
+        metrics: Dict[str, float] = {}
+        for split in ("train", "val", "test"):
+            mask = getattr(self.graph, f"{split}_mask")
+            if mask is not None:
+                metrics[f"{split}_accuracy"] = accuracy(
+                    logits, self.graph.labels, mask
+                )
+        return metrics

@@ -1,0 +1,27 @@
+"""Benchmark harness utilities (workloads, execution, reporting)."""
+
+from repro.bench.harness import RunOutcome, run_or_oom, speedup_vs
+from repro.bench.reporting import (
+    render_table,
+    format_seconds,
+    format_bytes,
+    banner,
+)
+from repro.bench.workloads import (
+    SMALL_GRAPHS,
+    LARGE_GRAPHS,
+    ALL_GRAPHS,
+    PAPER_CHUNKS,
+    bench_graph,
+    bench_model,
+    capacity_limited_platform,
+    hidden_dim_for,
+)
+
+__all__ = [
+    "RunOutcome", "run_or_oom", "speedup_vs",
+    "render_table", "format_seconds", "format_bytes", "banner",
+    "SMALL_GRAPHS", "LARGE_GRAPHS", "ALL_GRAPHS", "PAPER_CHUNKS",
+    "bench_graph", "bench_model", "capacity_limited_platform",
+    "hidden_dim_for",
+]

@@ -1,0 +1,59 @@
+"""ASCII table / series rendering for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as plain
+text rows, so results can be eyeballed against the paper and captured in
+EXPERIMENTS.md. Figures are rendered as value series (one row per x-point).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_seconds", "format_bytes", "banner"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render rows as a fixed-width table; values are str()-ed."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return " | ".join(
+            value.ljust(width) for value, width in zip(values, widths)
+        )
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in cells)
+    return "\n".join(parts)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration (the benches print simulated seconds)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_bytes(nbytes: float) -> str:
+    units = ["B", "KB", "MB", "GB", "TB"]
+    value = float(nbytes)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            return f"{value:.2f}{unit}"
+        value /= 1024
+    return f"{value:.2f}TB"
+
+
+def banner(text: str) -> str:
+    bar = "=" * max(len(text), 8)
+    return f"{bar}\n{text}\n{bar}"

@@ -1,0 +1,20 @@
+"""Deduplicated communication framework (the paper's §5 and §6)."""
+
+from repro.comm.plan import (
+    FetchSegment,
+    BatchGpuPlan,
+    CommPlan,
+    build_comm_plan,
+)
+from repro.comm.analysis import DedupVolumes, measure_volumes
+from repro.comm.cost_model import CommCostModel, communication_cost
+from repro.comm.reorganize import reorganize_partition, ReorganizationResult
+from repro.comm.executor import DedupCommunicator
+
+__all__ = [
+    "FetchSegment", "BatchGpuPlan", "CommPlan", "build_comm_plan",
+    "DedupVolumes", "measure_volumes",
+    "CommCostModel", "communication_cost",
+    "reorganize_partition", "ReorganizationResult",
+    "DedupCommunicator",
+]

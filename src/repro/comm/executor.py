@@ -1,0 +1,235 @@
+"""Executable deduplicated communication (Algorithms 2 and 3).
+
+:class:`DedupCommunicator` performs the *actual* data movement of HongTu's
+communication framework on numpy buffers — real values flow through real
+transition buffers with the in-place position indices computed by the
+planner — while charging simulated seconds to a
+:class:`~repro.hardware.clock.TimeBreakdown` and registering buffer memory
+with the simulated GPUs' pools.
+
+Forward (Algorithm 2): per batch, each GPU zeroes nothing and
+
+1. loads 𝒩^cpu_ij rows host→transition-buffer (PCIe, ``h2d``), reusing
+   𝒩^gpu_ij rows in place (charged to ``gpu`` at HBM bandwidth);
+2. assembles its chunk input h_{N_ij} by reading every needed row from the
+   staging GPU's transition buffer — local reads are intra-GPU (``gpu``),
+   remote reads are P2P (``d2d``), interleaved across sources.
+
+Backward (Algorithm 3): per batch, each GPU
+
+1. pushes its neighbor gradients into the owners' transition gradient
+   buffers with atomic adds (``d2d``/``gpu``);
+2. flushes the gradients of vertices *not* reused by the next batch to the
+   host (``h2d`` for the D2H copy after GPU-side compaction, then ``cpu``
+   for the host-side accumulation into ∇h), keeping reused vertices'
+   gradients on the GPU to accumulate across batches.
+
+The framework is numerically exact: summing atomic pushes and host
+accumulation reproduces the monolithic scatter-add gradient bit-for-bit
+(up to float addition order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.plan import CommPlan
+from repro.errors import CommunicationPlanError
+from repro.hardware.clock import TimeBreakdown
+from repro.hardware.memory import Allocation
+from repro.hardware.platform import MultiGPUPlatform
+
+__all__ = ["DedupCommunicator"]
+
+
+class DedupCommunicator:
+    """Executes a :class:`CommPlan` over a simulated platform.
+
+    Parameters
+    ----------
+    plan:
+        The per-epoch communication plan.
+    platform:
+        Simulated hardware (memory pools + cost model). Must expose at least
+        as many GPUs as the plan has partitions.
+    bytes_per_scalar:
+        Logical element size for volume/memory accounting (4 = float32 on
+        the real hardware; the numpy payloads may be wider).
+    """
+
+    def __init__(self, plan: CommPlan, platform: MultiGPUPlatform,
+                 bytes_per_scalar: int = 4):
+        if platform.num_gpus < plan.num_gpus:
+            raise CommunicationPlanError(
+                f"plan needs {plan.num_gpus} GPUs, platform has "
+                f"{platform.num_gpus}"
+            )
+        self.plan = plan
+        self.platform = platform
+        self.bytes_per_scalar = bytes_per_scalar
+        self._buffers: Optional[List[np.ndarray]] = None
+        self._allocations: List[Allocation] = []
+        self._dim = 0
+        #: bytes moved per category since construction (for reports)
+        self.bytes_moved: Dict[str, int] = {"h2d": 0, "d2h": 0, "d2d": 0, "ru": 0}
+
+    # ------------------------------------------------------------------
+    # sweep lifecycle
+    # ------------------------------------------------------------------
+    def start_sweep(self, dim: int, dtype=np.float64) -> None:
+        """Allocate per-GPU transition buffers for a layer sweep of width dim."""
+        if self._buffers is not None:
+            raise CommunicationPlanError("previous sweep still active")
+        self._dim = dim
+        self._buffers = []
+        self._allocations = []
+        for gpu_index, rows in enumerate(self.plan.buffer_rows):
+            buffer_bytes = rows * dim * self.bytes_per_scalar
+            allocation = self.platform.gpus[gpu_index].memory.alloc(
+                "transition_buffer", buffer_bytes
+            )
+            self._allocations.append(allocation)
+            self._buffers.append(np.zeros((rows, dim), dtype=dtype))
+
+    def end_sweep(self) -> None:
+        """Free the transition buffers."""
+        for allocation in self._allocations:
+            allocation.free()
+        self._allocations = []
+        self._buffers = None
+
+    def _require_sweep(self) -> List[np.ndarray]:
+        if self._buffers is None:
+            raise CommunicationPlanError("no active sweep; call start_sweep()")
+        return self._buffers
+
+    # ------------------------------------------------------------------
+    # forward: Algorithm 2
+    # ------------------------------------------------------------------
+    def load_batch_forward(self, batch: int, host_values: np.ndarray,
+                           clock: TimeBreakdown) -> List[np.ndarray]:
+        """Assemble h_{N_ij} for every GPU of ``batch`` from host memory.
+
+        Returns one (len(needed_i), dim) array per GPU, ordered like each
+        plan's ``needed`` set.
+        """
+        buffers = self._require_sweep()
+        plans = self.plan.plans[batch]
+        row_bytes = self._dim * self.bytes_per_scalar
+
+        # Phase 1: host -> transition buffers (reuse in place first).
+        h2d_seconds = []
+        reuse_seconds = []
+        for plan in plans:
+            load_vertices = plan.load_vertices
+            buffers[plan.gpu][plan.load_positions] = host_values[load_vertices]
+            loaded_bytes = len(load_vertices) * row_bytes
+            reused_bytes = plan.num_reused * row_bytes
+            self.bytes_moved["h2d"] += loaded_bytes
+            self.bytes_moved["ru"] += reused_bytes
+            h2d_seconds.append(self.platform.h2d_seconds(loaded_bytes))
+            reuse_seconds.append(self.platform.reuse_seconds(reused_bytes))
+        clock.add_parallel_phase("h2d", h2d_seconds)
+        clock.add_parallel_phase("gpu", reuse_seconds)
+
+        # Phase 2: assemble local inputs from (possibly remote) buffers.
+        outputs: List[np.ndarray] = []
+        d2d_seconds = [0.0] * len(plans)
+        local_seconds = [0.0] * len(plans)
+        for plan in plans:
+            local = np.empty((len(plan.needed), self._dim),
+                             dtype=host_values.dtype)
+            for segment in plan.fetch_segments:
+                local[segment.local_rows] = (
+                    buffers[segment.source_gpu][segment.source_positions]
+                )
+                segment_bytes = segment.num_vertices * row_bytes
+                if segment.source_gpu == plan.gpu:
+                    local_seconds[plan.gpu] += self.platform.reuse_seconds(
+                        segment_bytes
+                    )
+                    self.bytes_moved["ru"] += segment_bytes
+                else:
+                    d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
+                        segment_bytes
+                    )
+                    self.bytes_moved["d2d"] += segment_bytes
+            outputs.append(local)
+        clock.add_parallel_phase("d2d", d2d_seconds)
+        clock.add_parallel_phase("gpu", local_seconds)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # backward: Algorithm 3
+    # ------------------------------------------------------------------
+    def accumulate_batch_backward(self, batch: int,
+                                  neighbor_grads: List[np.ndarray],
+                                  host_grads: np.ndarray,
+                                  clock: TimeBreakdown) -> None:
+        """Push per-GPU neighbor gradients back toward the host ∇h buffer.
+
+        ``neighbor_grads[i]`` is GPU i's (len(needed_i), dim) gradient of its
+        chunk's input rows. Gradients accumulate in transition buffers across
+        batches; rows not reused by the next batch are flushed to
+        ``host_grads`` (modified in place).
+        """
+        buffers = self._require_sweep()
+        plans = self.plan.plans[batch]
+        row_bytes = self._dim * self.bytes_per_scalar
+
+        # Zero the slots newly staged this batch (their gradient starts now).
+        for plan in plans:
+            buffers[plan.gpu][plan.load_positions] = 0.0
+
+        # Phase 1: scatter gradients into owners' buffers (atomicAdd_system).
+        d2d_seconds = [0.0] * len(plans)
+        local_seconds = [0.0] * len(plans)
+        for plan, grads in zip(plans, neighbor_grads):
+            if grads.shape != (len(plan.needed), self._dim):
+                raise CommunicationPlanError(
+                    f"gradient shape {grads.shape} does not match needed set "
+                    f"({len(plan.needed)}, {self._dim})"
+                )
+            for segment in plan.fetch_segments:
+                np.add.at(
+                    buffers[segment.source_gpu],
+                    segment.source_positions,
+                    grads[segment.local_rows],
+                )
+                segment_bytes = segment.num_vertices * row_bytes
+                if segment.source_gpu == plan.gpu:
+                    local_seconds[plan.gpu] += self.platform.reuse_seconds(
+                        segment_bytes
+                    )
+                    self.bytes_moved["ru"] += segment_bytes
+                else:
+                    d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
+                        segment_bytes
+                    )
+                    self.bytes_moved["d2d"] += segment_bytes
+        clock.add_parallel_phase("d2d", d2d_seconds)
+        clock.add_parallel_phase("gpu", local_seconds)
+
+        # Phase 2: flush gradients not reused by the next batch.
+        d2h_seconds = []
+        cpu_seconds = []
+        is_last = batch == self.plan.num_batches - 1
+        for plan in plans:
+            if is_last:
+                flush_mask = np.ones(len(plan.transition), dtype=bool)
+            else:
+                next_plan = self.plan.plans[batch + 1][plan.gpu]
+                kept = next_plan.transition[next_plan.reuse_mask]
+                flush_mask = ~np.isin(plan.transition, kept, assume_unique=True)
+            flush_vertices = plan.transition[flush_mask]
+            flush_positions = plan.positions[flush_mask]
+            np.add.at(host_grads, flush_vertices,
+                      buffers[plan.gpu][flush_positions])
+            flush_bytes = len(flush_vertices) * row_bytes
+            self.bytes_moved["d2h"] += flush_bytes
+            d2h_seconds.append(self.platform.h2d_seconds(flush_bytes))
+            cpu_seconds.append(self.platform.cpu_accumulate_seconds(flush_bytes))
+        clock.add_parallel_phase("h2d", d2h_seconds)
+        clock.add_parallel_phase("cpu", cpu_seconds)

@@ -1,0 +1,83 @@
+"""Configuration for the HongTu trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES"]
+
+#: communication ladder of the paper's evaluation (Fig. 9):
+#: ``baseline`` transfers each chunk's neighbor set individually; ``p2p``
+#: adds inter-GPU deduplication; ``ru`` adds only intra-GPU reuse (the
+#: PCIe-only configuration of §5.3); ``hongtu`` stacks both.
+COMM_MODES = ("baseline", "p2p", "ru", "hongtu")
+
+#: ``hybrid`` caches the AGGREGATE output of cacheable layers on the host
+#: and recomputes only the UPDATE (§4.2); ``recompute`` always recomputes
+#: the full layer (pure Chen et al. [5] strategy — the ablation baseline).
+INTERMEDIATE_POLICIES = ("hybrid", "recompute")
+
+
+@dataclass
+class HongTuConfig:
+    """Knobs of the memory-efficient training framework.
+
+    Attributes
+    ----------
+    num_chunks:
+        Chunks per partition (the paper's ``n``); the number of partitions
+        ``m`` always equals the platform's GPU count.
+    comm_mode:
+        One of :data:`COMM_MODES`.
+    reorganize:
+        Run the cost-model-guided subgraph reorganization (Algorithm 4).
+    intermediate_policy:
+        One of :data:`INTERMEDIATE_POLICIES`.
+    bytes_per_scalar:
+        Logical element width for communication/memory accounting (4 =
+        float32 on the real hardware; numerics may run in float64).
+    dtype:
+        Numpy dtype of the actual computation.
+    seed:
+        Seed for partitioning.
+    """
+
+    num_chunks: int = 4
+    comm_mode: str = "hongtu"
+    reorganize: bool = True
+    intermediate_policy: str = "hybrid"
+    bytes_per_scalar: int = 4
+    dtype: type = np.float64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise ConfigurationError(
+                f"num_chunks must be >= 1, got {self.num_chunks}"
+            )
+        if self.comm_mode not in COMM_MODES:
+            raise ConfigurationError(
+                f"comm_mode must be one of {COMM_MODES}, got {self.comm_mode!r}"
+            )
+        if self.intermediate_policy not in INTERMEDIATE_POLICIES:
+            raise ConfigurationError(
+                f"intermediate_policy must be one of {INTERMEDIATE_POLICIES}, "
+                f"got {self.intermediate_policy!r}"
+            )
+        if self.bytes_per_scalar <= 0:
+            raise ConfigurationError("bytes_per_scalar must be positive")
+
+    @property
+    def dedup_flags(self) -> Tuple[bool, bool]:
+        """(dedup_inter, dedup_intra) for the communication planner."""
+        return {
+            "baseline": (False, False),
+            "p2p": (True, False),
+            "ru": (False, True),
+            "hongtu": (True, True),
+        }[self.comm_mode]

@@ -1,0 +1,125 @@
+"""Epoch profiling: turn trainer runs into Fig.9-style component reports.
+
+The :class:`EpochProfiler` collects :class:`~repro.core.trainer.EpochResult`
+objects (or any result exposing ``clock`` and ``epoch_seconds``) and renders
+per-category shares, cumulative totals and a comparison table across
+configurations — the reporting layer behind the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.bench.reporting import format_seconds, render_table
+from repro.errors import ConfigurationError
+from repro.hardware.clock import CATEGORIES, TimeBreakdown
+
+__all__ = ["EpochProfiler", "ProfileSummary", "overlap_lower_bound"]
+
+
+def overlap_lower_bound(clock: TimeBreakdown) -> float:
+    """Epoch-time lower bound under perfect compute/communication overlap.
+
+    HongTu executes communication and computation phases back-to-back with
+    barriers (Algorithms 1-3). A natural extension — left as future work by
+    the paper — is software pipelining: prefetch batch j+1's neighbor data
+    while batch j computes. With perfect overlap the epoch cannot run
+    faster than ``max(transfer time, compute time)`` plus the inherently
+    serial host-side accumulation, which is what this bound returns. The
+    gap between ``clock.total`` and this bound is the maximum pipelining
+    headroom of a configuration.
+    """
+    transfer = clock.seconds["h2d"] + clock.seconds["d2d"]
+    compute = clock.seconds["gpu"]
+    return max(transfer, compute) + clock.seconds["cpu"]
+
+
+@dataclass
+class ProfileSummary:
+    """Aggregated per-category seconds for one labeled configuration."""
+
+    label: str
+    epochs: int
+    totals: Dict[str, float]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.totals.values())
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        return self.total_seconds / max(self.epochs, 1)
+
+    def share(self, category: str) -> float:
+        """Fraction of total time spent in ``category``."""
+        if category not in self.totals:
+            raise ConfigurationError(f"unknown category {category!r}")
+        if self.total_seconds == 0:
+            return 0.0
+        return self.totals[category] / self.total_seconds
+
+
+class EpochProfiler:
+    """Collects epoch results under configuration labels."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[str, List[TimeBreakdown]] = {}
+        self._order: List[str] = []
+
+    def record(self, label: str, result) -> None:
+        """Add one epoch result (anything with a ``clock`` attribute)."""
+        clock = getattr(result, "clock", None)
+        if clock is None:
+            raise ConfigurationError(
+                "result has no clock; pass an EpochResult-like object"
+            )
+        if label not in self._runs:
+            self._runs[label] = []
+            self._order.append(label)
+        self._runs[label].append(clock)
+
+    def record_run(self, label: str, results: Sequence) -> None:
+        for result in results:
+            self.record(label, result)
+
+    def summary(self, label: str) -> ProfileSummary:
+        if label not in self._runs:
+            raise ConfigurationError(f"no runs recorded under {label!r}")
+        totals = {category: 0.0 for category in CATEGORIES}
+        for clock in self._runs[label]:
+            for category, seconds in clock.seconds.items():
+                totals[category] += seconds
+        return ProfileSummary(label, len(self._runs[label]), totals)
+
+    def labels(self) -> List[str]:
+        return list(self._order)
+
+    def comparison_table(self, baseline: str | None = None) -> str:
+        """Fig.9-style table: per-category seconds + share + speedup."""
+        if not self._order:
+            raise ConfigurationError("no runs recorded")
+        reference = self.summary(baseline or self._order[0])
+        rows = []
+        for label in self._order:
+            summary = self.summary(label)
+            row = [label, summary.epochs]
+            for category in CATEGORIES:
+                row.append(
+                    f"{format_seconds(summary.totals[category])} "
+                    f"({summary.share(category):.0%})"
+                )
+            row.append(format_seconds(summary.mean_epoch_seconds))
+            if summary.mean_epoch_seconds > 0:
+                speedup = (reference.mean_epoch_seconds
+                           / summary.mean_epoch_seconds)
+                row.append(f"{speedup:.2f}x")
+            else:
+                row.append("-")
+            rows.append(row)
+        return render_table(
+            ["config", "epochs"] + [c.upper() for c in CATEGORIES]
+            + ["epoch time", "speedup"],
+            rows,
+            title="epoch time breakdown by configuration",
+        )

@@ -1,0 +1,442 @@
+"""The HongTu trainer: Algorithm 1 on the simulated multi-GPU platform.
+
+Numerics are real — every epoch computes exactly the same parameters a
+monolithic full-graph trainer would (the paper's central semantics-preserving
+claim, tested in ``tests/test_equivalence.py``) — while the hardware effects
+(transfer seconds, kernel seconds, per-GPU memory) are charged to the
+simulated platform.
+
+Execution structure per epoch (paper Algorithm 1):
+
+1. **Forward**, layer by layer; within a layer, batch by batch; within a
+   batch, the m chunks run concurrently on the m GPUs. Neighbor
+   representations arrive through the deduplicated communication framework;
+   outputs are copied back to the host vertex buffer h^{l+1}; for cacheable
+   layers under the ``hybrid`` policy the AGGREGATE output is checkpointed
+   to host memory; all other intermediates are dropped (``no_grad``).
+2. **Downstream task** on the host: masked cross-entropy on h^L seeds ∇h^L.
+3. **Backward**, last layer to first. Cacheable layers reload the cached
+   aggregate and the destinations' own rows, recompute only the UPDATE under
+   a fresh tape, and propagate neighbor gradients through the closed-form
+   aggregate adjoint. Non-cacheable layers re-gather their input neighbor
+   set (a second deduplicated forward load) and recompute the full layer.
+   Neighbor gradients return to the host ∇h^l buffer through the
+   deduplicated backward communication.
+4. **Parameter update**: gradients all-reduce across GPUs (parameters are
+   replicated; the volume is tiny) and a global optimizer step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd.functional import (
+    accuracy,
+    masked_cross_entropy_value_and_grad,
+)
+from repro.autograd.optim import Adam, Optimizer
+from repro.comm.cost_model import CommCostModel
+from repro.comm.executor import DedupCommunicator
+from repro.comm.plan import CommPlan, build_comm_plan
+from repro.comm.reorganize import reorganize_partition
+from repro.core.config import HongTuConfig
+from repro.errors import ConfigurationError
+from repro.gnn.models import GNNModel
+from repro.graph.graph import Graph
+from repro.hardware.clock import TimeBreakdown
+from repro.hardware.platform import MultiGPUPlatform
+from repro.partition.two_level import TwoLevelPartition, two_level_partition
+
+__all__ = ["HongTuTrainer", "EpochResult"]
+
+
+@dataclass
+class EpochResult:
+    """Outcome of one training epoch."""
+
+    epoch: int
+    loss: float
+    clock: TimeBreakdown
+    peak_gpu_bytes: int
+    host_bytes: int
+    #: host→GPU + GPU→host bytes moved this epoch
+    h2d_bytes: int = 0
+    #: inter-GPU bytes moved this epoch
+    d2d_bytes: int = 0
+
+    @property
+    def epoch_seconds(self) -> float:
+        return self.clock.total
+
+
+class HongTuTrainer:
+    """Partition-based CPU-offloaded full-graph GNN trainer.
+
+    Parameters
+    ----------
+    graph:
+        Input property graph (features + labels + masks required for
+        training).
+    model:
+        The GNN stack; ``model.dims[0]`` must equal the feature width.
+    platform:
+        Simulated multi-GPU platform; its GPU count is the paper's ``m``.
+    config:
+        Framework knobs (chunks, communication mode, recompute policy).
+    optimizer:
+        Optional; defaults to Adam(lr=0.01) over the model parameters.
+    """
+
+    def __init__(self, graph: Graph, model: GNNModel,
+                 platform: MultiGPUPlatform, config: HongTuConfig,
+                 optimizer: Optional[Optimizer] = None):
+        if graph.features is None or graph.labels is None:
+            raise ConfigurationError("training requires features and labels")
+        if model.dims[0] != graph.feature_dim:
+            raise ConfigurationError(
+                f"model input dim {model.dims[0]} != feature dim "
+                f"{graph.feature_dim}"
+            )
+        self.graph = graph
+        self.model = model
+        self.platform = platform
+        self.config = config
+        self.optimizer = optimizer or Adam(model.parameters(), lr=0.01)
+        self._epoch = 0
+
+        # ---- preprocessing -------------------------------------------------
+        self.partition: TwoLevelPartition = two_level_partition(
+            graph, platform.num_gpus, config.num_chunks, seed=config.seed
+        )
+        self.preprocessing_seconds = 0.0
+        if config.reorganize:
+            cost_model = CommCostModel.from_platform(platform)
+            row_bytes = max(model.dims) * config.bytes_per_scalar
+            result = reorganize_partition(self.partition, cost_model, row_bytes)
+            self.partition = result.partition
+            self.preprocessing_seconds = result.preprocessing_seconds
+
+        dedup_inter, dedup_intra = config.dedup_flags
+        self.plan: CommPlan = build_comm_plan(
+            self.partition, dedup_inter=dedup_inter, dedup_intra=dedup_intra
+        )
+        # Two buffer families: one stages representations (forward + reload),
+        # one accumulates gradients (backward) — §6's transition data buffer
+        # and gradient buffer.
+        self._comm_values = DedupCommunicator(
+            self.plan, platform, config.bytes_per_scalar
+        )
+        self._comm_grads = DedupCommunicator(
+            self.plan, platform, config.bytes_per_scalar
+        )
+
+        # ---- host-resident vertex data (h^l and ∇h^l for every layer) -----
+        dims = model.dims
+        n = graph.num_vertices
+        dtype = config.dtype
+        self._h: List[np.ndarray] = [
+            np.zeros((n, dim), dtype=dtype) for dim in dims
+        ]
+        self._grad_h: List[np.ndarray] = [
+            np.zeros((n, dim), dtype=dtype) for dim in dims
+        ]
+        self._h[0][:] = graph.features.astype(dtype)
+        host_bytes = sum(
+            2 * n * dim * config.bytes_per_scalar for dim in dims
+        )
+        self._host_allocation = platform.host.alloc("vertex_data", host_bytes)
+        # Host-side checkpoint store for cached AGGREGATE outputs.
+        self._checkpoints: Dict[tuple, np.ndarray] = {}
+        self._checkpoint_bytes = 0
+
+        # Per-chunk topology resident on its GPU for the whole run.
+        for row in self.partition.chunks:
+            for chunk in row:
+                topo_bytes = chunk.num_edges * 12 + (chunk.num_dst + 1) * 8
+                platform.gpus[chunk.partition_id].memory.alloc(
+                    "topology", topo_bytes
+                )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> EpochResult:
+        """One full-graph epoch: forward, loss, backward, update."""
+        clock = TimeBreakdown()
+        bytes_before = dict(self._comm_values.bytes_moved)
+        grads_before = dict(self._comm_grads.bytes_moved)
+
+        self.model.zero_grad()
+        self._forward(clock)
+        loss = self._seed_output_gradient(clock)
+        self._backward(clock)
+        self._all_reduce_and_step(clock)
+        self._epoch += 1
+
+        h2d = (
+            self._comm_values.bytes_moved["h2d"] - bytes_before["h2d"]
+            + self._comm_values.bytes_moved["d2h"] - bytes_before["d2h"]
+            + self._comm_grads.bytes_moved["h2d"] - grads_before["h2d"]
+            + self._comm_grads.bytes_moved["d2h"] - grads_before["d2h"]
+        )
+        d2d = (
+            self._comm_values.bytes_moved["d2d"] - bytes_before["d2d"]
+            + self._comm_grads.bytes_moved["d2d"] - grads_before["d2d"]
+        )
+        return EpochResult(
+            epoch=self._epoch,
+            loss=loss,
+            clock=clock,
+            peak_gpu_bytes=self.platform.peak_gpu_memory(),
+            host_bytes=self.platform.host.in_use,
+            h2d_bytes=h2d,
+            d2d_bytes=d2d,
+        )
+
+    def train(self, num_epochs: int) -> List[EpochResult]:
+        """Run ``num_epochs`` epochs, returning per-epoch results."""
+        return [self.train_epoch() for _ in range(num_epochs)]
+
+    def logits(self) -> np.ndarray:
+        """Final-layer representations from the last forward pass."""
+        return self._h[-1]
+
+    def evaluate(self) -> Dict[str, float]:
+        """Inference forward + accuracy on each available mask."""
+        clock = TimeBreakdown()  # throwaway; evaluation is not timed
+        self._forward(clock)
+        logits = self._h[-1]
+        metrics: Dict[str, float] = {}
+        for split in ("train", "val", "test"):
+            mask = getattr(self.graph, f"{split}_mask")
+            if mask is not None:
+                metrics[f"{split}_accuracy"] = accuracy(
+                    logits, self.graph.labels, mask
+                )
+        return metrics
+
+    # ------------------------------------------------------------------
+    # forward pass (Algorithm 1, lines 4-9)
+    # ------------------------------------------------------------------
+    def _forward(self, clock: TimeBreakdown) -> None:
+        hybrid = self.config.intermediate_policy == "hybrid"
+        bps = self.config.bytes_per_scalar
+
+        for l, layer in enumerate(self.model.layers):
+            self._comm_values.start_sweep(self.model.dims[l],
+                                          dtype=self.config.dtype)
+            cache_layer = hybrid and layer.cacheable_aggregate
+            for j in range(self.plan.num_batches):
+                inputs = self._comm_values.load_batch_forward(
+                    j, self._h[l], clock
+                )
+                compute_seconds = []
+                d2h_seconds = []
+                for i in range(self.plan.num_gpus):
+                    chunk = self.partition.chunks[i][j]
+                    block = chunk.block
+                    workspace_bytes = bps * (
+                        block.num_src * layer.in_dim
+                        + layer.forward_workspace_scalars(
+                            block.num_src, block.num_dst, block.num_edges
+                        )
+                    )
+                    gpu = self.platform.gpus[i]
+                    with gpu.memory.scoped("forward_workspace", workspace_bytes):
+                        with no_grad():
+                            h_in = Tensor(inputs[i])
+                            agg = layer.aggregate(block, h_in)
+                            if layer.update_uses_self:
+                                h_dst = Tensor(inputs[i][block.dst_pos])
+                            else:
+                                h_dst = h_in
+                            out = layer.update(block, agg, h_dst)
+                        out_bytes = block.num_dst * layer.out_dim * bps
+                        d2h = out_bytes
+                        if cache_layer:
+                            self._store_checkpoint(l, i, j, agg.data)
+                            d2h += block.num_dst * layer.aggregate_dim() * bps
+                        self._h[l + 1][chunk.dst_global] = out.data
+                        d2h_seconds.append(self.platform.h2d_seconds(d2h))
+                        self._comm_values.bytes_moved["d2h"] += d2h
+                        flops = layer.forward_flops(
+                            block.num_src, block.num_dst, block.num_edges
+                        )
+                        compute_seconds.append(
+                            self.platform.gpu_compute_seconds(flops)
+                        )
+                clock.add_parallel_phase("gpu", compute_seconds)
+                clock.add_parallel_phase("h2d", d2h_seconds)
+            self._comm_values.end_sweep()
+
+    # ------------------------------------------------------------------
+    # downstream task (Algorithm 1, lines 10-11)
+    # ------------------------------------------------------------------
+    def _seed_output_gradient(self, clock: TimeBreakdown) -> float:
+        for grad in self._grad_h:
+            grad[:] = 0.0
+        loss, seed = masked_cross_entropy_value_and_grad(
+            self._h[-1], self.graph.labels, self.graph.train_mask
+        )
+        self._grad_h[-1][:] = seed.astype(self.config.dtype)
+        logits_bytes = self._h[-1].shape[0] * self._h[-1].shape[1] \
+            * self.config.bytes_per_scalar
+        clock.add("cpu", self.platform.cpu_accumulate_seconds(logits_bytes))
+        return loss
+
+    # ------------------------------------------------------------------
+    # backward pass (Algorithm 1, lines 12-19)
+    # ------------------------------------------------------------------
+    def _backward(self, clock: TimeBreakdown) -> None:
+        hybrid = self.config.intermediate_policy == "hybrid"
+        for l in range(len(self.model.layers) - 1, -1, -1):
+            layer = self.model.layers[l]
+            use_cache = hybrid and layer.cacheable_aggregate
+            self._comm_grads.start_sweep(self.model.dims[l],
+                                         dtype=self.config.dtype)
+            if not use_cache:
+                self._comm_values.start_sweep(self.model.dims[l],
+                                              dtype=self.config.dtype)
+            for j in range(self.plan.num_batches):
+                if use_cache:
+                    self._backward_batch_cached(l, j, clock)
+                else:
+                    self._backward_batch_recompute(l, j, clock)
+            if not use_cache:
+                self._comm_values.end_sweep()
+            self._comm_grads.end_sweep()
+
+    def _backward_batch_cached(self, l: int, j: int,
+                               clock: TimeBreakdown) -> None:
+        """Hybrid path: recompute UPDATE from the cached aggregate."""
+        layer = self.model.layers[l]
+        bps = self.config.bytes_per_scalar
+        neighbor_grads: List[np.ndarray] = []
+        h2d_seconds, compute_seconds = [], []
+
+        for i in range(self.plan.num_gpus):
+            chunk = self.partition.chunks[i][j]
+            block = chunk.block
+            gpu = self.platform.gpus[i]
+
+            agg_data = self._take_checkpoint(l, i, j)
+            grad_out = self._grad_h[l + 1][chunk.dst_global]
+            loaded = (block.num_dst
+                      * (layer.aggregate_dim() + layer.out_dim) * bps)
+            if layer.update_uses_self:
+                h_dst_data = self._h[l][chunk.dst_global]
+                loaded += block.num_dst * layer.in_dim * bps
+            else:
+                h_dst_data = np.zeros((block.num_dst, layer.in_dim),
+                                      dtype=self.config.dtype)
+            h2d_seconds.append(self.platform.h2d_seconds(loaded))
+            self._comm_grads.bytes_moved["h2d"] += loaded
+
+            workspace_bytes = bps * 3 * block.num_dst * (
+                layer.aggregate_dim() + layer.out_dim + layer.in_dim
+            )
+            with gpu.memory.scoped("backward_workspace", workspace_bytes):
+                agg_t = Tensor(agg_data, requires_grad=True)
+                h_dst_t = Tensor(h_dst_data, requires_grad=True)
+                out = layer.update(block, agg_t, h_dst_t)
+                out.backward(grad_out.astype(self.config.dtype))
+                grad_agg = agg_t.grad if agg_t.grad is not None else \
+                    np.zeros_like(agg_data)
+                grads = layer.aggregate_backward(block, grad_agg)
+                if layer.update_uses_self and h_dst_t.grad is not None:
+                    np.add.at(grads, block.dst_pos, h_dst_t.grad)
+                neighbor_grads.append(grads)
+
+            flops = (3 * layer.update_flops(block.num_dst)
+                     + layer.aggregate_flops(block.num_src, block.num_dst,
+                                             block.num_edges))
+            compute_seconds.append(self.platform.gpu_compute_seconds(flops))
+
+        clock.add_parallel_phase("h2d", h2d_seconds)
+        clock.add_parallel_phase("gpu", compute_seconds)
+        self._comm_grads.accumulate_batch_backward(
+            j, neighbor_grads, self._grad_h[l], clock
+        )
+
+    def _backward_batch_recompute(self, l: int, j: int,
+                                  clock: TimeBreakdown) -> None:
+        """Recompute path: re-gather inputs, recompute the full layer."""
+        layer = self.model.layers[l]
+        bps = self.config.bytes_per_scalar
+        inputs = self._comm_values.load_batch_forward(j, self._h[l], clock)
+        neighbor_grads: List[np.ndarray] = []
+        h2d_seconds, compute_seconds = [], []
+
+        for i in range(self.plan.num_gpus):
+            chunk = self.partition.chunks[i][j]
+            block = chunk.block
+            gpu = self.platform.gpus[i]
+
+            grad_out = self._grad_h[l + 1][chunk.dst_global]
+            loaded = block.num_dst * layer.out_dim * bps
+            h2d_seconds.append(self.platform.h2d_seconds(loaded))
+            self._comm_grads.bytes_moved["h2d"] += loaded
+
+            workspace_bytes = bps * (
+                block.num_src * layer.in_dim
+                + 3 * layer.forward_workspace_scalars(
+                    block.num_src, block.num_dst, block.num_edges
+                )
+            )
+            with gpu.memory.scoped("backward_workspace", workspace_bytes):
+                h_t = Tensor(inputs[i], requires_grad=True)
+                out = layer.forward(block, h_t)
+                out.backward(grad_out.astype(self.config.dtype))
+                grads = h_t.grad if h_t.grad is not None else \
+                    np.zeros_like(inputs[i])
+                neighbor_grads.append(grads)
+
+            flops = 3 * layer.forward_flops(
+                block.num_src, block.num_dst, block.num_edges
+            )
+            compute_seconds.append(self.platform.gpu_compute_seconds(flops))
+
+        clock.add_parallel_phase("h2d", h2d_seconds)
+        clock.add_parallel_phase("gpu", compute_seconds)
+        self._comm_grads.accumulate_batch_backward(
+            j, neighbor_grads, self._grad_h[l], clock
+        )
+
+    # ------------------------------------------------------------------
+    # parameter update (Algorithm 1, lines 20-21)
+    # ------------------------------------------------------------------
+    def _all_reduce_and_step(self, clock: TimeBreakdown) -> None:
+        param_bytes = self.model.parameter_nbytes()
+        m = self.plan.num_gpus
+        if m > 1:
+            # Ring all-reduce volume: 2 (m-1)/m of the parameter payload.
+            volume = 2 * param_bytes * (m - 1) / m
+            clock.add("d2d", self.platform.d2d_seconds(volume))
+        self.optimizer.step()
+
+    # ------------------------------------------------------------------
+    # checkpoint store
+    # ------------------------------------------------------------------
+    def _store_checkpoint(self, l: int, i: int, j: int,
+                          data: np.ndarray) -> None:
+        key = (l, i, j)
+        nbytes = data.shape[0] * data.shape[1] * self.config.bytes_per_scalar
+        previous = self._checkpoints.get(key)
+        if previous is None:
+            self.platform.host.alloc("aggregate_cache", nbytes)
+            self._checkpoint_bytes += nbytes
+        self._checkpoints[key] = data.copy()
+
+    def _take_checkpoint(self, l: int, i: int, j: int) -> np.ndarray:
+        key = (l, i, j)
+        if key not in self._checkpoints:
+            raise ConfigurationError(
+                f"missing aggregate checkpoint for layer {l}, gpu {i}, "
+                f"batch {j} — was the forward pass run with the hybrid "
+                f"policy?"
+            )
+        return self._checkpoints[key]

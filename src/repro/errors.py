@@ -1,0 +1,51 @@
+"""Exception hierarchy for the HongTu reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. The most important subclass is
+:class:`DeviceOutOfMemoryError`, which the simulated GPU memory pools raise;
+the benchmark harness converts it into the ``OOM`` table entries that the
+paper reports for systems that cannot hold their working set.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """An adjacency structure is malformed (bad indptr, out-of-range ids...)."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning produced or received an invalid configuration."""
+
+
+class DeviceOutOfMemoryError(ReproError):
+    """A simulated device memory pool cannot satisfy an allocation.
+
+    Mirrors CUDA's OOM; carries enough context to render useful diagnostics.
+    """
+
+    def __init__(self, device: str, requested: int, in_use: int, capacity: int):
+        self.device = device
+        self.requested = requested
+        self.in_use = in_use
+        self.capacity = capacity
+        super().__init__(
+            f"{device}: out of memory (requested {requested} B, "
+            f"in use {in_use} B of {capacity} B)"
+        )
+
+
+class CommunicationPlanError(ReproError):
+    """A deduplicated-communication plan is inconsistent with its graph."""
+
+
+class AutogradError(ReproError):
+    """Invalid operation on the reverse-mode autograd tape."""
+
+
+class ConfigurationError(ReproError):
+    """A trainer or platform was configured with invalid options."""

@@ -1,0 +1,20 @@
+"""GNN computation engine: blocks, layers, stacked models."""
+
+from repro.gnn.block import Block
+from repro.gnn.layers import (
+    GNNLayer,
+    GCNLayer,
+    GATLayer,
+    GraphSAGELayer,
+    GINLayer,
+    CommNetLayer,
+)
+from repro.gnn.extensions import GGNNLayer
+from repro.gnn.models import GNNModel, build_model, MODEL_REGISTRY
+
+__all__ = [
+    "Block",
+    "GNNLayer", "GCNLayer", "GATLayer", "GraphSAGELayer", "GINLayer",
+    "CommNetLayer", "GGNNLayer",
+    "GNNModel", "build_model", "MODEL_REGISTRY",
+]

@@ -1,0 +1,405 @@
+"""GNN layers in the AGGREGATE/UPDATE decomposition of the paper (§2.2).
+
+Every layer implements
+
+* ``aggregate(block, h)``      — collect neighbor representations per
+  destination from the block's input rows;
+* ``update(block, agg, h_dst)`` — combine the aggregate with the
+  destinations' own previous representations and the layer parameters;
+* ``forward(block, h)``         — ``update(block, aggregate(block, h),
+  h[dst_pos])``.
+
+The split signature is what enables the recomputation-caching-hybrid of
+§4.2: for *cacheable* layers the backward pass reconstructs the UPDATE from
+the host-cached aggregate plus only the destinations' own rows — no reload
+of the O(α|V|) neighbor set — and propagates the neighbor gradient through
+the closed-form :meth:`GNNLayer.aggregate_backward` adjoint.
+
+``cacheable_aggregate`` is True for GCN, GraphSAGE, GIN and CommNet (their
+AGGREGATE is linear in ``h`` with constant coefficients) and False for GAT
+(parameterized per-edge attention with O(|E|) intermediates — cheaper to
+recompute than to cache, Fig. 4 b).
+
+Flop accounting is split into :meth:`aggregate_flops` / :meth:`update_flops`
+so the simulated clock can price the hybrid backward (recompute UPDATE only)
+differently from the full recompute backward.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Linear, Module, Parameter, Tensor, init, ops
+from repro.errors import ConfigurationError
+from repro.gnn.block import Block
+
+__all__ = [
+    "GNNLayer", "GCNLayer", "GraphSAGELayer", "GINLayer",
+    "CommNetLayer", "GATLayer",
+]
+
+
+class GNNLayer(Module):
+    """Common interface for aggregate-update GNN layers."""
+
+    #: whether the AGGREGATE output may be cached instead of recomputed
+    cacheable_aggregate: bool = False
+    #: whether UPDATE reads the destinations' own previous representations
+    update_uses_self: bool = False
+
+    def __init__(self, in_dim: int, out_dim: int):
+        super().__init__()
+        if in_dim <= 0 or out_dim <= 0:
+            raise ConfigurationError(
+                f"layer dims must be positive, got {in_dim}->{out_dim}"
+            )
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+
+    # -- computation ------------------------------------------------------
+    def aggregate(self, block: Block, h: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def update(self, block: Block, agg: Tensor, h_dst: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, block: Block, h: Tensor) -> Tensor:
+        h_dst = ops.gather_rows(h, block.dst_pos) if self.update_uses_self else h
+        return self.update(block, self.aggregate(block, h), h_dst)
+
+    def aggregate_backward(self, block: Block, grad_agg: np.ndarray) -> np.ndarray:
+        """Adjoint of the (cacheable, linear) aggregate: ∇h from ∇agg.
+
+        Only valid when ``cacheable_aggregate`` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no closed-form aggregate adjoint"
+        )
+
+    # -- cost accounting (used by the simulated clock) ---------------------
+    def aggregate_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        """Flops of one AGGREGATE pass."""
+        raise NotImplementedError
+
+    def update_flops(self, num_dst: int) -> int:
+        """Flops of one UPDATE pass."""
+        raise NotImplementedError
+
+    def forward_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        return (self.aggregate_flops(num_src, num_dst, num_edges)
+                + self.update_flops(num_dst))
+
+    def aggregate_dim(self) -> int:
+        """Width of the aggregate tensor (for cache-volume accounting)."""
+        return self.in_dim
+
+    def forward_workspace_scalars(self, num_src: int, num_dst: int,
+                                  num_edges: int) -> int:
+        """Transient scalars resident during one chunk-layer forward.
+
+        This models the paper's CUDA implementation (cuSparse SpMM does not
+        materialize per-edge messages for linear aggregates), not the numpy
+        execution path — the simulated memory pools charge these analytic
+        sizes.
+        """
+        return num_dst * (self.aggregate_dim() + self.out_dim)
+
+
+def _weighted_messages(block: Block, h: Tensor) -> Tensor:
+    """Per-edge messages h[src] (scaled by edge weights when present)."""
+    messages = ops.gather_rows(h, block.edge_src)
+    if block.edge_weight is not None:
+        weights = Tensor(block.edge_weight.reshape(-1, 1))
+        messages = ops.mul(messages, weights)
+    return messages
+
+
+def _mean_aggregate_backward(block: Block, grad_agg: np.ndarray) -> np.ndarray:
+    """Shared adjoint for degree-normalized mean aggregation."""
+    inv_deg = 1.0 / np.maximum(block.in_degrees(), 1)
+    grad_messages = (grad_agg * inv_deg.reshape(-1, 1))[block.edge_dst]
+    grad_h = np.zeros((block.num_src, grad_agg.shape[1]), dtype=grad_agg.dtype)
+    np.add.at(grad_h, block.edge_src, grad_messages)
+    return grad_h
+
+
+class GCNLayer(GNNLayer):
+    """Graph convolution (Eq. 2): h' = σ(W ⊗ Σ_u d_uv h_u).
+
+    The aggregate is a weighted neighbor sum with constant normalization
+    d_uv, hence cacheable. ``activation=None`` makes the last layer emit raw
+    logits.
+    """
+
+    cacheable_aggregate = True
+    update_uses_self = False
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: Optional[str] = "relu", dtype=np.float64):
+        super().__init__(in_dim, out_dim)
+        self.linear = Linear(in_dim, out_dim, rng, dtype=dtype)
+        self.activation = activation
+
+    def aggregate(self, block: Block, h: Tensor) -> Tensor:
+        messages = _weighted_messages(block, h)
+        return ops.scatter_add_rows(messages, block.edge_dst, block.num_dst)
+
+    def update(self, block: Block, agg: Tensor, h_dst: Tensor) -> Tensor:
+        out = self.linear(agg)
+        if self.activation == "relu":
+            out = ops.relu(out)
+        return out
+
+    def aggregate_backward(self, block: Block, grad_agg: np.ndarray) -> np.ndarray:
+        grad_messages = grad_agg[block.edge_dst]
+        if block.edge_weight is not None:
+            grad_messages = grad_messages * block.edge_weight.reshape(-1, 1)
+        grad_h = np.zeros((block.num_src, grad_agg.shape[1]), dtype=grad_agg.dtype)
+        np.add.at(grad_h, block.edge_src, grad_messages)
+        return grad_h
+
+    def aggregate_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        return 2 * num_edges * self.in_dim
+
+    def update_flops(self, num_dst: int) -> int:
+        return 2 * num_dst * self.in_dim * self.out_dim
+
+
+class GraphSAGELayer(GNNLayer):
+    """GraphSAGE-mean: h' = σ([h_v ‖ mean_u h_u] W)."""
+
+    cacheable_aggregate = True
+    update_uses_self = True
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: Optional[str] = "relu", dtype=np.float64):
+        super().__init__(in_dim, out_dim)
+        self.linear = Linear(2 * in_dim, out_dim, rng, dtype=dtype)
+        self.activation = activation
+
+    def aggregate(self, block: Block, h: Tensor) -> Tensor:
+        messages = ops.gather_rows(h, block.edge_src)
+        total = ops.scatter_add_rows(messages, block.edge_dst, block.num_dst)
+        inv_deg = 1.0 / np.maximum(block.in_degrees(), 1)
+        return ops.mul(total, Tensor(inv_deg.reshape(-1, 1)))
+
+    def update(self, block: Block, agg: Tensor, h_dst: Tensor) -> Tensor:
+        out = self.linear(ops.concat([h_dst, agg], axis=1))
+        if self.activation == "relu":
+            out = ops.relu(out)
+        return out
+
+    def aggregate_backward(self, block: Block, grad_agg: np.ndarray) -> np.ndarray:
+        return _mean_aggregate_backward(block, grad_agg)
+
+    def aggregate_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        return 2 * num_edges * self.in_dim + num_dst * self.in_dim
+
+    def update_flops(self, num_dst: int) -> int:
+        return 2 * num_dst * 2 * self.in_dim * self.out_dim
+
+
+class GINLayer(GNNLayer):
+    """Graph isomorphism network: h' = MLP((1+ε) h_v + Σ_u h_u)."""
+
+    cacheable_aggregate = True
+    update_uses_self = True
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: Optional[str] = "relu",
+                 hidden_dim: Optional[int] = None, dtype=np.float64):
+        super().__init__(in_dim, out_dim)
+        hidden = hidden_dim or out_dim
+        self.mlp1 = Linear(in_dim, hidden, rng, dtype=dtype)
+        self.mlp2 = Linear(hidden, out_dim, rng, dtype=dtype)
+        self.epsilon = Parameter(np.zeros(1, dtype=dtype), name="epsilon")
+        self.activation = activation
+        self._hidden = hidden
+
+    def aggregate(self, block: Block, h: Tensor) -> Tensor:
+        messages = ops.gather_rows(h, block.edge_src)
+        return ops.scatter_add_rows(messages, block.edge_dst, block.num_dst)
+
+    def update(self, block: Block, agg: Tensor, h_dst: Tensor) -> Tensor:
+        one_plus_eps = ops.add(self.epsilon, Tensor(np.ones(1)))
+        combined = ops.add(ops.mul(h_dst, one_plus_eps), agg)
+        out = self.mlp2(ops.relu(self.mlp1(combined)))
+        if self.activation == "relu":
+            out = ops.relu(out)
+        return out
+
+    def aggregate_backward(self, block: Block, grad_agg: np.ndarray) -> np.ndarray:
+        grad_h = np.zeros((block.num_src, grad_agg.shape[1]), dtype=grad_agg.dtype)
+        np.add.at(grad_h, block.edge_src, grad_agg[block.edge_dst])
+        return grad_h
+
+    def aggregate_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        return 2 * num_edges * self.in_dim
+
+    def update_flops(self, num_dst: int) -> int:
+        return 2 * num_dst * (self.in_dim * self._hidden
+                              + self._hidden * self.out_dim)
+
+
+class CommNetLayer(GNNLayer):
+    """CommNet: h' = σ(h_v H + mean_u(h_u) C)."""
+
+    cacheable_aggregate = True
+    update_uses_self = True
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 activation: Optional[str] = "relu", dtype=np.float64):
+        super().__init__(in_dim, out_dim)
+        self.self_linear = Linear(in_dim, out_dim, rng, dtype=dtype)
+        self.comm_linear = Linear(in_dim, out_dim, rng, bias=False, dtype=dtype)
+        self.activation = activation
+
+    def aggregate(self, block: Block, h: Tensor) -> Tensor:
+        messages = ops.gather_rows(h, block.edge_src)
+        total = ops.scatter_add_rows(messages, block.edge_dst, block.num_dst)
+        inv_deg = 1.0 / np.maximum(block.in_degrees(), 1)
+        return ops.mul(total, Tensor(inv_deg.reshape(-1, 1)))
+
+    def update(self, block: Block, agg: Tensor, h_dst: Tensor) -> Tensor:
+        out = ops.add(self.self_linear(h_dst), self.comm_linear(agg))
+        if self.activation == "relu":
+            out = ops.relu(out)
+        return out
+
+    def aggregate_backward(self, block: Block, grad_agg: np.ndarray) -> np.ndarray:
+        return _mean_aggregate_backward(block, grad_agg)
+
+    def aggregate_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        return 2 * num_edges * self.in_dim + num_dst * self.in_dim
+
+    def update_flops(self, num_dst: int) -> int:
+        return 4 * num_dst * self.in_dim * self.out_dim
+
+
+class GATLayer(GNNLayer):
+    """Graph attention (Eq. 3) with optional multi-head concat.
+
+    The per-edge attention path — LeakyReLU(aᵀ[W h_v ‖ W h_u]) followed by a
+    neighbor-oriented softmax — creates O(|E|)-sized parameterized
+    intermediates, so the aggregate is *not* cacheable: HongTu recomputes the
+    whole layer in the backward pass from the (re-gathered) input (Fig. 4 b).
+    It is also the workload that requires full-neighbor chunks: the softmax
+    normalizes over a destination's entire in-neighbor set.
+    """
+
+    cacheable_aggregate = False
+    update_uses_self = False
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 num_heads: int = 1, activation: Optional[str] = "elu",
+                 negative_slope: float = 0.2, dtype=np.float64):
+        super().__init__(in_dim, out_dim)
+        if out_dim % num_heads != 0:
+            raise ConfigurationError(
+                f"out_dim {out_dim} not divisible by num_heads {num_heads}"
+            )
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.negative_slope = negative_slope
+        self.activation = activation
+        self.weight = Parameter(
+            init.xavier_uniform((in_dim, out_dim), rng, dtype=dtype),
+            name="weight",
+        )
+        # Attention vector a = [a_dst ; a_src], stored per half per head.
+        self.attn_dst = Parameter(
+            init.xavier_uniform((self.num_heads, self.head_dim), rng, dtype=dtype),
+            name="attn_dst",
+        )
+        self.attn_src = Parameter(
+            init.xavier_uniform((self.num_heads, self.head_dim), rng, dtype=dtype),
+            name="attn_src",
+        )
+
+    def aggregate(self, block: Block, h: Tensor) -> Tensor:
+        """Attention-weighted neighbor sum; returns (num_dst, out_dim)."""
+        wh = ops.matmul(h, self.weight)  # (num_src, heads*head_dim)
+        head_outputs = []
+        for head in range(self.num_heads):
+            lo, hi = head * self.head_dim, (head + 1) * self.head_dim
+            wh_head = _column_slice(wh, lo, hi)
+            a_dst = ops.reshape(_row_select(self.attn_dst, head),
+                                (self.head_dim, 1))
+            a_src = ops.reshape(_row_select(self.attn_src, head),
+                                (self.head_dim, 1))
+            score_dst = ops.matmul(wh_head, a_dst)  # (num_src, 1)
+            score_src = ops.matmul(wh_head, a_src)  # (num_src, 1)
+            edge_score = ops.add(
+                ops.gather_rows(score_dst, block.dst_pos[block.edge_dst]),
+                ops.gather_rows(score_src, block.edge_src),
+            )
+            edge_score = ops.leaky_relu(edge_score, self.negative_slope)
+            alpha = ops.segment_softmax(
+                ops.reshape(edge_score, (block.num_edges,)),
+                block.edge_dst, block.num_dst,
+            )
+            messages = ops.mul(
+                ops.gather_rows(wh_head, block.edge_src),
+                ops.reshape(alpha, (block.num_edges, 1)),
+            )
+            head_outputs.append(
+                ops.scatter_add_rows(messages, block.edge_dst, block.num_dst)
+            )
+        if self.num_heads == 1:
+            return head_outputs[0]
+        return ops.concat(head_outputs, axis=1)
+
+    def update(self, block: Block, agg: Tensor, h_dst: Tensor) -> Tensor:
+        if self.activation == "elu":
+            return ops.elu(agg)
+        if self.activation == "relu":
+            return ops.relu(agg)
+        return agg
+
+    def aggregate_flops(self, num_src: int, num_dst: int, num_edges: int) -> int:
+        projection = 2 * num_src * self.in_dim * self.out_dim
+        scores = 4 * num_src * self.out_dim + 2 * num_edges * self.num_heads
+        softmax = 6 * num_edges * self.num_heads
+        weighted_sum = 3 * num_edges * self.out_dim
+        return projection + scores + softmax + weighted_sum
+
+    def update_flops(self, num_dst: int) -> int:
+        return num_dst * self.out_dim  # pointwise activation
+
+    def aggregate_dim(self) -> int:
+        return self.out_dim
+
+    def forward_workspace_scalars(self, num_src: int, num_dst: int,
+                                  num_edges: int) -> int:
+        # Wh projection + per-edge scores and attention coefficients +
+        # per-edge weighted messages + output.
+        return (num_src * self.out_dim
+                + 3 * num_edges * self.num_heads
+                + num_edges * self.out_dim
+                + num_dst * self.out_dim)
+
+
+def _column_slice(t: Tensor, lo: int, hi: int) -> Tensor:
+    """Differentiable column slice t[:, lo:hi]."""
+    out_data = t.data[:, lo:hi]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(t.data)
+        full[:, lo:hi] = grad
+        t.accumulate_grad(full)
+
+    return Tensor.from_op(out_data, (t,), backward, name="column_slice")
+
+
+def _row_select(t: Tensor, row: int) -> Tensor:
+    """Differentiable single-row selection t[row]."""
+    out_data = t.data[row]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(t.data)
+        full[row] = grad
+        t.accumulate_grad(full)
+
+    return Tensor.from_op(out_data, (t,), backward, name="row_select")

@@ -1,0 +1,197 @@
+"""Compressed sparse row adjacency structures.
+
+The paper organizes every subgraph chunk in CSR/CSC (§6, "Computation
+engine"). :class:`CSRAdjacency` is the shared building block: a row-indexed
+list of column ids with optional edge values. For a graph we keep two views:
+
+* the **in-CSR** (rows = destinations, columns = in-neighbor sources) that
+  drives forward aggregation, and
+* the **out-CSR** (rows = sources) used by analyses.
+
+Rows are always sorted by column id within a row; this makes equality
+well-defined and binary-search membership cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["CSRAdjacency", "edges_to_csr"]
+
+
+class CSRAdjacency:
+    """Immutable CSR structure with validation.
+
+    Parameters
+    ----------
+    indptr:  (num_rows + 1,) int64, monotonically non-decreasing offsets.
+    indices: (nnz,) int64 column ids, each < num_cols.
+    values:  optional (nnz,) float edge values (e.g. normalized GCN weights).
+    num_cols: column-id domain size.
+    """
+
+    __slots__ = ("indptr", "indices", "values", "num_cols")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 num_cols: int, values: Optional[np.ndarray] = None):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.values = None if values is None else np.ascontiguousarray(values)
+        self.num_cols = int(num_cols)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.indptr.ndim != 1 or len(self.indptr) < 1:
+            raise GraphFormatError("indptr must be a 1-D array of length >= 1")
+        if self.indptr[0] != 0:
+            raise GraphFormatError("indptr must start at 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.indptr[-1] != len(self.indices):
+            raise GraphFormatError(
+                f"indptr[-1]={self.indptr[-1]} does not match nnz={len(self.indices)}"
+            )
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_cols
+        ):
+            raise GraphFormatError(
+                f"column ids must be in [0, {self.num_cols}), got "
+                f"[{self.indices.min()}, {self.indices.max()}]"
+            )
+        if self.values is not None and len(self.values) != len(self.indices):
+            raise GraphFormatError("values length must equal nnz")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    def row(self, i: int) -> np.ndarray:
+        """Column ids of row ``i``."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def row_values(self, i: int) -> Optional[np.ndarray]:
+        """Edge values of row ``i`` (None if the structure is unweighted)."""
+        if self.values is None:
+            return None
+        return self.values[self.indptr[i]:self.indptr[i + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Per-row nonzero counts."""
+        return np.diff(self.indptr)
+
+    def row_slice(self, start: int, stop: int) -> "CSRAdjacency":
+        """CSR restricted to rows [start, stop); column domain unchanged."""
+        if not 0 <= start <= stop <= self.num_rows:
+            raise GraphFormatError(
+                f"invalid row slice [{start}, {stop}) for {self.num_rows} rows"
+            )
+        lo, hi = self.indptr[start], self.indptr[stop]
+        indptr = self.indptr[start:stop + 1] - lo
+        values = None if self.values is None else self.values[lo:hi]
+        return CSRAdjacency(indptr, self.indices[lo:hi], self.num_cols, values)
+
+    def transpose(self) -> "CSRAdjacency":
+        """Return the transposed structure (CSC view as a CSR)."""
+        order = np.argsort(self.indices, kind="stable")
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), self.degrees())
+        new_indices = rows[order]
+        counts = np.bincount(self.indices, minlength=self.num_cols)
+        new_indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        new_values = None if self.values is None else self.values[order]
+        out = CSRAdjacency(new_indptr, new_indices, self.num_rows, new_values)
+        return out._sorted_rows()
+
+    def _sorted_rows(self) -> "CSRAdjacency":
+        """Return an equivalent CSR with columns sorted within each row."""
+        indices = self.indices.copy()
+        values = None if self.values is None else self.values.copy()
+        for i in range(self.num_rows):
+            lo, hi = self.indptr[i], self.indptr[i + 1]
+            order = np.argsort(indices[lo:hi], kind="stable")
+            indices[lo:hi] = indices[lo:hi][order]
+            if values is not None:
+                values[lo:hi] = values[lo:hi][order]
+        return CSRAdjacency(self.indptr, indices, self.num_cols, values)
+
+    def to_scipy(self):
+        """Convert to a scipy.sparse.csr_matrix (values default to 1.0)."""
+        from scipy.sparse import csr_matrix
+
+        values = self.values if self.values is not None else np.ones(self.nnz)
+        return csr_matrix(
+            (values, self.indices, self.indptr),
+            shape=(self.num_rows, self.num_cols),
+        )
+
+    def nbytes(self) -> int:
+        """Topology payload size in bytes."""
+        total = self.indptr.nbytes + self.indices.nbytes
+        if self.values is not None:
+            total += self.values.nbytes
+        return int(total)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CSRAdjacency):
+            return NotImplemented
+        same_structure = (
+            self.num_cols == other.num_cols
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+        if not same_structure:
+            return False
+        if (self.values is None) != (other.values is None):
+            return False
+        return self.values is None or np.allclose(self.values, other.values)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRAdjacency(rows={self.num_rows}, cols={self.num_cols}, "
+            f"nnz={self.nnz}, weighted={self.values is not None})"
+        )
+
+
+def edges_to_csr(rows: np.ndarray, cols: np.ndarray, num_rows: int,
+                 num_cols: int, values: Optional[np.ndarray] = None,
+                 dedup: bool = True) -> CSRAdjacency:
+    """Build a CSR from parallel (row, col) edge arrays.
+
+    Edges are sorted by (row, col); with ``dedup`` duplicate (row, col) pairs
+    are merged (values summed, or dropped to a single unweighted edge).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise GraphFormatError("rows and cols must have identical shapes")
+    if len(rows):
+        if rows.min() < 0 or rows.max() >= num_rows:
+            raise GraphFormatError(f"row ids out of range [0, {num_rows})")
+        if cols.min() < 0 or cols.max() >= num_cols:
+            raise GraphFormatError(f"col ids out of range [0, {num_cols})")
+
+    order = np.lexsort((cols, rows))
+    rows, cols = rows[order], cols[order]
+    if values is not None:
+        values = np.asarray(values)[order]
+
+    if dedup and len(rows):
+        keep = np.concatenate(([True], (np.diff(rows) != 0) | (np.diff(cols) != 0)))
+        if values is not None:
+            group_ids = np.cumsum(keep) - 1
+            merged = np.zeros(int(keep.sum()), dtype=values.dtype)
+            np.add.at(merged, group_ids, values)
+            values = merged
+        rows, cols = rows[keep], cols[keep]
+
+    counts = np.bincount(rows, minlength=num_rows)
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+    return CSRAdjacency(indptr, cols, num_cols, values)

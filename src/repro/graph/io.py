@@ -1,0 +1,70 @@
+"""Graph serialization to/from a single ``.npz`` file.
+
+Keeps datasets reproducible across benchmark invocations without re-running
+generators, and gives downstream users a stable on-disk interchange format.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = ["save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Serialize ``graph`` (topology + properties) to ``path`` (.npz)."""
+    src, dst = graph.edge_arrays()
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "num_vertices": np.int64(graph.num_vertices),
+        "src": src,
+        "dst": dst,
+        "name": np.bytes_(graph.name.encode()),
+    }
+    if graph.features is not None:
+        payload["features"] = graph.features
+    if graph.labels is not None:
+        payload["labels"] = graph.labels
+    for attr in ("train_mask", "val_mask", "test_mask"):
+        value = getattr(graph, attr)
+        if value is not None:
+            payload[attr] = value
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: str) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    if not os.path.exists(path):
+        raise GraphFormatError(f"no such graph file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise GraphFormatError(
+                f"unsupported graph format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+
+        def maybe(key: str) -> Optional[np.ndarray]:
+            return data[key] if key in data.files else None
+
+        return Graph(
+            src=data["src"],
+            dst=data["dst"],
+            num_vertices=int(data["num_vertices"]),
+            features=maybe("features"),
+            labels=maybe("labels"),
+            train_mask=maybe("train_mask"),
+            val_mask=maybe("val_mask"),
+            test_mask=maybe("test_mask"),
+            name=bytes(data["name"]).decode(),
+        )

@@ -1,0 +1,25 @@
+"""Simulated multi-GPU hardware: specs, memory pools, time accounting."""
+
+from repro.hardware.spec import (
+    GPUSpec,
+    PlatformSpec,
+    CPUClusterSpec,
+    A100_SERVER,
+    PCIE_ONLY_SERVER,
+    CPU_NODE,
+    ECS_CLUSTER,
+    GB,
+    scaled_platform,
+)
+from repro.hardware.memory import MemoryPool, Allocation
+from repro.hardware.clock import TimeBreakdown, CATEGORIES
+from repro.hardware.platform import SimulatedGPU, MultiGPUPlatform
+
+__all__ = [
+    "GPUSpec", "PlatformSpec", "CPUClusterSpec",
+    "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
+    "GB", "scaled_platform",
+    "MemoryPool", "Allocation",
+    "TimeBreakdown", "CATEGORIES",
+    "SimulatedGPU", "MultiGPUPlatform",
+]

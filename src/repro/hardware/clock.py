@@ -1,0 +1,74 @@
+"""Simulated time accounting.
+
+Performance results in this reproduction are *modeled*, not wall-clock: each
+algorithmic step charges seconds to a category of a :class:`TimeBreakdown` —
+the same four categories the paper's Fig. 9 reports:
+
+* ``gpu``  — GPU kernel time (flops / achieved throughput),
+* ``h2d``  — host↔GPU transfers over PCIe (both directions),
+* ``d2d``  — inter-GPU transfers over NVLink/P2P,
+* ``cpu``  — host-side gradient accumulation.
+
+Concurrency model: the trainers execute batches with barrier-synchronized
+phases (Algorithms 2 and 3 call ``synchronize()`` between the host-to-GPU
+and GPU-to-GPU steps), so a batch phase's wall time is the *max* over GPUs;
+:meth:`TimeBreakdown.add_parallel_phase` implements exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+__all__ = ["TimeBreakdown", "CATEGORIES"]
+
+CATEGORIES = ("gpu", "h2d", "d2d", "cpu")
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-category simulated seconds."""
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {category: 0.0 for category in CATEGORIES}
+    )
+
+    def add(self, category: str, seconds: float) -> None:
+        """Charge ``seconds`` of serialized time to ``category``."""
+        if category not in self.seconds:
+            raise KeyError(f"unknown time category {category!r}")
+        if seconds < 0:
+            raise ValueError(f"negative time: {seconds}")
+        self.seconds[category] += seconds
+
+    def add_parallel_phase(self, category: str,
+                           per_device_seconds: Iterable[float]) -> None:
+        """Charge a barrier-synchronized phase: wall time = max over devices."""
+        values: List[float] = list(per_device_seconds)
+        if values:
+            self.add(category, max(values))
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        """Accumulate another breakdown into this one (serialized phases)."""
+        for category, seconds in other.seconds.items():
+            self.add(category, seconds)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """A copy with every category multiplied by ``factor``."""
+        out = TimeBreakdown()
+        for category, seconds in self.seconds.items():
+            out.seconds[category] = seconds * factor
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.seconds)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{category}={seconds:.4f}s" for category, seconds in self.seconds.items()
+        )
+        return f"TimeBreakdown({parts}, total={self.total:.4f}s)"

@@ -1,0 +1,115 @@
+"""The simulated multi-GPU platform.
+
+A :class:`MultiGPUPlatform` bundles per-GPU memory pools, a host pool, and
+the transfer/compute cost functions derived from a
+:class:`~repro.hardware.spec.PlatformSpec`. Trainers ask it two kinds of
+questions:
+
+* *capacity* — allocate/free device buffers (possibly raising OOM);
+* *cost* — how many seconds a transfer of B bytes or a kernel of F flops
+  takes on this hardware.
+
+The NUMA model follows §7.6: with NUMA-aware vertex-data placement (possible
+when each socket's GPUs only read their socket's DRAM) H2D runs at full PCIe
+bandwidth; when the working set spans sockets (the paper hit this with ≤ 2
+GPUs), a fraction of traffic crosses QPI at ``qpi_factor`` of PCIe speed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hardware.memory import MemoryPool
+from repro.hardware.spec import PlatformSpec
+
+__all__ = ["SimulatedGPU", "MultiGPUPlatform"]
+
+
+class SimulatedGPU:
+    """One device: an id, a socket, and a memory pool."""
+
+    def __init__(self, device_id: int, socket: int, memory_bytes: int):
+        self.device_id = device_id
+        self.socket = socket
+        self.memory = MemoryPool(memory_bytes, name=f"gpu{device_id}")
+
+    def __repr__(self) -> str:
+        return f"SimulatedGPU(id={self.device_id}, socket={self.socket})"
+
+
+class MultiGPUPlatform:
+    """Cost + capacity model of a single-node multi-GPU server."""
+
+    def __init__(self, spec: PlatformSpec, num_gpus: Optional[int] = None,
+                 numa_aware: Optional[bool] = None):
+        self.spec = spec
+        self.num_gpus = num_gpus if num_gpus is not None else spec.num_gpus
+        if not 1 <= self.num_gpus <= spec.num_gpus:
+            raise ConfigurationError(
+                f"platform exposes {spec.num_gpus} GPUs, requested {self.num_gpus}"
+            )
+        gpus_per_socket = max(spec.num_gpus // spec.num_sockets, 1)
+        self.gpus: List[SimulatedGPU] = [
+            SimulatedGPU(i, i // gpus_per_socket, spec.gpu.memory_bytes)
+            for i in range(self.num_gpus)
+        ]
+        self.host = MemoryPool(spec.host_memory_bytes, name="host")
+        # NUMA-aware placement needs all sockets' DRAM dedicated to their own
+        # GPUs; the paper could only enable it when using > 2 GPUs (§7.6).
+        if numa_aware is None:
+            numa_aware = self.num_gpus > spec.num_sockets
+        self.numa_aware = numa_aware
+
+    # -- transfer costs (seconds) -----------------------------------------
+    def h2d_seconds(self, nbytes: float) -> float:
+        """Host→GPU (or GPU→host) transfer over PCIe, NUMA-adjusted."""
+        bandwidth = self.spec.pcie_bandwidth
+        if not self.numa_aware:
+            # Half the vertex data lives on the remote socket and crosses QPI.
+            remote_fraction = 1.0 - 1.0 / self.spec.num_sockets
+            effective = (
+                (1.0 - remote_fraction) * bandwidth
+                + remote_fraction * bandwidth * self.spec.qpi_factor
+            )
+            bandwidth = effective
+        return nbytes / bandwidth
+
+    def d2d_seconds(self, nbytes: float) -> float:
+        """GPU→GPU transfer over NVLink / P2P."""
+        return nbytes / self.spec.nvlink_bandwidth
+
+    def reuse_seconds(self, nbytes: float) -> float:
+        """Intra-GPU in-place data reuse (HBM-bandwidth bookkeeping)."""
+        return nbytes / self.spec.gpu.memory_bandwidth
+
+    def gpu_compute_seconds(self, flops: float) -> float:
+        """Kernel time for ``flops`` floating-point operations on one GPU."""
+        return flops / self.spec.gpu.compute_flops
+
+    def cpu_accumulate_seconds(self, nbytes: float) -> float:
+        """Host-side gradient accumulation of ``nbytes`` of gradient data."""
+        return nbytes / self.spec.cpu_accumulate_bandwidth
+
+    # -- throughput triple for the Eq. 4 cost model --------------------------
+    def throughputs(self) -> tuple:
+        """(T_hd, T_dd, T_ru) in bytes/second, NUMA-adjusted."""
+        t_hd = 1.0 / self.h2d_seconds(1.0)
+        return (t_hd, self.spec.nvlink_bandwidth, self.spec.gpu.memory_bandwidth)
+
+    # -- memory management -----------------------------------------------
+    def reset_memory(self) -> None:
+        """Drop all allocations (between experiment runs)."""
+        for gpu in self.gpus:
+            gpu.memory = MemoryPool(self.spec.gpu.memory_bytes, name=f"gpu{gpu.device_id}")
+        self.host = MemoryPool(self.spec.host_memory_bytes, name="host")
+
+    def peak_gpu_memory(self) -> int:
+        """Max peak usage across devices."""
+        return max(gpu.memory.peak for gpu in self.gpus)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiGPUPlatform(spec={self.spec.name!r}, gpus={self.num_gpus}, "
+            f"numa_aware={self.numa_aware})"
+        )

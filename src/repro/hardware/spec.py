@@ -1,0 +1,152 @@
+"""Hardware specifications for the simulated platforms.
+
+The numbers mirror the paper's testbeds (§7.1, Fig. 1):
+
+* ``A100_SERVER`` — 4× NVIDIA A100-80GB, PCIe 4.0 host links (32 GB/s),
+  4×NVLink 3.0 inter-GPU fabric (200 GB/s), two-socket NUMA host with 512 GB
+  DRAM. Effective (not peak) throughputs are used: GNN training kernels are
+  memory-bound SpMM/GEMM mixtures, so the compute model uses an achieved
+  figure rather than the 312 TFLOP/s tensor-core peak.
+* ``PCIE_ONLY_SERVER`` — the same server without NVLink (T_dd == T_hd), used
+  by the interconnect-sensitivity analysis (§5.3 "Effectiveness with various
+  interconnects").
+* ``CPU_NODE`` — one node of the 16-node Aliyun ECS cluster used by the
+  DistGNN comparison (56 vCPUs, 512 GB, 20 Gbps network).
+
+All bandwidths are bytes/second, capacities bytes, throughputs FLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["GPUSpec", "PlatformSpec", "CPUClusterSpec",
+           "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
+           "GB", "scaled_platform"]
+
+GB = 1024 ** 3
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single GPU's capacities and achieved rates."""
+
+    name: str
+    memory_bytes: int
+    #: achieved FLOP/s on the GNN kernel mix (SpMM + GEMM)
+    compute_flops: float
+    #: HBM bandwidth; governs intra-GPU data reuse T_ru
+    memory_bandwidth: float
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """A single-node multi-GPU server."""
+
+    name: str
+    num_gpus: int
+    gpu: GPUSpec
+    host_memory_bytes: int
+    #: per-GPU host link bandwidth (PCIe) — the paper's T_hd
+    pcie_bandwidth: float
+    #: inter-GPU bandwidth (NVLink) — the paper's T_dd
+    nvlink_bandwidth: float
+    #: bandwidth multiplier for host memory reached across the QPI bus
+    qpi_factor: float
+    #: CPU-side effective byte rate for host gradient accumulation
+    cpu_accumulate_bandwidth: float
+    num_sockets: int = 2
+
+    def with_gpu_memory(self, memory_bytes: int) -> "PlatformSpec":
+        """Copy of this spec with a different per-GPU memory capacity."""
+        return replace(self, gpu=replace(self.gpu, memory_bytes=memory_bytes))
+
+    def with_num_gpus(self, num_gpus: int) -> "PlatformSpec":
+        """Copy of this spec exposing only ``num_gpus`` devices."""
+        return replace(self, num_gpus=num_gpus)
+
+
+@dataclass(frozen=True)
+class CPUClusterSpec:
+    """A shared-nothing CPU cluster (the DistGNN testbed)."""
+
+    name: str
+    num_nodes: int
+    memory_per_node: int
+    #: achieved FLOP/s of one node on GNN kernels
+    compute_flops_per_node: float
+    #: network bandwidth per node, bytes/s
+    network_bandwidth: float
+    #: per-node local memory bandwidth, bytes/s
+    memory_bandwidth: float
+    #: per-node-hour price, USD (for the monetary-cost comparison, §7.2)
+    usd_per_node_hour: float = 5.24
+    #: achieved fraction of the modeled throughput when running
+    #: *distributed* (>1 node). Calibrated against the paper's Table 7:
+    #: DistGNN's measured 16-node epochs are ~4x a first-principles
+    #: compute+network estimate — bulk-synchronous stragglers, replica
+    #: maintenance and framework overhead. Single-node runs are already
+    #: covered by the achieved per-node FLOP rate.
+    distributed_efficiency: float = 0.25
+
+    def with_num_nodes(self, num_nodes: int) -> "CPUClusterSpec":
+        return replace(self, num_nodes=num_nodes)
+
+
+# Achieved (not peak) throughputs, calibrated against the paper's own
+# measurements: DGL's 2-layer GCN epoch on reddit takes 0.19 s (Table 5),
+# which at ~7.3e11 flops/epoch implies ~4 TFLOP/s achieved on the SpMM+GEMM
+# mix; DistGNN's 4.2 s on one CPU node implies ~0.17 TFLOP/s per node.
+A100_GPU = GPUSpec(
+    name="A100-80GB",
+    memory_bytes=80 * GB,
+    compute_flops=4e12,           # achieved on the GNN kernel mix
+    memory_bandwidth=1_600 * GB,  # ~2 TB/s peak HBM2e, ~80 % achieved
+)
+
+A100_SERVER = PlatformSpec(
+    name="4xA100-NVLink",
+    num_gpus=4,
+    gpu=A100_GPU,
+    host_memory_bytes=512 * GB,
+    pcie_bandwidth=26 * GB,       # PCIe 4.0 x16, ~80 % of the 32 GB/s peak
+    nvlink_bandwidth=180 * GB,    # 4x NVLink 3.0, ~90 % of 200 GB/s
+    qpi_factor=0.55,              # remote-socket host access penalty
+    cpu_accumulate_bandwidth=20 * GB,
+    num_sockets=2,
+)
+
+PCIE_ONLY_SERVER = PlatformSpec(
+    name="4xA100-PCIe",
+    num_gpus=4,
+    gpu=A100_GPU,
+    host_memory_bytes=512 * GB,
+    pcie_bandwidth=26 * GB,
+    nvlink_bandwidth=26 * GB,     # T_dd == T_hd: P2P brings no benefit
+    qpi_factor=0.55,
+    cpu_accumulate_bandwidth=20 * GB,
+    num_sockets=2,
+)
+
+CPU_NODE = CPUClusterSpec(
+    name="ecs.r5.16xlarge",
+    num_nodes=1,
+    memory_per_node=512 * GB,
+    compute_flops_per_node=0.15e12,  # calibrated to DistGNN's Table 5 rows
+    network_bandwidth=2.5 * GB,      # 20 Gbps
+    memory_bandwidth=80 * GB,
+    usd_per_node_hour=5.24,
+)
+
+ECS_CLUSTER = CPU_NODE.with_num_nodes(16)
+
+
+def scaled_platform(base: PlatformSpec, memory_scale: float) -> PlatformSpec:
+    """Scale per-GPU memory by ``memory_scale``, keeping rates unchanged.
+
+    The stand-in graphs are orders of magnitude smaller than the paper's, so
+    benchmarks shrink GPU capacity proportionally; OOM outcomes then emerge
+    at the same *relative* working-set sizes as in the paper (Tables 5-7).
+    """
+    new_memory = max(int(base.gpu.memory_bytes * memory_scale), 1)
+    return base.with_gpu_memory(new_memory)

@@ -1,0 +1,22 @@
+"""Graph partitioning: METIS-like level 1, range-chunk level 2, analyses."""
+
+from repro.partition.metis import metis_partition, edge_cut, partition_balance
+from repro.partition.subgraph import SubgraphChunk
+from repro.partition.two_level import (
+    two_level_partition,
+    range_chunks,
+    TwoLevelPartition,
+)
+from repro.partition.replication import (
+    replication_factor,
+    replication_factor_sweep,
+    vertex_data_per_subgraph,
+)
+
+__all__ = [
+    "metis_partition", "edge_cut", "partition_balance",
+    "SubgraphChunk",
+    "two_level_partition", "range_chunks", "TwoLevelPartition",
+    "replication_factor", "replication_factor_sweep",
+    "vertex_data_per_subgraph",
+]

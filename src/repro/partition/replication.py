@@ -1,0 +1,75 @@
+"""Neighbor-replication analysis (paper §2.4, Table 3).
+
+When the graph is split into ``m × n`` chunks, a vertex with out-edges into
+several chunks is replicated into each as a neighbor. The replication factor
+
+    α(m·n) = Σ_ij |N_ij| / |V|,     N_ij = unique in-edge sources of chunk ij
+
+quantifies the communication blow-up of transferring each chunk's neighbor
+set individually (the "vanilla" baseline transfers α·|V| vertex rows per
+layer per direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.partition.two_level import TwoLevelPartition, two_level_partition
+
+__all__ = [
+    "replication_factor",
+    "replication_factor_sweep",
+    "vertex_data_per_subgraph",
+]
+
+
+def replication_factor(partition: TwoLevelPartition,
+                       include_destinations: bool = False) -> float:
+    """α for a concrete 2-level partition.
+
+    Parameters
+    ----------
+    include_destinations:
+        When True, count the full loaded set (sources ∪ destinations) rather
+        than the paper's source-only N_ij. The paper's per-subgraph vertex
+        data volume is then ``(1 + α)|V|/(m·n)`` with the source-only α.
+    """
+    total = 0
+    for chunk in partition.all_chunks():
+        if include_destinations:
+            total += chunk.num_neighbors
+        else:
+            total += len(chunk.source_only_neighbors())
+    return total / partition.graph.num_vertices
+
+
+def replication_factor_sweep(graph: Graph, partition_counts: Iterable[int],
+                             seed: int = 0) -> Dict[int, float]:
+    """α as a function of the total number of partitions (Table 3 sweep).
+
+    Each entry p uses a 2-level split as close to square as possible
+    (m = min(p, 4) GPUs × n = p/m chunks), matching how the paper scales
+    chunk counts on a 4-GPU platform.
+    """
+    results: Dict[int, float] = {}
+    for count in partition_counts:
+        m = min(count, 4)
+        n = max(count // m, 1)
+        partition = two_level_partition(graph, m, n, seed=seed)
+        results[count] = replication_factor(partition)
+    return results
+
+
+def vertex_data_per_subgraph(num_vertices: int, alpha: float,
+                             num_subgraphs: int, feature_dim: int,
+                             bytes_per_scalar: int = 4) -> float:
+    """Average vertex-data bytes a single subgraph needs on the GPU.
+
+    Implements the paper's formula (§4.3): ``(1 + α_{m·n}) |V| / (m·n)``
+    vertex rows of ``feature_dim`` scalars each.
+    """
+    rows = (1.0 + alpha) * num_vertices / num_subgraphs
+    return rows * feature_dim * bytes_per_scalar

@@ -1,0 +1,242 @@
+"""Tests for Module/Parameter containers, Linear, init, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Linear, Module, Parameter, SGD, Adam, Tensor, init, ops
+from repro.errors import ConfigurationError
+
+
+class TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(4, 8, rng)
+        self.second = Linear(8, 2, rng)
+
+    def forward(self, x):
+        return self.second(ops.relu(self.first(x)))
+
+
+class WithList(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.layers = [Linear(3, 3, rng) for _ in range(2)]
+        self.scale = Parameter(np.ones(1), name="scale")
+
+
+class TestModuleTraversal:
+    def test_named_parameters_nested(self, rng):
+        model = TwoLayer(rng)
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["first.weight", "first.bias",
+                         "second.weight", "second.bias"]
+
+    def test_parameters_in_lists(self, rng):
+        model = WithList(rng)
+        names = [name for name, _ in model.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+        assert "scale" in names
+
+    def test_num_parameters(self, rng):
+        model = TwoLayer(rng)
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_parameter_nbytes(self, rng):
+        model = TwoLayer(rng)
+        assert model.parameter_nbytes() == model.num_parameters() * 8
+
+    def test_modules_iterates_children(self, rng):
+        model = TwoLayer(rng)
+        assert len(list(model.modules())) == 3
+
+    def test_train_eval_propagates(self, rng):
+        model = TwoLayer(rng)
+        model.eval()
+        assert not model.first.training
+        model.train()
+        assert model.second.training
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        model = TwoLayer(rng)
+        state = model.state_dict()
+        other = TwoLayer(np.random.default_rng(99))
+        other.load_state_dict(state)
+        for key, value in other.state_dict().items():
+            np.testing.assert_array_equal(value, state[key])
+
+    def test_state_dict_copies(self, rng):
+        model = TwoLayer(rng)
+        state = model.state_dict()
+        state["first.weight"][:] = 0.0
+        assert not np.all(model.first.weight.data == 0.0)
+
+    def test_missing_key_raises(self, rng):
+        model = TwoLayer(rng)
+        state = model.state_dict()
+        del state["first.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, rng):
+        model = TwoLayer(rng)
+        state = model.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = TwoLayer(rng)
+        state = model.state_dict()
+        state["first.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_zero_grad(self, rng):
+        model = TwoLayer(rng)
+        out = model(Tensor(np.ones((2, 4))))
+        out.backward(np.ones((2, 2)))
+        assert model.first.weight.grad is not None
+        model.zero_grad()
+        assert model.first.weight.grad is None
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(3, 5, rng)
+        assert layer(Tensor(np.ones((7, 3)))).shape == (7, 5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 5, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_affine_math(self, rng):
+        layer = Linear(2, 2, rng)
+        layer.weight.data = np.eye(2)
+        layer.bias.data = np.array([1.0, -1.0])
+        out = layer(Tensor(np.array([[2.0, 3.0]])))
+        np.testing.assert_allclose(out.data, [[3.0, 2.0]])
+
+    def test_flops(self, rng):
+        layer = Linear(3, 5, rng)
+        assert layer.flops(10) == 2 * 10 * 3 * 5
+
+
+class TestInit:
+    def test_xavier_uniform_bound(self, rng):
+        w = init.xavier_uniform((100, 100), rng)
+        bound = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= bound)
+
+    def test_xavier_normal_std(self, rng):
+        w = init.xavier_normal((200, 200), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 400)) < 1e-3
+
+    def test_kaiming_bound(self, rng):
+        w = init.kaiming_uniform((50, 60), rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 50))
+
+    def test_zeros(self):
+        assert np.all(init.zeros((3, 3)) == 0.0)
+
+    def test_uniform_range(self, rng):
+        w = init.uniform((100,), rng, low=-0.5, high=0.5)
+        assert w.min() >= -0.5 and w.max() <= 0.5
+
+    def test_determinism(self):
+        a = init.xavier_uniform((4, 4), np.random.default_rng(5))
+        b = init.xavier_uniform((4, 4), np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+
+def quadratic_loss(param):
+    # f(w) = sum((w - 3)^2); minimum at w == 3.
+    diff = ops.sub(param, Tensor(np.full_like(param.data, 3.0)))
+    return ops.sum_(ops.mul(diff, diff))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(4))
+        optimizer = SGD([w], lr=0.1)
+        for _ in range(100):
+            w.zero_grad()
+            quadratic_loss(w).backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.data, np.full(4, 3.0), atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        w_plain = Parameter(np.zeros(1))
+        w_momentum = Parameter(np.zeros(1))
+        plain = SGD([w_plain], lr=0.01)
+        momentum = SGD([w_momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for w, opt in ((w_plain, plain), (w_momentum, momentum)):
+                w.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+        assert abs(w_momentum.data[0] - 3.0) < abs(w_plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.ones(1) * 10.0)
+        optimizer = SGD([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.zeros(1)
+        optimizer.step()
+        assert w.data[0] < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        w = Parameter(np.ones(2))
+        SGD([w], lr=0.1).step()
+        np.testing.assert_array_equal(w.data, np.ones(2))
+
+    def test_invalid_lr(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        w = Parameter(np.zeros(4))
+        optimizer = Adam([w], lr=0.2)
+        for _ in range(200):
+            w.zero_grad()
+            quadratic_loss(w).backward()
+            optimizer.step()
+        np.testing.assert_allclose(w.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        # With bias correction the very first step is ~lr in magnitude.
+        w = Parameter(np.zeros(1))
+        optimizer = Adam([w], lr=0.1)
+        w.grad = np.ones(1)
+        optimizer.step()
+        assert abs(abs(w.data[0]) - 0.1) < 1e-6
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.999))
+
+    def test_weight_decay(self):
+        w = Parameter(np.ones(1) * 5.0)
+        optimizer = Adam([w], lr=0.1, weight_decay=1.0)
+        w.grad = np.zeros(1)
+        optimizer.step()
+        assert w.data[0] < 5.0
+
+    def test_zero_grad_helper(self):
+        w = Parameter(np.ones(1))
+        w.grad = np.ones(1)
+        optimizer = Adam([w])
+        optimizer.zero_grad()
+        assert w.grad is None

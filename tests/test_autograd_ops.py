@@ -1,0 +1,269 @@
+"""Gradient checks and behavior tests for every autograd op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.errors import AutogradError
+
+from tests.conftest import numeric_gradient
+
+
+def check_gradients(op_fn, *arrays, seed_shape=None, atol=1e-6):
+    """Analytic vs central-difference gradients for every input array."""
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = op_fn(*tensors)
+    seed = np.random.default_rng(0).standard_normal(out.shape)
+    out.backward(seed)
+
+    for array, tensor in zip(arrays, tensors):
+        def scalar():
+            fresh = [Tensor(a) for a in arrays]
+            return float((op_fn(*fresh).data * seed).sum())
+
+        numeric = numeric_gradient(scalar, array)
+        assert tensor.grad is not None
+        np.testing.assert_allclose(tensor.grad, numeric, atol=atol,
+                                   err_msg=f"op {op_fn} input grad mismatch")
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradients(ops.add, RNG.standard_normal((3, 4)),
+                        RNG.standard_normal((3, 4)))
+
+    def test_add_broadcast_bias(self):
+        check_gradients(ops.add, RNG.standard_normal((3, 4)),
+                        RNG.standard_normal(4))
+
+    def test_add_broadcast_scalarish(self):
+        check_gradients(ops.add, RNG.standard_normal((3, 4)),
+                        RNG.standard_normal((1, 4)))
+
+    def test_sub(self):
+        check_gradients(ops.sub, RNG.standard_normal((2, 5)),
+                        RNG.standard_normal((2, 5)))
+
+    def test_mul(self):
+        check_gradients(ops.mul, RNG.standard_normal((4, 2)),
+                        RNG.standard_normal((4, 2)))
+
+    def test_mul_broadcast_column(self):
+        check_gradients(ops.mul, RNG.standard_normal((4, 3)),
+                        RNG.standard_normal((4, 1)))
+
+    def test_div(self):
+        denominator = RNG.standard_normal((3, 3)) + 3.0
+        check_gradients(ops.div, RNG.standard_normal((3, 3)), denominator)
+
+    def test_neg(self):
+        check_gradients(ops.neg, RNG.standard_normal((2, 2)))
+
+    def test_pow(self):
+        base = np.abs(RNG.standard_normal((3, 2))) + 0.5
+        check_gradients(lambda a: ops.pow_(a, 3.0), base)
+
+
+class TestLinearAlgebraGradients:
+    def test_matmul(self):
+        check_gradients(ops.matmul, RNG.standard_normal((4, 3)),
+                        RNG.standard_normal((3, 5)))
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(AutogradError):
+            ops.matmul(Tensor(np.ones(3)), Tensor(np.ones(3)))
+
+    def test_transpose(self):
+        check_gradients(ops.transpose, RNG.standard_normal((3, 5)))
+
+    def test_reshape(self):
+        check_gradients(lambda a: ops.reshape(a, (2, 6)),
+                        RNG.standard_normal((3, 4)))
+
+
+class TestActivationGradients:
+    def test_relu(self):
+        check_gradients(ops.relu, RNG.standard_normal((4, 4)) + 0.1)
+
+    def test_relu_zeroes_negatives(self):
+        out = ops.relu(Tensor(np.array([-1.0, 2.0])))
+        assert np.allclose(out.data, [0.0, 2.0])
+
+    def test_leaky_relu(self):
+        check_gradients(lambda a: ops.leaky_relu(a, 0.2),
+                        RNG.standard_normal((4, 4)) + 0.1)
+
+    def test_leaky_relu_slope(self):
+        out = ops.leaky_relu(Tensor(np.array([-10.0])), 0.1)
+        assert np.isclose(out.data[0], -1.0)
+
+    def test_elu(self):
+        check_gradients(ops.elu, RNG.standard_normal((3, 3)) + 0.1)
+
+    def test_sigmoid(self):
+        check_gradients(ops.sigmoid, RNG.standard_normal((3, 3)))
+
+    def test_tanh(self):
+        check_gradients(ops.tanh, RNG.standard_normal((3, 3)))
+
+    def test_exp(self):
+        check_gradients(ops.exp, RNG.standard_normal((3, 3)) * 0.5)
+
+    def test_log(self):
+        check_gradients(ops.log, np.abs(RNG.standard_normal((3, 3))) + 0.5)
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradients(ops.sum_, RNG.standard_normal((3, 4)))
+
+    def test_sum_axis0(self):
+        check_gradients(lambda a: ops.sum_(a, axis=0),
+                        RNG.standard_normal((3, 4)))
+
+    def test_sum_axis1_keepdims(self):
+        check_gradients(lambda a: ops.sum_(a, axis=1, keepdims=True),
+                        RNG.standard_normal((3, 4)))
+
+    def test_mean_all(self):
+        check_gradients(ops.mean, RNG.standard_normal((3, 4)))
+
+    def test_mean_axis(self):
+        check_gradients(lambda a: ops.mean(a, axis=1),
+                        RNG.standard_normal((3, 4)))
+
+    def test_softmax(self):
+        check_gradients(lambda a: ops.softmax(a, axis=-1),
+                        RNG.standard_normal((4, 5)))
+
+    def test_softmax_rows_sum_to_one(self):
+        out = ops.softmax(Tensor(RNG.standard_normal((4, 6))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_log_softmax(self):
+        check_gradients(lambda a: ops.log_softmax(a, axis=-1),
+                        RNG.standard_normal((4, 5)))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.standard_normal((3, 4)))
+        np.testing.assert_allclose(
+            ops.log_softmax(x).data, np.log(ops.softmax(x).data), atol=1e-12
+        )
+
+
+class TestShapeOps:
+    def test_concat_axis1(self):
+        check_gradients(lambda a, b: ops.concat([a, b], axis=1),
+                        RNG.standard_normal((3, 2)),
+                        RNG.standard_normal((3, 4)))
+
+    def test_concat_axis0(self):
+        check_gradients(lambda a, b: ops.concat([a, b], axis=0),
+                        RNG.standard_normal((2, 3)),
+                        RNG.standard_normal((4, 3)))
+
+    def test_concat_three_way(self):
+        parts = [RNG.standard_normal((2, k)) for k in (1, 2, 3)]
+        check_gradients(lambda a, b, c: ops.concat([a, b, c], axis=1), *parts)
+
+    def test_slice_rows(self):
+        check_gradients(lambda a: ops.slice_rows(a, 1, 3),
+                        RNG.standard_normal((5, 3)))
+
+
+class TestGraphOps:
+    def test_gather_rows(self):
+        index = np.array([0, 2, 2, 1])
+        check_gradients(lambda a: ops.gather_rows(a, index),
+                        RNG.standard_normal((3, 4)))
+
+    def test_gather_rows_duplicate_index_sums_grads(self):
+        x = Tensor(np.ones((2, 1)), requires_grad=True)
+        out = ops.gather_rows(x, np.array([0, 0, 0]))
+        out.backward(np.ones((3, 1)))
+        assert x.grad[0, 0] == 3.0
+        assert x.grad[1, 0] == 0.0
+
+    def test_scatter_add_rows(self):
+        index = np.array([0, 1, 1, 2])
+        check_gradients(lambda a: ops.scatter_add_rows(a, index, 4),
+                        RNG.standard_normal((4, 3)))
+
+    def test_scatter_add_values(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = ops.scatter_add_rows(x, np.array([1, 1, 0]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [3.0]])
+
+    def test_segment_sum_alias(self):
+        x = Tensor(np.ones((4, 2)))
+        out = ops.segment_sum(x, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.data, 2 * np.ones((2, 2)))
+
+    def test_segment_softmax_1d_gradcheck(self):
+        segments = np.array([0, 0, 1, 1, 1, 2])
+        check_gradients(
+            lambda a: ops.segment_softmax(a, segments, 3),
+            RNG.standard_normal(6),
+        )
+
+    def test_segment_softmax_2d_gradcheck(self):
+        segments = np.array([0, 0, 1, 1])
+        check_gradients(
+            lambda a: ops.segment_softmax(a, segments, 2),
+            RNG.standard_normal((4, 3)),
+        )
+
+    def test_segment_softmax_sums_to_one(self):
+        segments = np.array([0, 0, 0, 1, 2, 2])
+        out = ops.segment_softmax(Tensor(RNG.standard_normal(6)), segments, 3)
+        for segment in range(3):
+            assert np.isclose(out.data[segments == segment].sum(), 1.0)
+
+    def test_segment_softmax_numerical_stability(self):
+        # Huge scores must not overflow.
+        scores = Tensor(np.array([1000.0, 1000.0, -1000.0]))
+        out = ops.segment_softmax(scores, np.array([0, 0, 0]), 1)
+        assert np.all(np.isfinite(out.data))
+        assert np.isclose(out.data.sum(), 1.0)
+
+    def test_segment_softmax_rejects_3d(self):
+        with pytest.raises(AutogradError):
+            ops.segment_softmax(Tensor(np.ones((2, 2, 2))),
+                                np.array([0, 1]), 2)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        x = Tensor(np.ones((4, 4)))
+        out = ops.dropout(x, 0.5, training=False,
+                          rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_identity_when_p_zero(self):
+        x = Tensor(np.ones((4, 4)))
+        out = ops.dropout(x, 0.0, training=True,
+                          rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = ops.dropout(x, 0.5, training=True,
+                          rng=np.random.default_rng(0))
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_invalid_probability(self):
+        with pytest.raises(AutogradError):
+            ops.dropout(Tensor(np.ones(3)), 1.0, training=True,
+                        rng=np.random.default_rng(0))
+
+    def test_gradient_respects_mask(self):
+        x = Tensor(np.ones((10, 10)), requires_grad=True)
+        out = ops.dropout(x, 0.5, training=True,
+                          rng=np.random.default_rng(0))
+        out.backward(np.ones((10, 10)))
+        dropped = out.data == 0.0
+        assert np.all(x.grad[dropped] == 0.0)
+        assert np.all(x.grad[~dropped] == 2.0)

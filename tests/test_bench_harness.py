@@ -1,0 +1,129 @@
+"""Tests for the benchmark harness utilities and reporting."""
+
+import numpy as np
+import pytest
+
+# ``bench_model``/``bench_graph`` are aliased on import: the pytest config
+# collects ``bench_*`` callables as benchmark tests.
+from repro.bench import (
+    RunOutcome,
+    banner,
+    capacity_limited_platform,
+    format_bytes,
+    format_seconds,
+    hidden_dim_for,
+    render_table,
+    run_or_oom,
+    speedup_vs,
+)
+from repro.bench import bench_graph as make_graph
+from repro.bench import bench_model as make_model
+from repro.core import estimate_for_model
+from repro.errors import DeviceOutOfMemoryError
+from repro.hardware import TimeBreakdown
+
+
+class FakeResult:
+    def __init__(self, seconds):
+        self.epoch_seconds = seconds
+        self.clock = TimeBreakdown()
+        self.peak_gpu_bytes = 123
+        self.loss = 1.0
+
+
+class FakeTrainer:
+    def __init__(self, seconds=1.0):
+        self.seconds = seconds
+
+    def train_epoch(self):
+        return FakeResult(self.seconds)
+
+
+class ExplodingTrainer:
+    def train_epoch(self):
+        raise DeviceOutOfMemoryError("gpu0", 10, 5, 12)
+
+
+class TestRunOrOom:
+    def test_success(self):
+        outcome = run_or_oom("x", lambda: FakeTrainer(2.0), epochs=3)
+        assert not outcome.oom
+        assert outcome.epoch_seconds == 2.0
+        assert outcome.peak_bytes == 123
+        assert outcome.loss == 1.0
+
+    def test_oom_at_construction(self):
+        def factory():
+            raise DeviceOutOfMemoryError("gpu0", 10, 5, 12)
+
+        outcome = run_or_oom("x", factory)
+        assert outcome.oom
+        assert outcome.cell() == "OOM"
+
+    def test_oom_during_training(self):
+        outcome = run_or_oom("x", ExplodingTrainer)
+        assert outcome.oom
+
+    def test_cell_formatting(self):
+        outcome = RunOutcome("x", epoch_seconds=0.12345)
+        assert outcome.cell(2) == "0.12"
+
+    def test_speedup(self):
+        ref = RunOutcome("ref", epoch_seconds=10.0)
+        fast = RunOutcome("fast", epoch_seconds=2.0)
+        assert speedup_vs(ref, fast) == "5.0x"
+
+    def test_speedup_with_oom(self):
+        ref = RunOutcome("ref", oom=True)
+        fast = RunOutcome("fast", epoch_seconds=2.0)
+        assert speedup_vs(ref, fast) == "-"
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_render_table_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(1e-6).endswith("us")
+        assert format_seconds(1e-2).endswith("ms")
+        assert format_seconds(2.0) == "2.00s"
+
+    def test_format_bytes_ranges(self):
+        assert format_bytes(512) == "512.00B"
+        assert format_bytes(2048) == "2.00KB"
+        assert format_bytes(3 * 1024 ** 3) == "3.00GB"
+
+    def test_banner(self):
+        text = banner("hello")
+        assert text.count("=====") == 2
+
+
+class TestWorkloads:
+    def test_bench_graph(self):
+        graph = make_graph("products_sim", scale=0.1)
+        assert graph.name == "products_sim"
+
+    def test_bench_model_dims(self):
+        graph = make_graph("products_sim", scale=0.1)
+        model = make_model("gcn", graph, 3, 32)
+        assert model.dims == [graph.feature_dim, 32, 32, graph.num_classes]
+
+    def test_hidden_dims(self):
+        assert hidden_dim_for("reddit_sim") == 256
+        assert hidden_dim_for("it2004_sim") == 128
+
+    def test_capacity_limited_platform(self):
+        graph = make_graph("products_sim", scale=0.1)
+        model = make_model("gcn", graph, 2, 16)
+        platform = capacity_limited_platform(graph, model, 0.5)
+        estimate = estimate_for_model(graph.num_vertices, graph.num_edges,
+                                      model)
+        assert platform.spec.gpu.memory_bytes == \
+            int(estimate.total_bytes * 0.5)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "reddit_sim"
+        assert args.arch == "gcn"
+        assert args.comm_mode == "hongtu"
+
+    def test_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--arch", "rnn"])
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "imagenet"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "reddit_sim" in out
+        assert "friendster" in out
+
+    def test_memory(self, capsys):
+        assert main(["memory", "--dataset", "it2004_sim",
+                     "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "stand-in" in out
+        assert "it-2004" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--dataset", "papers_sim", "--scale", "0.1",
+                     "--chunks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "V_ori" in out
+        assert "eliminated" in out
+
+    def test_train_short_run(self, capsys):
+        assert main(["train", "--dataset", "products_sim", "--scale", "0.08",
+                     "--epochs", "2", "--chunks", "2",
+                     "--hidden-dim", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "epoch   2" in out
+        assert "val_accuracy" in out
+
+    def test_train_comm_modes(self, capsys):
+        assert main(["train", "--dataset", "products_sim", "--scale", "0.08",
+                     "--epochs", "1", "--comm-mode", "baseline",
+                     "--hidden-dim", "8"]) == 0
+        assert "epoch time breakdown" in capsys.readouterr().out
+
+    def test_train_recompute_policy(self, capsys):
+        assert main(["train", "--dataset", "products_sim", "--scale", "0.08",
+                     "--epochs", "1", "--policy", "recompute",
+                     "--hidden-dim", "8"]) == 0
+        capsys.readouterr()
+
+    def test_train_ggnn(self, capsys):
+        assert main(["train", "--dataset", "products_sim", "--scale", "0.08",
+                     "--epochs", "1", "--arch", "ggnn",
+                     "--hidden-dim", "8"]) == 0
+        capsys.readouterr()

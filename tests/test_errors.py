@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AutogradError,
+    CommunicationPlanError,
+    ConfigurationError,
+    DeviceOutOfMemoryError,
+    GraphFormatError,
+    PartitionError,
+    ReproError,
+)
+
+ALL_ERRORS = [
+    AutogradError, CommunicationPlanError, ConfigurationError,
+    GraphFormatError, PartitionError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_subclass_of_base(error_cls):
+    assert issubclass(error_cls, ReproError)
+    with pytest.raises(ReproError):
+        raise error_cls("boom")
+
+
+def test_oom_is_repro_error():
+    assert issubclass(DeviceOutOfMemoryError, ReproError)
+
+
+def test_oom_carries_context():
+    error = DeviceOutOfMemoryError("gpu3", requested=100, in_use=50,
+                                   capacity=120)
+    assert error.device == "gpu3"
+    assert error.requested == 100
+    assert error.in_use == 50
+    assert error.capacity == 120
+    message = str(error)
+    assert "gpu3" in message and "100" in message and "120" in message
+
+
+def test_base_catchable_as_exception():
+    with pytest.raises(Exception):
+        raise ReproError("generic")

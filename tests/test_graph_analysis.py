@@ -1,0 +1,102 @@
+"""Tests for structural graph analysis — and stand-in validation.
+
+Beyond unit-testing the metrics, this file asserts that each dataset
+stand-in actually exhibits the structural property its real counterpart is
+chosen for (heavy tail, locality, homophily) — the contract stated in
+DESIGN.md §2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, load_dataset
+from repro.graph.analysis import (
+    degree_stats,
+    label_homophily,
+    locality_fraction,
+    structural_report,
+)
+
+
+def line_graph(n=10):
+    src = np.arange(n - 1)
+    dst = np.arange(1, n)
+    return Graph(src, dst, n)
+
+
+class TestMetrics:
+    def test_degree_stats_line_graph(self):
+        stats = degree_stats(line_graph(), "in")
+        assert stats.maximum == 1
+        assert 0.0 <= stats.gini < 0.2
+
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            degree_stats(line_graph(), "sideways")
+
+    def test_gini_skewed_star(self):
+        # Star graph: all edges into one hub -> very unequal in-degrees.
+        n = 50
+        src = np.arange(1, n)
+        dst = np.zeros(n - 1, dtype=np.int64)
+        star = Graph(src, dst, n)
+        assert degree_stats(star, "in").gini > 0.9
+
+    def test_locality_line_graph(self):
+        assert locality_fraction(line_graph(), window=1) == 1.0
+
+    def test_locality_window_zero_edges(self):
+        empty = Graph(np.array([], dtype=np.int64),
+                      np.array([], dtype=np.int64), 4)
+        assert locality_fraction(empty) == 0.0
+
+    def test_homophily_none_without_labels(self):
+        assert label_homophily(line_graph()) is None
+
+    def test_homophily_perfect(self):
+        g = Graph(np.array([0, 1]), np.array([1, 0]), 2,
+                  labels=np.array([3, 3]))
+        assert label_homophily(g) == 1.0
+
+    def test_structural_report_keys(self):
+        report = structural_report(load_dataset("products_sim", scale=0.05))
+        assert set(report) == {"num_vertices", "num_edges", "in_degree",
+                               "out_degree", "locality", "homophily"}
+
+
+class TestStandInContracts:
+    """Each stand-in must carry its counterpart's driving property."""
+
+    def test_friendster_is_heavy_tailed(self):
+        g = load_dataset("friendster_sim", scale=0.25)
+        social = degree_stats(g, "in")
+        uniform = degree_stats(load_dataset("products_sim", scale=0.25), "in")
+        assert social.gini > uniform.gini
+        assert social.maximum > 10 * social.mean
+
+    def test_it2004_has_id_locality(self):
+        web = locality_fraction(load_dataset("it2004_sim", scale=0.25),
+                                window=96)
+        social = locality_fraction(load_dataset("friendster_sim", scale=0.25),
+                                   window=96)
+        assert web > 0.5
+        assert web > 2 * social
+
+    def test_papers_has_id_locality_from_communities(self):
+        papers = locality_fraction(load_dataset("papers_sim", scale=0.25),
+                                   window=96)
+        social = locality_fraction(load_dataset("friendster_sim", scale=0.25),
+                                   window=96)
+        assert papers > social
+
+    @pytest.mark.parametrize("name", ["reddit_sim", "products_sim",
+                                      "papers_sim"])
+    def test_learnable_standins_are_homophilous(self, name):
+        homophily = label_homophily(load_dataset(name, scale=0.2))
+        assert homophily is not None and homophily > 0.4
+
+    def test_reddit_is_dense(self):
+        reddit = degree_stats(load_dataset("reddit_sim", scale=0.25), "in")
+        products = degree_stats(load_dataset("products_sim", scale=0.25),
+                                "in")
+        assert reddit.mean > 3 * products.mean

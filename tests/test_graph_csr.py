@@ -1,0 +1,195 @@
+"""Tests for CSR adjacency structures, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRAdjacency, edges_to_csr
+
+
+def simple_csr():
+    # rows: 0 -> {1, 2}, 1 -> {}, 2 -> {0}
+    return CSRAdjacency(np.array([0, 2, 2, 3]), np.array([1, 2, 0]), 3)
+
+
+class TestValidation:
+    def test_valid_structure(self):
+        csr = simple_csr()
+        assert csr.num_rows == 3
+        assert csr.nnz == 3
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(GraphFormatError):
+            CSRAdjacency(np.array([1, 2]), np.array([0]), 2)
+
+    def test_indptr_monotone(self):
+        with pytest.raises(GraphFormatError):
+            CSRAdjacency(np.array([0, 2, 1]), np.array([0, 1]), 2)
+
+    def test_indptr_matches_nnz(self):
+        with pytest.raises(GraphFormatError):
+            CSRAdjacency(np.array([0, 5]), np.array([0, 1]), 2)
+
+    def test_column_range(self):
+        with pytest.raises(GraphFormatError):
+            CSRAdjacency(np.array([0, 1]), np.array([7]), 3)
+
+    def test_negative_column(self):
+        with pytest.raises(GraphFormatError):
+            CSRAdjacency(np.array([0, 1]), np.array([-1]), 3)
+
+    def test_values_length(self):
+        with pytest.raises(GraphFormatError):
+            CSRAdjacency(np.array([0, 1]), np.array([0]), 2,
+                         values=np.array([1.0, 2.0]))
+
+
+class TestAccessors:
+    def test_row(self):
+        csr = simple_csr()
+        np.testing.assert_array_equal(csr.row(0), [1, 2])
+        np.testing.assert_array_equal(csr.row(1), [])
+        np.testing.assert_array_equal(csr.row(2), [0])
+
+    def test_degrees(self):
+        np.testing.assert_array_equal(simple_csr().degrees(), [2, 0, 1])
+
+    def test_row_values_none_when_unweighted(self):
+        assert simple_csr().row_values(0) is None
+
+    def test_row_values(self):
+        csr = CSRAdjacency(np.array([0, 2]), np.array([0, 1]), 2,
+                           values=np.array([0.5, 1.5]))
+        np.testing.assert_array_equal(csr.row_values(0), [0.5, 1.5])
+
+    def test_row_slice(self):
+        csr = simple_csr()
+        sliced = csr.row_slice(0, 2)
+        assert sliced.num_rows == 2
+        np.testing.assert_array_equal(sliced.row(0), [1, 2])
+        np.testing.assert_array_equal(sliced.row(1), [])
+
+    def test_row_slice_invalid(self):
+        with pytest.raises(GraphFormatError):
+            simple_csr().row_slice(2, 1)
+
+    def test_to_scipy(self):
+        mat = simple_csr().to_scipy()
+        assert mat.shape == (3, 3)
+        assert mat.nnz == 3
+
+    def test_nbytes_positive(self):
+        assert simple_csr().nbytes() > 0
+
+    def test_equality(self):
+        assert simple_csr() == simple_csr()
+
+    def test_inequality_values(self):
+        a = CSRAdjacency(np.array([0, 1]), np.array([0]), 1,
+                         values=np.array([1.0]))
+        b = CSRAdjacency(np.array([0, 1]), np.array([0]), 1)
+        assert a != b
+
+    def test_repr(self):
+        assert "nnz=3" in repr(simple_csr())
+
+
+class TestTranspose:
+    def test_simple(self):
+        t = simple_csr().transpose()
+        # original edges: (0,1), (0,2), (2,0) -> transposed (1,0), (2,0), (0,2)
+        np.testing.assert_array_equal(t.row(0), [2])
+        np.testing.assert_array_equal(t.row(1), [0])
+        np.testing.assert_array_equal(t.row(2), [0])
+
+    def test_preserves_nnz(self):
+        t = simple_csr().transpose()
+        assert t.nnz == 3
+        assert t.num_rows == 3
+
+
+class TestEdgesToCsr:
+    def test_basic(self):
+        csr = edges_to_csr(np.array([0, 0, 1]), np.array([1, 2, 0]), 2, 3)
+        np.testing.assert_array_equal(csr.row(0), [1, 2])
+        np.testing.assert_array_equal(csr.row(1), [0])
+
+    def test_dedup_merges(self):
+        csr = edges_to_csr(np.array([0, 0]), np.array([1, 1]), 1, 2)
+        assert csr.nnz == 1
+
+    def test_dedup_sums_values(self):
+        csr = edges_to_csr(np.array([0, 0]), np.array([1, 1]), 1, 2,
+                           values=np.array([2.0, 3.0]))
+        assert csr.values[0] == 5.0
+
+    def test_no_dedup(self):
+        csr = edges_to_csr(np.array([0, 0]), np.array([1, 1]), 1, 2,
+                           dedup=False)
+        assert csr.nnz == 2
+
+    def test_out_of_range_rows(self):
+        with pytest.raises(GraphFormatError):
+            edges_to_csr(np.array([5]), np.array([0]), 2, 2)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(GraphFormatError):
+            edges_to_csr(np.array([0, 1]), np.array([0]), 2, 2)
+
+    def test_empty(self):
+        csr = edges_to_csr(np.array([]), np.array([]), 3, 3)
+        assert csr.nnz == 0
+        assert csr.num_rows == 3
+
+
+@st.composite
+def random_edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    num_edges = draw(st.integers(min_value=0, max_value=60))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=num_edges,
+                         max_size=num_edges))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=num_edges,
+                         max_size=num_edges))
+    return n, np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64)
+
+
+class TestProperties:
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_is_involution(self, data):
+        n, rows, cols = data
+        csr = edges_to_csr(rows, cols, n, n)
+        assert csr.transpose().transpose() == csr
+
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_preserves_edge_multiset(self, data):
+        n, rows, cols = data
+        csr = edges_to_csr(rows, cols, n, n)
+        t = csr.transpose()
+        edges = set()
+        for row_index in range(csr.num_rows):
+            for col in csr.row(row_index):
+                edges.add((row_index, int(col)))
+        transposed = set()
+        for row_index in range(t.num_rows):
+            for col in t.row(row_index):
+                transposed.add((int(col), row_index))
+        assert edges == transposed
+
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degrees_sum_to_nnz(self, data):
+        n, rows, cols = data
+        csr = edges_to_csr(rows, cols, n, n)
+        assert csr.degrees().sum() == csr.nnz
+
+    @given(random_edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_rows_sorted_and_unique(self, data):
+        n, rows, cols = data
+        csr = edges_to_csr(rows, cols, n, n)
+        for row_index in range(csr.num_rows):
+            row = csr.row(row_index)
+            assert np.all(np.diff(row) > 0) or len(row) <= 1

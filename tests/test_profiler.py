@@ -1,0 +1,113 @@
+"""Tests for the epoch profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import HongTuConfig, HongTuTrainer
+from repro.core.profiler import EpochProfiler
+from repro.errors import ConfigurationError
+from repro.gnn import build_model
+from repro.graph import load_dataset
+from repro.hardware import A100_SERVER, MultiGPUPlatform, TimeBreakdown
+
+
+class FakeResult:
+    def __init__(self, gpu=1.0, h2d=2.0):
+        self.clock = TimeBreakdown()
+        self.clock.add("gpu", gpu)
+        self.clock.add("h2d", h2d)
+        self.epoch_seconds = self.clock.total
+
+
+class TestProfilerUnit:
+    def test_record_and_summary(self):
+        profiler = EpochProfiler()
+        profiler.record("a", FakeResult())
+        profiler.record("a", FakeResult())
+        summary = profiler.summary("a")
+        assert summary.epochs == 2
+        assert summary.totals["gpu"] == 2.0
+        assert summary.totals["h2d"] == 4.0
+        assert summary.mean_epoch_seconds == 3.0
+
+    def test_share(self):
+        profiler = EpochProfiler()
+        profiler.record("a", FakeResult(gpu=1.0, h2d=3.0))
+        assert profiler.summary("a").share("h2d") == 0.75
+
+    def test_share_unknown_category(self):
+        profiler = EpochProfiler()
+        profiler.record("a", FakeResult())
+        with pytest.raises(ConfigurationError):
+            profiler.summary("a").share("warp")
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            EpochProfiler().summary("missing")
+
+    def test_record_rejects_clockless(self):
+        with pytest.raises(ConfigurationError):
+            EpochProfiler().record("a", object())
+
+    def test_empty_comparison(self):
+        with pytest.raises(ConfigurationError):
+            EpochProfiler().comparison_table()
+
+    def test_comparison_table_contents(self):
+        profiler = EpochProfiler()
+        profiler.record("slow", FakeResult(gpu=2.0, h2d=6.0))
+        profiler.record("fast", FakeResult(gpu=1.0, h2d=1.0))
+        table = profiler.comparison_table(baseline="slow")
+        assert "slow" in table and "fast" in table
+        assert "4.00x" in table  # 8s vs 2s epochs
+
+
+class TestProfilerIntegration:
+    def test_profile_real_trainer_ladder(self):
+        graph = load_dataset("papers_sim", scale=0.12, seed=2)
+        profiler = EpochProfiler()
+        for mode in ["baseline", "hongtu"]:
+            model = build_model(
+                "gcn", [graph.feature_dim, 16, graph.num_classes],
+                np.random.default_rng(0),
+            )
+            trainer = HongTuTrainer(
+                graph, model, MultiGPUPlatform(A100_SERVER),
+                HongTuConfig(num_chunks=6, comm_mode=mode, seed=0),
+            )
+            profiler.record_run(mode, trainer.train(2))
+        table = profiler.comparison_table(baseline="baseline")
+        assert "baseline" in table and "hongtu" in table
+        # Dedup spends less time on H2D than the baseline.
+        assert profiler.summary("hongtu").totals["h2d"] < \
+            profiler.summary("baseline").totals["h2d"]
+
+
+class TestOverlapLowerBound:
+    def test_bound_formula(self):
+        from repro.core.profiler import overlap_lower_bound
+
+        clock = TimeBreakdown()
+        clock.add("gpu", 3.0)
+        clock.add("h2d", 2.0)
+        clock.add("d2d", 2.0)
+        clock.add("cpu", 1.0)
+        # max(4, 3) + 1
+        assert overlap_lower_bound(clock) == 5.0
+
+    def test_bound_never_exceeds_serial_time(self):
+        from repro.core.profiler import overlap_lower_bound
+
+        graph = load_dataset("papers_sim", scale=0.12, seed=2)
+        model = build_model(
+            "gcn", [graph.feature_dim, 16, graph.num_classes],
+            np.random.default_rng(0),
+        )
+        trainer = HongTuTrainer(
+            graph, model, MultiGPUPlatform(A100_SERVER),
+            HongTuConfig(num_chunks=4, seed=0),
+        )
+        result = trainer.train_epoch()
+        bound = overlap_lower_bound(result.clock)
+        assert bound <= result.epoch_seconds
+        assert bound > 0

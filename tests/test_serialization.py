@@ -1,0 +1,120 @@
+"""Tests for training-state save/restore."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, SGD
+from repro.baselines import FullGraphTrainer
+from repro.core import HongTuConfig, HongTuTrainer
+from repro.core.serialization import load_training_state, save_training_state
+from repro.errors import ConfigurationError
+from repro.gnn import build_model
+from repro.graph import load_dataset
+from repro.hardware import A100_SERVER, MultiGPUPlatform
+
+
+@pytest.fixture
+def graph():
+    return load_dataset("products_sim", scale=0.08, seed=6)
+
+
+def make_model(graph, seed=0):
+    return build_model("gcn", [graph.feature_dim, 8, graph.num_classes],
+                       np.random.default_rng(seed))
+
+
+class TestRoundtrip:
+    def test_parameters_roundtrip(self, graph, tmp_path):
+        model = make_model(graph)
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_training_state(path, model, epoch=7)
+        fresh = make_model(graph, seed=99)
+        epoch = load_training_state(path, fresh)
+        assert epoch == 7
+        for key, value in fresh.state_dict().items():
+            np.testing.assert_array_equal(value, model.state_dict()[key])
+
+    def test_missing_file(self, graph):
+        with pytest.raises(ConfigurationError):
+            load_training_state("/nonexistent.npz", make_model(graph))
+
+    def test_optimizer_class_mismatch(self, graph, tmp_path):
+        model = make_model(graph)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_training_state(path, model, optimizer)
+        with pytest.raises(ConfigurationError):
+            load_training_state(path, model, Adam(model.parameters()))
+
+    def test_checkpoint_without_optimizer_state(self, graph, tmp_path):
+        model = make_model(graph)
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_training_state(path, model)
+        with pytest.raises(ConfigurationError):
+            load_training_state(path, model, SGD(model.parameters(), lr=0.1))
+
+    def test_extra_metadata_accepted(self, graph, tmp_path):
+        model = make_model(graph)
+        path = os.path.join(tmp_path, "ckpt.npz")
+        save_training_state(path, model, extra={"best_val": 0.91})
+        load_training_state(path, make_model(graph, seed=3))
+
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [
+    (SGD, {"lr": 0.05, "momentum": 0.9}),
+    (Adam, {"lr": 0.01}),
+])
+def test_resume_is_bit_identical(graph, tmp_path, optimizer_cls, kwargs):
+    """Pausing + resuming must follow the exact trajectory of an
+    uninterrupted run."""
+    # Uninterrupted run: 6 epochs.
+    continuous_model = make_model(graph)
+    continuous = HongTuTrainer(
+        graph, continuous_model, MultiGPUPlatform(A100_SERVER),
+        HongTuConfig(num_chunks=2, seed=1),
+        optimizer=optimizer_cls(continuous_model.parameters(), **kwargs),
+    )
+    continuous.train(6)
+
+    # Interrupted run: 3 epochs, checkpoint, fresh objects, 3 more.
+    first_model = make_model(graph)
+    first_optimizer = optimizer_cls(first_model.parameters(), **kwargs)
+    first = HongTuTrainer(
+        graph, first_model, MultiGPUPlatform(A100_SERVER),
+        HongTuConfig(num_chunks=2, seed=1), optimizer=first_optimizer,
+    )
+    first.train(3)
+    path = os.path.join(tmp_path, "resume.npz")
+    save_training_state(path, first_model, first_optimizer, epoch=3)
+
+    second_model = make_model(graph, seed=1234)  # different init on purpose
+    second_optimizer = optimizer_cls(second_model.parameters(), **kwargs)
+    epoch = load_training_state(path, second_model, second_optimizer)
+    assert epoch == 3
+    second = HongTuTrainer(
+        graph, second_model, MultiGPUPlatform(A100_SERVER),
+        HongTuConfig(num_chunks=2, seed=1), optimizer=second_optimizer,
+    )
+    second.train(3)
+
+    for key, value in second_model.state_dict().items():
+        np.testing.assert_allclose(
+            value, continuous_model.state_dict()[key], atol=1e-12,
+        )
+
+
+def test_resume_works_for_monolithic_trainer(graph, tmp_path):
+    model = make_model(graph)
+    optimizer = Adam(model.parameters(), lr=0.01)
+    trainer = FullGraphTrainer(graph, model, optimizer=optimizer)
+    trainer.train(2)
+    path = os.path.join(tmp_path, "mono.npz")
+    save_training_state(path, model, optimizer, epoch=2)
+
+    resumed_model = make_model(graph, seed=55)
+    resumed_optimizer = Adam(resumed_model.parameters(), lr=0.01)
+    load_training_state(path, resumed_model, resumed_optimizer)
+    for key, value in resumed_model.state_dict().items():
+        np.testing.assert_array_equal(value, model.state_dict()[key])
