@@ -49,10 +49,11 @@ def build_table(results):
             arch, policy,
             f"{result.epoch_seconds:.5f}",
             f"{result.h2d_bytes}",
+            f"{result.d2h_bytes}",
             f"{result.clock.seconds['gpu']:.6f}",
         ])
     return render_table(
-        ["Arch", "Policy", "Epoch s", "H2D bytes", "GPU s"],
+        ["Arch", "Policy", "Epoch s", "H2D bytes", "D2H bytes", "GPU s"],
         rows,
         title="Ablation: recomputation-caching-hybrid vs pure recompute "
               "(vanilla transfers, 3 layers)",
@@ -71,9 +72,14 @@ def bench_ablation_recompute(benchmark):
         gcn_recompute.clock.seconds["gpu"]
     assert gcn_hybrid.epoch_seconds < gcn_recompute.epoch_seconds
 
+    # Hybrid writes checkpoints back to the host, but its D2H stays within
+    # the writeback volume both policies already pay.
+    assert gcn_hybrid.d2h_bytes >= gcn_recompute.d2h_bytes
+
     # GAT falls back to recomputation either way: identical numbers.
     gat_hybrid = results[("gat", "hybrid")]
     gat_recompute = results[("gat", "recompute")]
     assert gat_hybrid.h2d_bytes == gat_recompute.h2d_bytes
+    assert gat_hybrid.d2h_bytes == gat_recompute.d2h_bytes
     assert abs(gat_hybrid.epoch_seconds
                - gat_recompute.epoch_seconds) < 1e-12

@@ -43,10 +43,11 @@ def build_table(results):
             platform, mode,
             f"{result.epoch_seconds:.5f}",
             f"{result.clock.seconds['h2d']:.5f}",
+            f"{result.clock.seconds['d2h']:.5f}",
             f"{result.clock.seconds['d2d']:.5f}",
         ])
     return render_table(
-        ["Platform", "Mode", "Epoch s", "H2D s", "D2D s"],
+        ["Platform", "Mode", "Epoch s", "H2D s", "D2H s", "D2D s"],
         rows,
         title="Interconnect sensitivity (GCN on papers_sim, simulated)",
     )

@@ -77,11 +77,13 @@ def main() -> None:
             mode,
             format_seconds(result.epoch_seconds),
             format_bytes(result.h2d_bytes),
+            format_bytes(result.d2h_bytes),
             format_bytes(result.d2d_bytes),
         ])
     print()
     print(render_table(
-        ["comm mode", "epoch time", "host<->GPU bytes", "GPU<->GPU bytes"],
+        ["comm mode", "epoch time", "host->GPU bytes", "GPU->host bytes",
+         "GPU<->GPU bytes"],
         rows,
         title="one GCN epoch per communication mode",
     ))

@@ -11,6 +11,7 @@ Public API quick map::
     repro.gnn         # GCN/GAT/GraphSAGE/GIN/CommNet layers + models
     repro.partition   # METIS-like + 2-level partitioning, replication
     repro.comm        # dedup communication: plans, cost model, Algorithm 4
+    repro.runtime     # event-timeline engine: tasks, scheduler, buffers
     repro.hardware    # simulated multi-GPU platform (memory + time)
     repro.core        # HongTuTrainer (Algorithm 1), memory model
     repro.baselines   # DGL-like, Sancus-like, DistGNN-sim, DistDGL-like

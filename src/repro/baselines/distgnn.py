@@ -27,7 +27,7 @@ from repro.core.memory_model import estimate_for_model
 from repro.errors import ConfigurationError, DeviceOutOfMemoryError
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
-from repro.hardware.clock import TimeBreakdown
+from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.memory import MemoryPool
 from repro.hardware.spec import CPUClusterSpec
 from repro.partition.metis import metis_partition
@@ -40,9 +40,12 @@ class DistGNNEpochResult:
     epoch: int
     clock: TimeBreakdown
     peak_node_bytes: int
+    timeline: Optional[EventTimeline] = None
 
     @property
     def epoch_seconds(self) -> float:
+        if self.timeline is not None:
+            return self.timeline.makespan
         return self.clock.total
 
 
@@ -93,7 +96,7 @@ class DistGNNSimulator:
     # ------------------------------------------------------------------
     def train_epoch(self) -> DistGNNEpochResult:
         """Simulate one epoch (forward + backward + replica sync)."""
-        clock = TimeBreakdown()
+        timeline = EventTimeline(barrier_all=True)
         nodes = self.cluster.num_nodes
         # Distributed execution achieves only a fraction of the modeled
         # compute/network throughput (bulk-synchronous stragglers, replica
@@ -105,8 +108,9 @@ class DistGNNSimulator:
             self.graph.num_vertices, self.graph.num_vertices,
             self.graph.num_edges,
         )
-        clock.add("cpu", slowdown * flops
-                  / (nodes * self.cluster.compute_flops_per_node))
+        timeline.add("cpu", slowdown * flops
+                     / (nodes * self.cluster.compute_flops_per_node),
+                     device=0, label="cpu_kernels")
 
         if nodes > 1:
             per_node_seconds = []
@@ -119,11 +123,13 @@ class DistGNNSimulator:
                 per_node_seconds.append(
                     slowdown * volume / self.cluster.network_bandwidth
                 )
-            clock.add_parallel_phase("d2d", per_node_seconds)
+            timeline.submit_phase("d2d", per_node_seconds,
+                                  label="replica_sync")
 
         self._epoch += 1
         peak = max(pool.peak for pool in self.node_pools)
-        return DistGNNEpochResult(self._epoch, clock, peak)
+        return DistGNNEpochResult(self._epoch, timeline.breakdown, peak,
+                                  timeline=timeline)
 
     def train(self, num_epochs: int) -> list:
         return [self.train_epoch() for _ in range(num_epochs)]

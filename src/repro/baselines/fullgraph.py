@@ -33,7 +33,7 @@ from repro.errors import ConfigurationError
 from repro.gnn.block import Block
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
-from repro.hardware.clock import TimeBreakdown
+from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.platform import MultiGPUPlatform
 
 __all__ = ["FullGraphTrainer", "FullGraphEpochResult"]
@@ -45,9 +45,12 @@ class FullGraphEpochResult:
     loss: float
     clock: TimeBreakdown
     peak_gpu_bytes: int
+    timeline: Optional[EventTimeline] = None
 
     @property
     def epoch_seconds(self) -> float:
+        if self.timeline is not None:
+            return self.timeline.makespan
         return self.clock.total
 
 
@@ -92,7 +95,7 @@ class FullGraphTrainer:
 
     # ------------------------------------------------------------------
     def train_epoch(self) -> FullGraphEpochResult:
-        clock = TimeBreakdown()
+        timeline = EventTimeline(barrier_all=True)
         self.model.zero_grad()
 
         h = Tensor(self.graph.features.astype(np.float64))
@@ -107,13 +110,15 @@ class FullGraphTrainer:
             flops = self.model.forward_flops(
                 self.block.num_src, self.block.num_dst, self.block.num_edges
             )
-            clock.add("gpu", self.platform.gpu_compute_seconds(3 * flops))
+            timeline.add("gpu", self.platform.gpu_compute_seconds(3 * flops),
+                         device=0, label="monolithic_epoch")
 
         self.optimizer.step()
         self._epoch += 1
         peak = (self.platform.gpus[0].memory.peak
                 if self.platform is not None else 0)
-        return FullGraphEpochResult(self._epoch, loss, clock, peak)
+        return FullGraphEpochResult(self._epoch, loss, timeline.breakdown,
+                                    peak, timeline=timeline)
 
     def train(self, num_epochs: int) -> List[FullGraphEpochResult]:
         return [self.train_epoch() for _ in range(num_epochs)]

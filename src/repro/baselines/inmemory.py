@@ -31,7 +31,7 @@ from repro.errors import ConfigurationError
 from repro.gnn.block import Block
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
-from repro.hardware.clock import TimeBreakdown
+from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.platform import MultiGPUPlatform
 from repro.partition.metis import metis_partition
 
@@ -44,9 +44,12 @@ class InMemoryEpochResult:
     loss: float
     clock: TimeBreakdown
     peak_gpu_bytes: int
+    timeline: Optional[EventTimeline] = None
 
     @property
     def epoch_seconds(self) -> float:
+        if self.timeline is not None:
+            return self.timeline.makespan
         return self.clock.total
 
 
@@ -95,7 +98,7 @@ class InMemoryMultiGPUTrainer:
 
     # ------------------------------------------------------------------
     def train_epoch(self) -> InMemoryEpochResult:
-        clock = TimeBreakdown()
+        timeline = EventTimeline(barrier_all=True)
         self.model.zero_grad()
 
         h = Tensor(self.graph.features.astype(np.float64))
@@ -113,7 +116,8 @@ class InMemoryMultiGPUTrainer:
         flops = self.model.forward_flops(
             self.block.num_src, self.block.num_dst, self.block.num_edges
         )
-        clock.add("gpu", self.platform.gpu_compute_seconds(3 * flops / m))
+        timeline.add("gpu", self.platform.gpu_compute_seconds(3 * flops / m),
+                     device=0, label="partitioned_epoch")
         # Communication: remote-neighbor rows cross NVLink once per layer per
         # direction (forward representations + backward gradients).
         num_layers = self.model.num_layers
@@ -126,10 +130,11 @@ class InMemoryMultiGPUTrainer:
             volume = 2 * self._remote_rows_per_gpu[i] * row_bytes \
                 * self.comm_overhead
             d2d_seconds.append(self.platform.d2d_seconds(volume))
-        clock.add_parallel_phase("d2d", d2d_seconds)
+        timeline.submit_phase("d2d", d2d_seconds, label="boundary_sync")
 
         return InMemoryEpochResult(
-            self._epoch, loss, clock, self.platform.peak_gpu_memory()
+            self._epoch, loss, timeline.breakdown,
+            self.platform.peak_gpu_memory(), timeline=timeline,
         )
 
     def train(self, num_epochs: int) -> List[InMemoryEpochResult]:

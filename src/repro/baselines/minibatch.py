@@ -30,7 +30,7 @@ from repro.errors import ConfigurationError
 from repro.gnn.block import Block
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
-from repro.hardware.clock import TimeBreakdown
+from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.platform import MultiGPUPlatform
 
 __all__ = ["NeighborSampler", "MiniBatchTrainer", "MiniBatchEpochResult"]
@@ -114,9 +114,12 @@ class MiniBatchEpochResult:
     peak_gpu_bytes: int
     #: total sampled input-frontier vertices this epoch (explosion metric)
     frontier_vertices: int
+    timeline: Optional[EventTimeline] = None
 
     @property
     def epoch_seconds(self) -> float:
+        if self.timeline is not None:
+            return self.timeline.makespan
         return self.clock.total
 
 
@@ -147,7 +150,7 @@ class MiniBatchTrainer:
 
     # ------------------------------------------------------------------
     def train_epoch(self) -> MiniBatchEpochResult:
-        clock = TimeBreakdown()
+        timeline = EventTimeline(barrier_all=True)
         order = self.rng.permutation(self.train_vertices)
         losses: List[float] = []
         frontier_total = 0
@@ -162,9 +165,8 @@ class MiniBatchTrainer:
 
             # Frontier memory: every layer's input+output rows must be
             # resident while the batch trains (round-robin GPU placement).
-            gpu = self.platform.gpus[
-                (batch_start // self.batch_size) % num_gpus
-            ]
+            gpu_index = (batch_start // self.batch_size) % num_gpus
+            gpu = self.platform.gpus[gpu_index]
             resident = sum(
                 block.num_src * dims[l] + block.num_dst * dims[l + 1]
                 for l, block in enumerate(blocks)
@@ -187,22 +189,28 @@ class MiniBatchTrainer:
 
             # Costs: feature H2D + sampling CPU + kernels.
             feature_bytes = blocks[0].num_src * dims[0] * bps
-            clock.add("h2d", self.platform.h2d_seconds(feature_bytes) / num_gpus)
+            timeline.add("h2d",
+                         self.platform.h2d_seconds(feature_bytes) / num_gpus,
+                         device=gpu_index, label="features")
             sampled_edges = sum(block.num_edges for block in blocks)
-            clock.add("cpu", self.platform.cpu_accumulate_seconds(
-                sampled_edges * 8) / num_gpus)
+            timeline.add("cpu", self.platform.cpu_accumulate_seconds(
+                sampled_edges * 8) / num_gpus,
+                device=gpu_index, label="sampling")
             flops = 3 * sum(
                 layer.forward_flops(block.num_src, block.num_dst,
                                     block.num_edges)
                 for layer, block in zip(self.model.layers, blocks)
             )
-            clock.add("gpu", self.platform.gpu_compute_seconds(flops) / num_gpus)
+            timeline.add("gpu",
+                         self.platform.gpu_compute_seconds(flops) / num_gpus,
+                         device=gpu_index, label="kernels")
 
         self._epoch += 1
         mean_loss = float(np.mean(losses)) if losses else 0.0
         return MiniBatchEpochResult(
-            self._epoch, mean_loss, clock,
+            self._epoch, mean_loss, timeline.breakdown,
             self.platform.peak_gpu_memory(), frontier_total,
+            timeline=timeline,
         )
 
     def train(self, num_epochs: int) -> List[MiniBatchEpochResult]:

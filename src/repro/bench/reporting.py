@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["render_table", "format_seconds", "format_bytes", "banner"]
+__all__ = ["render_table", "render_timeline", "format_seconds",
+           "format_bytes", "banner"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -57,3 +58,34 @@ def format_bytes(nbytes: float) -> str:
 def banner(text: str) -> str:
     bar = "=" * max(len(text), 8)
     return f"{bar}\n{text}\n{bar}"
+
+
+def render_timeline(timeline, title: Optional[str] = None,
+                    width: int = 40) -> str:
+    """Channel-utilization summary of an EventTimeline.
+
+    One row per hardware channel: busy seconds (summed over devices), the
+    share of the makespan the busiest stretch could occupy, and a coarse
+    utilization bar — a quick visual answer to "what does pipelining hide?".
+    """
+    makespan = timeline.makespan
+    serialized = timeline.breakdown.total
+    rows = []
+    for channel, busy in timeline.busy_view().items():
+        if busy == 0.0:
+            continue
+        utilization = busy / makespan if makespan > 0 else 0.0
+        bar = "#" * max(1, round(min(utilization, 1.0) * width))
+        rows.append([channel, format_seconds(busy),
+                     f"{utilization:.0%}", bar])
+    table = render_table(
+        ["channel", "busy", "busy/makespan", f"utilization ({width} cols)"],
+        rows, title=title,
+    )
+    saving = max(0.0, serialized - makespan)
+    footer = (
+        f"makespan {format_seconds(makespan)} vs serialized "
+        f"{format_seconds(serialized)} "
+        f"({format_seconds(saving)} hidden by overlap)"
+    )
+    return f"{table}\n{footer}"

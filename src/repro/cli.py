@@ -19,7 +19,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.bench.reporting import format_bytes, format_seconds, render_table
+from repro.bench.reporting import (
+    format_bytes,
+    format_seconds,
+    render_table,
+    render_timeline,
+)
 from repro.comm import CommCostModel, measure_volumes
 from repro.core import (
     HongTuConfig,
@@ -57,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["baseline", "p2p", "ru", "hongtu"])
     train.add_argument("--policy", default="hybrid",
                        choices=["hybrid", "recompute"])
+    train.add_argument("--overlap", default="barrier",
+                       choices=["barrier", "pipeline"],
+                       help="epoch scheduling: barrier-synchronized phases "
+                            "(the paper's Algorithms 1-3) or pipelined "
+                            "transfer/compute overlap")
     train.add_argument("--lr", type=float, default=0.01)
 
     analyze = sub.add_parser("analyze",
@@ -91,13 +101,15 @@ def cmd_train(args) -> int:
     model = build_model(args.arch, dims, np.random.default_rng(args.seed))
     platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
     config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
-                          intermediate_policy=args.policy, seed=args.seed)
+                          intermediate_policy=args.policy,
+                          overlap=args.overlap, seed=args.seed)
     from repro.autograd import Adam
 
     trainer = HongTuTrainer(graph, model, platform, config,
                             optimizer=Adam(model.parameters(), lr=args.lr))
     print(f"training {args.arch} {dims} on {graph} "
-          f"({args.gpus} GPUs x {args.chunks} chunks, {args.comm_mode})")
+          f"({args.gpus} GPUs x {args.chunks} chunks, {args.comm_mode}, "
+          f"{args.overlap})")
     for epoch in range(1, args.epochs + 1):
         result = trainer.train_epoch()
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "
@@ -106,10 +118,12 @@ def cmd_train(args) -> int:
     metrics = trainer.evaluate()
     for name, value in metrics.items():
         print(f"{name}: {value:.4f}")
-    breakdown = trainer.train_epoch().clock
+    last = trainer.train_epoch()
     print("epoch time breakdown:",
           ", ".join(f"{k}={format_seconds(v)}"
-                    for k, v in breakdown.as_dict().items()))
+                    for k, v in last.clock.as_dict().items()))
+    print(render_timeline(last.timeline,
+                          title="epoch channel utilization"))
     return 0
 
 

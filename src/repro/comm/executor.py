@@ -3,11 +3,10 @@
 :class:`DedupCommunicator` performs the *actual* data movement of HongTu's
 communication framework on numpy buffers — real values flow through real
 transition buffers with the in-place position indices computed by the
-planner — while charging simulated seconds to a
-:class:`~repro.hardware.clock.TimeBreakdown` and registering buffer memory
-with the simulated GPUs' pools.
+planner — while charging simulated seconds to a clock and registering
+buffer memory with the simulated GPUs' pools.
 
-Forward (Algorithm 2): per batch, each GPU zeroes nothing and
+Forward (Algorithm 2): per batch, each GPU
 
 1. loads 𝒩^cpu_ij rows host→transition-buffer (PCIe, ``h2d``), reusing
    𝒩^gpu_ij rows in place (charged to ``gpu`` at HBM bandwidth);
@@ -20,26 +19,40 @@ Backward (Algorithm 3): per batch, each GPU
 1. pushes its neighbor gradients into the owners' transition gradient
    buffers with atomic adds (``d2d``/``gpu``);
 2. flushes the gradients of vertices *not* reused by the next batch to the
-   host (``h2d`` for the D2H copy after GPU-side compaction, then ``cpu``
-   for the host-side accumulation into ∇h), keeping reused vertices'
-   gradients on the GPU to accumulate across batches.
+   host (``d2h`` for the GPU→host copy after GPU-side compaction, then
+   ``cpu`` for the host-side accumulation into ∇h), keeping reused
+   vertices' gradients on the GPU to accumulate across batches.
 
-The framework is numerically exact: summing atomic pushes and host
-accumulation reproduces the monolithic scatter-add gradient bit-for-bit
-(up to float addition order).
+The clock may be a plain :class:`~repro.hardware.clock.TimeBreakdown`
+(legacy barrier accounting: each phase charges its per-device max) or an
+:class:`~repro.hardware.clock.EventTimeline`. With a timeline, every
+transfer becomes a task on the owning device's channel, wired with the
+dependencies that a pipelined CUDA-stream implementation would need:
+host loads of batch j+1 only wait for the staging buffer to drain (its
+consumers two batches back under double buffering), *not* for batch j's
+kernels — which is what lets the ``pipeline`` overlap policy hide PCIe
+time under compute. After each batch call, :attr:`last_tasks` holds the
+submitted tasks so the trainer can hang its compute/writeback tasks off
+them.
+
+The framework is numerically exact regardless of clock type: data moves
+eagerly in program order, so summing atomic pushes and host accumulation
+reproduces the monolithic scatter-add gradient bit-for-bit (up to float
+addition order).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.comm.plan import CommPlan
 from repro.errors import CommunicationPlanError
-from repro.hardware.clock import TimeBreakdown
-from repro.hardware.memory import Allocation
+from repro.hardware.clock import EventTimeline
 from repro.hardware.platform import MultiGPUPlatform
+from repro.runtime.buffers import TransitionBuffers
+from repro.runtime.task import Task
 
 __all__ = ["DedupCommunicator"]
 
@@ -69,55 +82,89 @@ class DedupCommunicator:
         self.plan = plan
         self.platform = platform
         self.bytes_per_scalar = bytes_per_scalar
-        self._buffers: Optional[List[np.ndarray]] = None
-        self._allocations: List[Allocation] = []
+        self._buffers: Optional[TransitionBuffers] = None
         self._dim = 0
         #: bytes moved per category since construction (for reports)
         self.bytes_moved: Dict[str, int] = {"h2d": 0, "d2h": 0, "d2d": 0, "ru": 0}
+        #: tasks submitted by the most recent batch call (timeline clocks
+        #: only): forward fills "load"/"reuse"/"assemble", backward fills
+        #: "scatter"/"flush"/"cpu"
+        self.last_tasks: Dict[str, List[Task]] = {}
+        # Per-sweep dependency history (previous batches' tasks).
+        self._history: List[Dict[str, List[Task]]] = []
 
     # ------------------------------------------------------------------
     # sweep lifecycle
     # ------------------------------------------------------------------
-    def start_sweep(self, dim: int, dtype=np.float64) -> None:
-        """Allocate per-GPU transition buffers for a layer sweep of width dim."""
+    def start_sweep(self, dim: int, dtype=np.float64,
+                    double_buffer: bool = False) -> None:
+        """Allocate per-GPU transition buffers for a layer sweep of width dim.
+
+        With ``double_buffer`` each GPU pays for two staging buffers so the
+        pipeline policy can prefetch batch j+1's rows while batch j's buffer
+        is still being consumed.
+        """
         if self._buffers is not None:
             raise CommunicationPlanError("previous sweep still active")
         self._dim = dim
-        self._buffers = []
-        self._allocations = []
-        for gpu_index, rows in enumerate(self.plan.buffer_rows):
-            buffer_bytes = rows * dim * self.bytes_per_scalar
-            allocation = self.platform.gpus[gpu_index].memory.alloc(
-                "transition_buffer", buffer_bytes
-            )
-            self._allocations.append(allocation)
-            self._buffers.append(np.zeros((rows, dim), dtype=dtype))
+        self._buffers = TransitionBuffers(
+            self.platform, self.plan.buffer_rows, dim, dtype,
+            self.bytes_per_scalar, double_buffer=double_buffer,
+        )
+        self._history = []
+        self.last_tasks = {}
 
     def end_sweep(self) -> None:
         """Free the transition buffers."""
-        for allocation in self._allocations:
-            allocation.free()
-        self._allocations = []
+        if self._buffers is not None:
+            self._buffers.free()
         self._buffers = None
+        self._history = []
 
-    def _require_sweep(self) -> List[np.ndarray]:
+    def _require_sweep(self) -> TransitionBuffers:
         if self._buffers is None:
             raise CommunicationPlanError("no active sweep; call start_sweep()")
         return self._buffers
 
     # ------------------------------------------------------------------
+    # dependency bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _batch_tasks(self, batch: int, key: str) -> List[Task]:
+        if 0 <= batch < len(self._history):
+            return self._history[batch].get(key, [])
+        return []
+
+    def _staging_conflicts(self, batch: int) -> List[Task]:
+        """Tasks that must drain before batch ``batch`` overwrites its buffer.
+
+        The staged slots of batch j live in the parity-(j mod copies) buffer:
+        with double buffering their previous consumers are batch j-2's
+        assembles plus batch j-1's reuse copies (which *read* parity j); with
+        a single buffer, batch j-1's assembles and reuses.
+        """
+        buffers = self._require_sweep()
+        if buffers.double_buffer:
+            return (self._batch_tasks(batch - 2, "assemble")
+                    + self._batch_tasks(batch - 1, "reuse"))
+        return (self._batch_tasks(batch - 1, "assemble")
+                + self._batch_tasks(batch - 1, "reuse"))
+
+    # ------------------------------------------------------------------
     # forward: Algorithm 2
     # ------------------------------------------------------------------
     def load_batch_forward(self, batch: int, host_values: np.ndarray,
-                           clock: TimeBreakdown) -> List[np.ndarray]:
+                           clock, extra_deps: Sequence[Task] = ()
+                           ) -> List[np.ndarray]:
         """Assemble h_{N_ij} for every GPU of ``batch`` from host memory.
 
         Returns one (len(needed_i), dim) array per GPU, ordered like each
-        plan's ``needed`` set.
+        plan's ``needed`` set. ``extra_deps`` gate the batch's host loads
+        (e.g. on the previous layer's writebacks).
         """
         buffers = self._require_sweep()
         plans = self.plan.plans[batch]
         row_bytes = self._dim * self.bytes_per_scalar
+        timeline = clock if isinstance(clock, EventTimeline) else None
 
         # Phase 1: host -> transition buffers (reuse in place first).
         h2d_seconds = []
@@ -131,8 +178,30 @@ class DedupCommunicator:
             self.bytes_moved["ru"] += reused_bytes
             h2d_seconds.append(self.platform.h2d_seconds(loaded_bytes))
             reuse_seconds.append(self.platform.reuse_seconds(reused_bytes))
-        clock.add_parallel_phase("h2d", h2d_seconds)
-        clock.add_parallel_phase("gpu", reuse_seconds)
+
+        load_tasks: List[Task] = []
+        reuse_tasks: List[Task] = []
+        if timeline is not None:
+            conflicts = self._staging_conflicts(batch)
+            load_tasks = timeline.submit_phase(
+                "h2d", h2d_seconds, deps=list(extra_deps) + conflicts,
+                label=f"load[b{batch}]",
+            )
+            previous_sources = [
+                list(self._batch_tasks(batch - 1, "load")[i:i + 1])
+                + list(self._batch_tasks(batch - 1, "reuse")[i:i + 1])
+                for i in range(len(plans))
+            ]
+            # Reuse copies write this batch's staging slots too, so they
+            # carry the same buffer-drain conflicts as the loads.
+            reuse_tasks = timeline.submit_phase(
+                "gpu", reuse_seconds, deps=conflicts,
+                deps_by_device=previous_sources,
+                label=f"reuse[b{batch}]",
+            )
+        else:
+            clock.add_parallel_phase("h2d", h2d_seconds)
+            clock.add_parallel_phase("gpu", reuse_seconds)
 
         # Phase 2: assemble local inputs from (possibly remote) buffers.
         outputs: List[np.ndarray] = []
@@ -157,9 +226,38 @@ class DedupCommunicator:
                     )
                     self.bytes_moved["d2d"] += segment_bytes
             outputs.append(local)
-        clock.add_parallel_phase("d2d", d2d_seconds)
-        clock.add_parallel_phase("gpu", local_seconds)
+
+        assemble_tasks: List[Task] = []
+        if timeline is not None:
+            staged = load_tasks + reuse_tasks
+            remote_tasks = timeline.submit_phase(
+                "d2d", d2d_seconds, deps=staged, label=f"fetch[b{batch}]",
+            )
+            local_sources = [
+                [task for task in staged if task.device == i]
+                for i in range(len(plans))
+            ]
+            local_tasks = timeline.submit_phase(
+                "gpu", local_seconds, deps_by_device=local_sources,
+                label=f"gather[b{batch}]",
+            )
+            assemble_tasks = remote_tasks + local_tasks
+            while len(self._history) <= batch:
+                self._history.append({})
+            self._history[batch] = {
+                "load": load_tasks, "reuse": reuse_tasks,
+                "assemble": assemble_tasks,
+            }
+            self.last_tasks = dict(self._history[batch])
+        else:
+            clock.add_parallel_phase("d2d", d2d_seconds)
+            clock.add_parallel_phase("gpu", local_seconds)
         return outputs
+
+    def batch_input_tasks(self, gpu: int) -> List[Task]:
+        """Tasks of the latest batch that produce GPU ``gpu``'s chunk input."""
+        return [task for task in self.last_tasks.get("assemble", [])
+                if task.device == gpu]
 
     # ------------------------------------------------------------------
     # backward: Algorithm 3
@@ -167,17 +265,21 @@ class DedupCommunicator:
     def accumulate_batch_backward(self, batch: int,
                                   neighbor_grads: List[np.ndarray],
                                   host_grads: np.ndarray,
-                                  clock: TimeBreakdown) -> None:
+                                  clock,
+                                  deps_by_device: Optional[Sequence] = None
+                                  ) -> None:
         """Push per-GPU neighbor gradients back toward the host ∇h buffer.
 
         ``neighbor_grads[i]`` is GPU i's (len(needed_i), dim) gradient of its
         chunk's input rows. Gradients accumulate in transition buffers across
         batches; rows not reused by the next batch are flushed to
-        ``host_grads`` (modified in place).
+        ``host_grads`` (modified in place). ``deps_by_device[i]`` are the
+        tasks that produced GPU i's gradients (the backward kernels).
         """
         buffers = self._require_sweep()
         plans = self.plan.plans[batch]
         row_bytes = self._dim * self.bytes_per_scalar
+        timeline = clock if isinstance(clock, EventTimeline) else None
 
         # Zero the slots newly staged this batch (their gradient starts now).
         for plan in plans:
@@ -209,8 +311,23 @@ class DedupCommunicator:
                         segment_bytes
                     )
                     self.bytes_moved["d2d"] += segment_bytes
-        clock.add_parallel_phase("d2d", d2d_seconds)
-        clock.add_parallel_phase("gpu", local_seconds)
+
+        scatter_tasks: List[Task] = []
+        if timeline is not None:
+            # Buffers must be drained by the previous batch's flush before
+            # this batch's atomic adds land on the same slots.
+            prior = self._batch_tasks(batch - 1, "flush")
+            scatter_tasks = timeline.submit_phase(
+                "d2d", d2d_seconds, deps=prior,
+                deps_by_device=deps_by_device, label=f"scatter[b{batch}]",
+            )
+            scatter_tasks += timeline.submit_phase(
+                "gpu", local_seconds, deps=prior,
+                deps_by_device=deps_by_device, label=f"push[b{batch}]",
+            )
+        else:
+            clock.add_parallel_phase("d2d", d2d_seconds)
+            clock.add_parallel_phase("gpu", local_seconds)
 
         # Phase 2: flush gradients not reused by the next batch.
         d2h_seconds = []
@@ -231,5 +348,23 @@ class DedupCommunicator:
             self.bytes_moved["d2h"] += flush_bytes
             d2h_seconds.append(self.platform.h2d_seconds(flush_bytes))
             cpu_seconds.append(self.platform.cpu_accumulate_seconds(flush_bytes))
-        clock.add_parallel_phase("h2d", d2h_seconds)
-        clock.add_parallel_phase("cpu", cpu_seconds)
+
+        if timeline is not None:
+            flush_tasks = timeline.submit_phase(
+                "d2h", d2h_seconds, deps=scatter_tasks,
+                label=f"flush[b{batch}]",
+            )
+            cpu_tasks = timeline.submit_phase(
+                "cpu", cpu_seconds, deps_by_device=flush_tasks,
+                label=f"accumulate[b{batch}]",
+            )
+            while len(self._history) <= batch:
+                self._history.append({})
+            self._history[batch] = {
+                "scatter": scatter_tasks, "flush": flush_tasks,
+                "cpu": cpu_tasks,
+            }
+            self.last_tasks = dict(self._history[batch])
+        else:
+            clock.add_parallel_phase("d2h", d2h_seconds)
+            clock.add_parallel_phase("cpu", cpu_seconds)

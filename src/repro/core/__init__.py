@@ -1,6 +1,11 @@
 """HongTu core: configuration, trainer (Algorithm 1), memory model."""
 
-from repro.core.config import HongTuConfig, COMM_MODES, INTERMEDIATE_POLICIES
+from repro.core.config import (
+    HongTuConfig,
+    COMM_MODES,
+    INTERMEDIATE_POLICIES,
+    OVERLAP_POLICIES,
+)
 from repro.core.memory_model import (
     MemoryEstimate,
     estimate_training_memory,
@@ -15,6 +20,7 @@ from repro.core.profiler import EpochProfiler, ProfileSummary
 
 __all__ = [
     "HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES",
+    "OVERLAP_POLICIES",
     "MemoryEstimate", "estimate_training_memory", "estimate_for_model",
     "HongTuTrainer", "EpochResult",
     "save_training_state", "load_training_state",

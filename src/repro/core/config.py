@@ -8,8 +8,10 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.runtime import OVERLAP_POLICIES
 
-__all__ = ["HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES"]
+__all__ = ["HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES",
+           "OVERLAP_POLICIES"]
 
 #: communication ladder of the paper's evaluation (Fig. 9):
 #: ``baseline`` transfers each chunk's neighbor set individually; ``p2p``
@@ -38,6 +40,13 @@ class HongTuConfig:
         Run the cost-model-guided subgraph reorganization (Algorithm 4).
     intermediate_policy:
         One of :data:`INTERMEDIATE_POLICIES`.
+    overlap:
+        Epoch scheduling policy. ``"barrier"`` serializes phases exactly
+        like the paper's Algorithms 1-3 (and the original accounting of
+        this reproduction); ``"pipeline"`` double-buffers the transition
+        buffers and prefetches batch j+1's host loads under batch j's
+        compute, so the epoch time becomes the event-timeline makespan.
+        Numerics are bit-identical under both policies.
     bytes_per_scalar:
         Logical element width for communication/memory accounting (4 =
         float32 on the real hardware; numerics may run in float64).
@@ -51,6 +60,7 @@ class HongTuConfig:
     comm_mode: str = "hongtu"
     reorganize: bool = True
     intermediate_policy: str = "hybrid"
+    overlap: str = "barrier"
     bytes_per_scalar: int = 4
     dtype: type = np.float64
     seed: int = 0
@@ -68,6 +78,11 @@ class HongTuConfig:
             raise ConfigurationError(
                 f"intermediate_policy must be one of {INTERMEDIATE_POLICIES}, "
                 f"got {self.intermediate_policy!r}"
+            )
+        if self.overlap not in OVERLAP_POLICIES:
+            raise ConfigurationError(
+                f"overlap must be one of {OVERLAP_POLICIES}, "
+                f"got {self.overlap!r}"
             )
         if self.bytes_per_scalar <= 0:
             raise ConfigurationError("bytes_per_scalar must be positive")

@@ -22,15 +22,20 @@ def overlap_lower_bound(clock: TimeBreakdown) -> float:
     """Epoch-time lower bound under perfect compute/communication overlap.
 
     HongTu executes communication and computation phases back-to-back with
-    barriers (Algorithms 1-3). A natural extension — left as future work by
-    the paper — is software pipelining: prefetch batch j+1's neighbor data
-    while batch j computes. With perfect overlap the epoch cannot run
-    faster than ``max(transfer time, compute time)`` plus the inherently
-    serial host-side accumulation, which is what this bound returns. The
-    gap between ``clock.total`` and this bound is the maximum pipelining
-    headroom of a configuration.
+    barriers (Algorithms 1-3). The ``overlap="pipeline"`` policy of this
+    reproduction implements the natural extension — software pipelining:
+    prefetch batch j+1's neighbor data while batch j computes. Even with
+    perfect overlap the epoch cannot run faster than
+    ``max(transfer time, compute time)`` plus the inherently serial
+    host-side accumulation, which is what this bound returns. The gap
+    between ``clock.total`` and this bound is the pipelining headroom of a
+    configuration. (The bound treats all transfer categories as sharing one
+    pipe; a scheduled :class:`~repro.hardware.clock.EventTimeline` models
+    the PCIe directions and NVLink as separate engines, so its makespan can
+    undercut this figure when transfers overlap each other.)
     """
-    transfer = clock.seconds["h2d"] + clock.seconds["d2d"]
+    transfer = (clock.seconds["h2d"] + clock.seconds["d2h"]
+                + clock.seconds["d2d"])
     compute = clock.seconds["gpu"]
     return max(transfer, compute) + clock.seconds["cpu"]
 

@@ -24,6 +24,19 @@ Execution structure per epoch (paper Algorithm 1):
    deduplicated backward communication.
 4. **Parameter update**: gradients all-reduce across GPUs (parameters are
    replicated; the volume is tiny) and a global optimizer step.
+
+Timing is an event-timeline DAG: every load/compute/writeback unit of work
+becomes a task of an :class:`~repro.hardware.clock.EventTimeline` keyed by
+``(layer, batch, gpu)``. Under ``overlap="barrier"`` a global barrier
+follows every phase, which reproduces the paper's barrier-synchronized
+Algorithms (and this reproduction's original serialized accounting) to
+float precision. Under ``overlap="pipeline"``, batch j+1's host loads
+prefetch under batch j's kernels inside every layer sweep (transition
+buffers are double-buffered to make that safe), and the epoch time is the
+critical-path makespan. Layer sweeps are separated by barriers in both
+modes — layer l+1 reads rows that layer l writes back. The simulated numpy
+work itself always runs eagerly in program order, so the choice of overlap
+policy cannot change any number the model computes.
 """
 
 from __future__ import annotations
@@ -47,7 +60,8 @@ from repro.core.config import HongTuConfig
 from repro.errors import ConfigurationError
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
-from repro.hardware.clock import TimeBreakdown
+from repro.hardware.clock import EventTimeline, TimeBreakdown
+from repro.hardware.memory import Allocation
 from repro.hardware.platform import MultiGPUPlatform
 from repro.partition.two_level import TwoLevelPartition, two_level_partition
 
@@ -63,14 +77,26 @@ class EpochResult:
     clock: TimeBreakdown
     peak_gpu_bytes: int
     host_bytes: int
-    #: host→GPU + GPU→host bytes moved this epoch
+    #: host→GPU bytes moved this epoch (forward loads + backward reloads)
     h2d_bytes: int = 0
     #: inter-GPU bytes moved this epoch
     d2d_bytes: int = 0
+    #: GPU→host bytes moved this epoch (writebacks + gradient flushes)
+    d2h_bytes: int = 0
+    #: the scheduled event timeline (None for legacy/synthetic results)
+    timeline: Optional[EventTimeline] = None
 
     @property
     def epoch_seconds(self) -> float:
+        """Simulated wall time: timeline makespan (serialized sum if absent)."""
+        if self.timeline is not None:
+            return self.timeline.makespan
         return self.clock.total
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Both PCIe directions together (the pre-split ``h2d_bytes``)."""
+        return self.h2d_bytes + self.d2h_bytes
 
 
 class HongTuTrainer:
@@ -86,7 +112,8 @@ class HongTuTrainer:
     platform:
         Simulated multi-GPU platform; its GPU count is the paper's ``m``.
     config:
-        Framework knobs (chunks, communication mode, recompute policy).
+        Framework knobs (chunks, communication mode, recompute policy,
+        overlap policy).
     optimizer:
         Optional; defaults to Adam(lr=0.01) over the model parameters.
     """
@@ -107,6 +134,7 @@ class HongTuTrainer:
         self.config = config
         self.optimizer = optimizer or Adam(model.parameters(), lr=0.01)
         self._epoch = 0
+        self._pipelined = config.overlap == "pipeline"
 
         # ---- preprocessing -------------------------------------------------
         self.partition: TwoLevelPartition = two_level_partition(
@@ -149,9 +177,11 @@ class HongTuTrainer:
             2 * n * dim * config.bytes_per_scalar for dim in dims
         )
         self._host_allocation = platform.host.alloc("vertex_data", host_bytes)
-        # Host-side checkpoint store for cached AGGREGATE outputs.
+        # Host-side checkpoint store for cached AGGREGATE outputs. The
+        # host allocation behind each (layer, gpu, batch) slot is created
+        # once and resized/reused across epochs.
         self._checkpoints: Dict[tuple, np.ndarray] = {}
-        self._checkpoint_bytes = 0
+        self._checkpoint_allocations: Dict[tuple, Allocation] = {}
 
         # Per-chunk topology resident on its GPU for the whole run.
         for row in self.partition.chunks:
@@ -164,23 +194,30 @@ class HongTuTrainer:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def _new_timeline(self) -> EventTimeline:
+        return EventTimeline(barrier_all=not self._pipelined)
+
     def train_epoch(self) -> EpochResult:
         """One full-graph epoch: forward, loss, backward, update."""
-        clock = TimeBreakdown()
+        timeline = self._new_timeline()
         bytes_before = dict(self._comm_values.bytes_moved)
         grads_before = dict(self._comm_grads.bytes_moved)
 
         self.model.zero_grad()
-        self._forward(clock)
-        loss = self._seed_output_gradient(clock)
-        self._backward(clock)
-        self._all_reduce_and_step(clock)
+        self._forward(timeline)
+        loss = self._seed_output_gradient(timeline)
+        timeline.barrier()
+        self._backward(timeline)
+        timeline.barrier()
+        self._all_reduce_and_step(timeline)
         self._epoch += 1
 
         h2d = (
             self._comm_values.bytes_moved["h2d"] - bytes_before["h2d"]
-            + self._comm_values.bytes_moved["d2h"] - bytes_before["d2h"]
             + self._comm_grads.bytes_moved["h2d"] - grads_before["h2d"]
+        )
+        d2h = (
+            self._comm_values.bytes_moved["d2h"] - bytes_before["d2h"]
             + self._comm_grads.bytes_moved["d2h"] - grads_before["d2h"]
         )
         d2d = (
@@ -190,11 +227,13 @@ class HongTuTrainer:
         return EpochResult(
             epoch=self._epoch,
             loss=loss,
-            clock=clock,
+            clock=timeline.breakdown,
             peak_gpu_bytes=self.platform.peak_gpu_memory(),
             host_bytes=self.platform.host.in_use,
             h2d_bytes=h2d,
             d2d_bytes=d2d,
+            d2h_bytes=d2h,
+            timeline=timeline,
         )
 
     def train(self, num_epochs: int) -> List[EpochResult]:
@@ -206,9 +245,13 @@ class HongTuTrainer:
         return self._h[-1]
 
     def evaluate(self) -> Dict[str, float]:
-        """Inference forward + accuracy on each available mask."""
-        clock = TimeBreakdown()  # throwaway; evaluation is not timed
-        self._forward(clock)
+        """Inference forward + accuracy on each available mask.
+
+        No backward pass follows, so no aggregate checkpoints are stored
+        (and no host memory or D2H writeback volume is charged for them).
+        """
+        timeline = self._new_timeline()  # throwaway; evaluation is not timed
+        self._forward(timeline, training=False)
         logits = self._h[-1]
         metrics: Dict[str, float] = {}
         for split in ("train", "val", "test"):
@@ -222,18 +265,21 @@ class HongTuTrainer:
     # ------------------------------------------------------------------
     # forward pass (Algorithm 1, lines 4-9)
     # ------------------------------------------------------------------
-    def _forward(self, clock: TimeBreakdown) -> None:
+    def _forward(self, timeline: EventTimeline, training: bool = True) -> None:
         hybrid = self.config.intermediate_policy == "hybrid"
         bps = self.config.bytes_per_scalar
 
         for l, layer in enumerate(self.model.layers):
             self._comm_values.start_sweep(self.model.dims[l],
-                                          dtype=self.config.dtype)
-            cache_layer = hybrid and layer.cacheable_aggregate
+                                          dtype=self.config.dtype,
+                                          double_buffer=self._pipelined)
+            cache_layer = training and hybrid and layer.cacheable_aggregate
             for j in range(self.plan.num_batches):
                 inputs = self._comm_values.load_batch_forward(
-                    j, self._h[l], clock
+                    j, self._h[l], timeline
                 )
+                input_deps = [self._comm_values.batch_input_tasks(i)
+                              for i in range(self.plan.num_gpus)]
                 compute_seconds = []
                 d2h_seconds = []
                 for i in range(self.plan.num_gpus):
@@ -269,14 +315,22 @@ class HongTuTrainer:
                         compute_seconds.append(
                             self.platform.gpu_compute_seconds(flops)
                         )
-                clock.add_parallel_phase("gpu", compute_seconds)
-                clock.add_parallel_phase("h2d", d2h_seconds)
+                compute_tasks = timeline.submit_phase(
+                    "gpu", compute_seconds, deps_by_device=input_deps,
+                    label=f"compute[l{l}b{j}]",
+                )
+                timeline.submit_phase(
+                    "d2h", d2h_seconds, deps_by_device=compute_tasks,
+                    label=f"writeback[l{l}b{j}]",
+                )
             self._comm_values.end_sweep()
+            # Layer l+1's loads read the h^{l+1} rows written back above.
+            timeline.barrier()
 
     # ------------------------------------------------------------------
     # downstream task (Algorithm 1, lines 10-11)
     # ------------------------------------------------------------------
-    def _seed_output_gradient(self, clock: TimeBreakdown) -> float:
+    def _seed_output_gradient(self, timeline: EventTimeline) -> float:
         for grad in self._grad_h:
             grad[:] = 0.0
         loss, seed = masked_cross_entropy_value_and_grad(
@@ -285,33 +339,42 @@ class HongTuTrainer:
         self._grad_h[-1][:] = seed.astype(self.config.dtype)
         logits_bytes = self._h[-1].shape[0] * self._h[-1].shape[1] \
             * self.config.bytes_per_scalar
-        clock.add("cpu", self.platform.cpu_accumulate_seconds(logits_bytes))
+        timeline.add("cpu",
+                     self.platform.cpu_accumulate_seconds(logits_bytes),
+                     label="loss")
         return loss
 
     # ------------------------------------------------------------------
     # backward pass (Algorithm 1, lines 12-19)
     # ------------------------------------------------------------------
-    def _backward(self, clock: TimeBreakdown) -> None:
+    def _backward(self, timeline: EventTimeline) -> None:
         hybrid = self.config.intermediate_policy == "hybrid"
         for l in range(len(self.model.layers) - 1, -1, -1):
             layer = self.model.layers[l]
             use_cache = hybrid and layer.cacheable_aggregate
+            # Gradient buffers accumulate in place across batches, so
+            # double buffering cannot apply to them (scatter j must wait
+            # for flush j-1 regardless); only the staging/value buffers
+            # alternate parity under the pipeline policy.
             self._comm_grads.start_sweep(self.model.dims[l],
                                          dtype=self.config.dtype)
             if not use_cache:
                 self._comm_values.start_sweep(self.model.dims[l],
-                                              dtype=self.config.dtype)
+                                              dtype=self.config.dtype,
+                                              double_buffer=self._pipelined)
             for j in range(self.plan.num_batches):
                 if use_cache:
-                    self._backward_batch_cached(l, j, clock)
+                    self._backward_batch_cached(l, j, timeline)
                 else:
-                    self._backward_batch_recompute(l, j, clock)
+                    self._backward_batch_recompute(l, j, timeline)
             if not use_cache:
                 self._comm_values.end_sweep()
             self._comm_grads.end_sweep()
+            # Layer l-1's backward reads the ∇h^l rows accumulated above.
+            timeline.barrier()
 
     def _backward_batch_cached(self, l: int, j: int,
-                               clock: TimeBreakdown) -> None:
+                               timeline: EventTimeline) -> None:
         """Hybrid path: recompute UPDATE from the cached aggregate."""
         layer = self.model.layers[l]
         bps = self.config.bytes_per_scalar
@@ -356,18 +419,26 @@ class HongTuTrainer:
                                              block.num_edges))
             compute_seconds.append(self.platform.gpu_compute_seconds(flops))
 
-        clock.add_parallel_phase("h2d", h2d_seconds)
-        clock.add_parallel_phase("gpu", compute_seconds)
+        load_tasks = timeline.submit_phase(
+            "h2d", h2d_seconds, label=f"grad_load[l{l}b{j}]",
+        )
+        compute_tasks = timeline.submit_phase(
+            "gpu", compute_seconds, deps_by_device=load_tasks,
+            label=f"grad_compute[l{l}b{j}]",
+        )
         self._comm_grads.accumulate_batch_backward(
-            j, neighbor_grads, self._grad_h[l], clock
+            j, neighbor_grads, self._grad_h[l], timeline,
+            deps_by_device=compute_tasks,
         )
 
     def _backward_batch_recompute(self, l: int, j: int,
-                                  clock: TimeBreakdown) -> None:
+                                  timeline: EventTimeline) -> None:
         """Recompute path: re-gather inputs, recompute the full layer."""
         layer = self.model.layers[l]
         bps = self.config.bytes_per_scalar
-        inputs = self._comm_values.load_batch_forward(j, self._h[l], clock)
+        inputs = self._comm_values.load_batch_forward(j, self._h[l], timeline)
+        input_deps = [self._comm_values.batch_input_tasks(i)
+                      for i in range(self.plan.num_gpus)]
         neighbor_grads: List[np.ndarray] = []
         h2d_seconds, compute_seconds = [], []
 
@@ -400,22 +471,33 @@ class HongTuTrainer:
             )
             compute_seconds.append(self.platform.gpu_compute_seconds(flops))
 
-        clock.add_parallel_phase("h2d", h2d_seconds)
-        clock.add_parallel_phase("gpu", compute_seconds)
+        load_tasks = timeline.submit_phase(
+            "h2d", h2d_seconds, label=f"grad_load[l{l}b{j}]",
+        )
+        compute_deps = [
+            list(input_deps[i]) + [load_tasks[i]]
+            for i in range(self.plan.num_gpus)
+        ]
+        compute_tasks = timeline.submit_phase(
+            "gpu", compute_seconds, deps_by_device=compute_deps,
+            label=f"grad_compute[l{l}b{j}]",
+        )
         self._comm_grads.accumulate_batch_backward(
-            j, neighbor_grads, self._grad_h[l], clock
+            j, neighbor_grads, self._grad_h[l], timeline,
+            deps_by_device=compute_tasks,
         )
 
     # ------------------------------------------------------------------
     # parameter update (Algorithm 1, lines 20-21)
     # ------------------------------------------------------------------
-    def _all_reduce_and_step(self, clock: TimeBreakdown) -> None:
+    def _all_reduce_and_step(self, timeline: EventTimeline) -> None:
         param_bytes = self.model.parameter_nbytes()
         m = self.plan.num_gpus
         if m > 1:
             # Ring all-reduce volume: 2 (m-1)/m of the parameter payload.
             volume = 2 * param_bytes * (m - 1) / m
-            clock.add("d2d", self.platform.d2d_seconds(volume))
+            timeline.add("d2d", self.platform.d2d_seconds(volume),
+                         device=0, label="all_reduce")
         self.optimizer.step()
 
     # ------------------------------------------------------------------
@@ -425,10 +507,13 @@ class HongTuTrainer:
                           data: np.ndarray) -> None:
         key = (l, i, j)
         nbytes = data.shape[0] * data.shape[1] * self.config.bytes_per_scalar
-        previous = self._checkpoints.get(key)
-        if previous is None:
-            self.platform.host.alloc("aggregate_cache", nbytes)
-            self._checkpoint_bytes += nbytes
+        allocation = self._checkpoint_allocations.get(key)
+        if allocation is None:
+            self._checkpoint_allocations[key] = self.platform.host.alloc(
+                "aggregate_cache", nbytes
+            )
+        elif allocation.nbytes != nbytes:
+            allocation.resize(nbytes)
         self._checkpoints[key] = data.copy()
 
     def _take_checkpoint(self, l: int, i: int, j: int) -> np.ndarray:
@@ -440,3 +525,16 @@ class HongTuTrainer:
                 f"policy?"
             )
         return self._checkpoints[key]
+
+    def free_checkpoints(self) -> None:
+        """Release all cached aggregates and their host allocations."""
+        for allocation in self._checkpoint_allocations.values():
+            allocation.free()
+        self._checkpoint_allocations.clear()
+        self._checkpoints.clear()
+
+    @property
+    def _checkpoint_bytes(self) -> int:
+        """Host bytes currently reserved for aggregate checkpoints."""
+        return sum(allocation.nbytes
+                   for allocation in self._checkpoint_allocations.values())

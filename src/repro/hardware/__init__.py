@@ -12,7 +12,7 @@ from repro.hardware.spec import (
     scaled_platform,
 )
 from repro.hardware.memory import MemoryPool, Allocation
-from repro.hardware.clock import TimeBreakdown, CATEGORIES
+from repro.hardware.clock import TimeBreakdown, EventTimeline, CATEGORIES
 from repro.hardware.platform import SimulatedGPU, MultiGPUPlatform
 
 __all__ = [
@@ -20,6 +20,6 @@ __all__ = [
     "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
     "GB", "scaled_platform",
     "MemoryPool", "Allocation",
-    "TimeBreakdown", "CATEGORIES",
+    "TimeBreakdown", "EventTimeline", "CATEGORIES",
     "SimulatedGPU", "MultiGPUPlatform",
 ]

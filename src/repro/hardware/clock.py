@@ -2,27 +2,41 @@
 
 Performance results in this reproduction are *modeled*, not wall-clock: each
 algorithmic step charges seconds to a category of a :class:`TimeBreakdown` —
-the same four categories the paper's Fig. 9 reports:
+the paper's Fig. 9 components, with host↔GPU traffic split by direction:
 
 * ``gpu``  — GPU kernel time (flops / achieved throughput),
-* ``h2d``  — host↔GPU transfers over PCIe (both directions),
+* ``h2d``  — host→GPU transfers over PCIe,
+* ``d2h``  — GPU→host transfers over PCIe (writebacks, gradient flushes),
 * ``d2d``  — inter-GPU transfers over NVLink/P2P,
 * ``cpu``  — host-side gradient accumulation.
 
-Concurrency model: the trainers execute batches with barrier-synchronized
-phases (Algorithms 2 and 3 call ``synchronize()`` between the host-to-GPU
-and GPU-to-GPU steps), so a batch phase's wall time is the *max* over GPUs;
-:meth:`TimeBreakdown.add_parallel_phase` implements exactly that.
+(Fig. 9 reports both PCIe directions as one "H2D" bar; summing the ``h2d``
+and ``d2h`` categories reproduces it.)
+
+Two concurrency models coexist:
+
+* :class:`TimeBreakdown` alone is the original barrier-synchronized
+  accounting — a phase's wall time is the max over GPUs
+  (:meth:`TimeBreakdown.add_parallel_phase`) and phases serialize.
+* :class:`EventTimeline` is the event-driven model: every charge becomes a
+  :class:`~repro.runtime.task.Task` on a per-device channel of an
+  :class:`~repro.runtime.scheduler.EventScheduler`, and the epoch time is
+  the critical-path makespan. The timeline still maintains a derived
+  :class:`TimeBreakdown` (per-phase bottleneck-device seconds), so Fig. 9
+  style component reports are identical under every overlap policy.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["TimeBreakdown", "CATEGORIES"]
+from repro.runtime.scheduler import EventScheduler
+from repro.runtime.task import HOST_DEVICE, Task
 
-CATEGORIES = ("gpu", "h2d", "d2d", "cpu")
+__all__ = ["TimeBreakdown", "EventTimeline", "CATEGORIES"]
+
+CATEGORIES = ("gpu", "h2d", "d2h", "d2d", "cpu")
 
 
 @dataclass
@@ -57,6 +71,11 @@ class TimeBreakdown:
     def total(self) -> float:
         return sum(self.seconds.values())
 
+    @property
+    def pcie_seconds(self) -> float:
+        """Both PCIe directions together (the paper's combined "H2D" bar)."""
+        return self.seconds["h2d"] + self.seconds["d2h"]
+
     def scaled(self, factor: float) -> "TimeBreakdown":
         """A copy with every category multiplied by ``factor``."""
         out = TimeBreakdown()
@@ -72,3 +91,127 @@ class TimeBreakdown:
             f"{category}={seconds:.4f}s" for category, seconds in self.seconds.items()
         )
         return f"TimeBreakdown({parts}, total={self.total:.4f}s)"
+
+
+class EventTimeline:
+    """Event-driven clock: tasks on per-device channels + a category view.
+
+    Parameters
+    ----------
+    barrier_all:
+        When True, a global barrier follows every submitted phase — the
+        timeline then reproduces the original serialized-phase semantics
+        exactly (makespan == sum of per-phase maxima). When False, tasks
+        overlap wherever channels and explicit dependencies allow.
+
+    The derived :attr:`breakdown` charges each phase's bottleneck-device
+    seconds to its category regardless of overlap, so per-component reports
+    (Fig. 9) are identical under both settings; only :attr:`makespan`
+    changes.
+    """
+
+    def __init__(self, barrier_all: bool = False):
+        self.barrier_all = barrier_all
+        self.scheduler = EventScheduler()
+        self.breakdown = TimeBreakdown()
+        self._group = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit_phase(self, category: str,
+                     per_device_seconds: Sequence[float], *,
+                     channel: Optional[str] = None,
+                     devices: Optional[Sequence[int]] = None,
+                     deps: Sequence[Task] = (),
+                     deps_by_device: Optional[Sequence] = None,
+                     label: str = "") -> List[Task]:
+        """Submit one parallel phase: one task per device.
+
+        ``deps`` apply to every task of the phase; ``deps_by_device[k]``
+        (a Task or an iterable of Tasks) additionally gates device k's task.
+        Returns the submitted tasks in device order.
+        """
+        values = list(per_device_seconds)
+        if not values:
+            return []
+        channel = channel or category
+        group = self._group
+        self._group += 1
+        tasks: List[Task] = []
+        for index, seconds in enumerate(values):
+            device = devices[index] if devices is not None else index
+            task_deps = list(deps)
+            if deps_by_device is not None:
+                extra = deps_by_device[index]
+                if isinstance(extra, Task):
+                    task_deps.append(extra)
+                elif extra is not None:
+                    task_deps.extend(extra)
+            tasks.append(self.scheduler.submit(
+                channel, device, seconds, deps=task_deps,
+                category=category, group=group, label=label,
+            ))
+        self.breakdown.add(category, max(values))
+        if self.barrier_all:
+            self.scheduler.barrier()
+        return tasks
+
+    def add_parallel_phase(self, category: str,
+                           per_device_seconds: Iterable[float]) -> None:
+        """Legacy phase API (device index == position, channel == category)."""
+        self.submit_phase(category, list(per_device_seconds))
+
+    def add(self, category: str, seconds: float, *,
+            device: int = HOST_DEVICE, channel: Optional[str] = None,
+            deps: Sequence[Task] = (), label: str = "") -> Task:
+        """Submit one serial task (and charge it fully to the breakdown)."""
+        task = self.scheduler.submit(
+            channel or category, device, seconds, deps=deps,
+            category=category, group=self._group, label=label,
+        )
+        self._group += 1
+        self.breakdown.add(category, seconds)
+        if self.barrier_all:
+            self.scheduler.barrier()
+        return task
+
+    def barrier(self) -> float:
+        """Global synchronization point for subsequently submitted tasks."""
+        return self.scheduler.barrier()
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """Critical-path epoch time under the scheduled overlap."""
+        return self.scheduler.makespan
+
+    @property
+    def seconds(self) -> Dict[str, float]:
+        """Category seconds of the derived breakdown (TimeBreakdown-compat)."""
+        return self.breakdown.seconds
+
+    @property
+    def total(self) -> float:
+        """Serialized-phase total (what the epoch would cost with barriers)."""
+        return self.breakdown.total
+
+    def busy_view(self) -> Dict[str, float]:
+        """Per-channel busy seconds summed over devices (utilization view)."""
+        return self.scheduler.busy_by_channel()
+
+    def overlap_saving(self) -> float:
+        """Seconds hidden by overlap: serialized total minus makespan."""
+        return max(0.0, self.breakdown.total - self.makespan)
+
+    def validate(self) -> None:
+        self.scheduler.validate()
+
+    def __repr__(self) -> str:
+        return (
+            f"EventTimeline(tasks={len(self.scheduler.tasks)}, "
+            f"makespan={self.makespan:.4f}s, "
+            f"serialized={self.breakdown.total:.4f}s)"
+        )

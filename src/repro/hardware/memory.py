@@ -41,6 +41,8 @@ class Allocation:
             self.pool._reserve_delta(self.tag, delta)
         else:
             self.pool.in_use += delta
+            self.pool.by_tag[self.tag] = \
+                self.pool.by_tag.get(self.tag, 0) + delta
         self.nbytes = nbytes
 
 

@@ -1,0 +1,24 @@
+"""Event-timeline execution engine.
+
+This subsystem replaces the barrier-serialized phase accounting of the
+original reproduction with a discrete-event model of the machine: every
+simulated action becomes a :class:`~repro.runtime.task.Task` on a
+per-device *channel* (compute queue, PCIe copy engines, NVLink engine, host
+accumulator), the :class:`~repro.runtime.scheduler.EventScheduler` resolves
+start times from channel availability + task dependencies + barriers, and
+the epoch time is the resulting critical-path makespan instead of the sum
+of phase maxima.
+
+The :class:`~repro.hardware.clock.EventTimeline` in ``hardware/clock.py``
+is the trainer-facing wrapper that combines a scheduler with the legacy
+:class:`~repro.hardware.clock.TimeBreakdown` category view.
+"""
+
+from repro.runtime.task import CHANNELS, HOST_DEVICE, OVERLAP_POLICIES, Task
+from repro.runtime.scheduler import EventScheduler
+from repro.runtime.buffers import TransitionBuffers
+
+__all__ = [
+    "CHANNELS", "HOST_DEVICE", "OVERLAP_POLICIES",
+    "Task", "EventScheduler", "TransitionBuffers",
+]

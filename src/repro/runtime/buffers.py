@@ -1,0 +1,61 @@
+"""Transition-buffer management for the execution engine.
+
+The communication framework stages neighbor rows in per-GPU *transition
+buffers* (§6). Under the ``barrier`` overlap policy one buffer per GPU
+suffices: a batch's loads finish before its computes start. Under the
+``pipeline`` policy, batch j+1's host loads run *while* batch j is being
+consumed, so each GPU needs two buffers of alternating parity — the classic
+double-buffering scheme — and pays for both in device memory.
+
+The simulator executes the actual numpy data movement eagerly in program
+order (that is what keeps the numerics bit-identical across overlap
+policies), so a single backing array per GPU is always sufficient for
+*values*; double buffering manifests as (a) a doubled ``transition_buffer``
+memory charge against the simulated GPU pools and (b) relaxed dependencies
+in the timing DAG, both handled by the callers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["TransitionBuffers"]
+
+
+class TransitionBuffers:
+    """Per-GPU staging buffers registered with the simulated memory pools."""
+
+    def __init__(self, platform, buffer_rows: Sequence[int], dim: int,
+                 dtype, bytes_per_scalar: int, double_buffer: bool = False):
+        self.double_buffer = double_buffer
+        self.dim = dim
+        copies = 2 if double_buffer else 1
+        self.arrays: List[np.ndarray] = []
+        self._allocations: List = []  # hardware.memory.Allocation handles
+        for gpu_index, rows in enumerate(buffer_rows):
+            nbytes = copies * rows * dim * bytes_per_scalar
+            self._allocations.append(
+                platform.gpus[gpu_index].memory.alloc(
+                    "transition_buffer", nbytes
+                )
+            )
+            self.arrays.append(np.zeros((rows, dim), dtype=dtype))
+
+    def parity(self, batch: int) -> int:
+        """Which buffer copy batch ``batch`` stages into (0 when single)."""
+        return batch % 2 if self.double_buffer else 0
+
+    def free(self) -> None:
+        """Release the simulated allocations (end of a layer sweep)."""
+        for allocation in self._allocations:
+            allocation.free()
+        self._allocations = []
+        self.arrays = []
+
+    def __len__(self) -> int:
+        return len(self.arrays)
+
+    def __getitem__(self, gpu_index: int) -> np.ndarray:
+        return self.arrays[gpu_index]

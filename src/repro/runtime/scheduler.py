@@ -1,0 +1,159 @@
+"""Discrete-event scheduler over per-device channels.
+
+The scheduler assigns start/end times to :class:`~repro.runtime.task.Task`
+objects as they are submitted. A task starts at the latest of
+
+* the end of the previous task on its ``(device, channel)`` resource
+  (hardware queues execute in order),
+* the end of every task it depends on,
+* the most recent global barrier.
+
+Submission order must be a topological order of the dependency DAG (the
+trainers submit tasks in program order, which satisfies this by
+construction). Because every start time is a monotone function of
+dependency end times and resource availability, removing a dependency or a
+barrier can never *increase* any start time — which is why the ``pipeline``
+overlap policy is guaranteed to produce a makespan no larger than the
+``barrier`` policy for the same task stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.runtime.task import CHANNELS, Task
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Assigns times to submitted tasks; answers makespan/busy queries."""
+
+    def __init__(self) -> None:
+        self.tasks: List[Task] = []
+        self._free: Dict[Tuple[int, str], float] = {}
+        self._barrier_time = 0.0
+        self._by_id: Dict[int, Task] = {}
+        self._max_end = 0.0  # running makespan; keeps barrier() O(1)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, channel: str, device: int, seconds: float,
+               deps: Iterable[Task] = (), category: str = "",
+               group: int = -1, label: str = "") -> Task:
+        """Schedule ``seconds`` of work on ``(device, channel)``."""
+        if channel not in CHANNELS:
+            raise ValueError(f"unknown channel {channel!r}")
+        if seconds < 0:
+            raise ValueError(f"negative task duration: {seconds}")
+        resource = (device, channel)
+        start = self._barrier_time
+        blocked_by: Optional[int] = None
+        resource_free = self._free.get(resource, 0.0)
+        if resource_free > start:
+            start = resource_free
+        dep_ids = []
+        for dep in deps:
+            dep_ids.append(dep.task_id)
+            if dep.end > start:
+                start = dep.end
+                blocked_by = dep.task_id
+        task = Task(
+            task_id=len(self.tasks),
+            channel=channel,
+            device=device,
+            seconds=seconds,
+            start=start,
+            end=start + seconds,
+            category=category or channel,
+            group=group,
+            label=label,
+            deps=tuple(dep_ids),
+            blocked_by=blocked_by,
+        )
+        self.tasks.append(task)
+        self._by_id[task.task_id] = task
+        self._free[resource] = task.end
+        if task.end > self._max_end:
+            self._max_end = task.end
+        return task
+
+    def barrier(self) -> float:
+        """Global synchronization: later tasks start at/after the makespan."""
+        self._barrier_time = self.makespan
+        return self._barrier_time
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """End of the latest task (the simulated wall-clock epoch time)."""
+        return max(self._barrier_time, self._max_end)
+
+    def busy_seconds(self, channel: Optional[str] = None,
+                     device: Optional[int] = None) -> float:
+        """Total task seconds matching the channel/device filters."""
+        return sum(
+            task.seconds for task in self.tasks
+            if (channel is None or task.channel == channel)
+            and (device is None or task.device == device)
+        )
+
+    def busy_by_channel(self) -> Dict[str, float]:
+        """Busy seconds per channel, summed over devices."""
+        out = {channel: 0.0 for channel in CHANNELS}
+        for task in self.tasks:
+            out[task.channel] += task.seconds
+        return out
+
+    def devices(self) -> List[int]:
+        return sorted({task.device for task in self.tasks})
+
+    def critical_path(self) -> List[Task]:
+        """Chain of tasks ending at the makespan, following start-time blockers.
+
+        The walk follows ``blocked_by`` links (the dependency that set each
+        task's start); gaps caused by resource contention or barriers end the
+        walk, so the returned chain is the *dependency-bound* suffix of the
+        critical path — enough to see what to optimize next.
+        """
+        if not self.tasks:
+            return []
+        current = max(self.tasks, key=lambda task: task.end)
+        chain = [current]
+        while current.blocked_by is not None:
+            current = self._by_id[current.blocked_by]
+            chain.append(current)
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+    def validate(self, eps: float = 1e-9) -> None:
+        """Check channel exclusivity and dependency ordering; raise on bugs."""
+        by_resource: Dict[Tuple[int, str], List[Task]] = {}
+        for task in self.tasks:
+            by_resource.setdefault((task.device, task.channel), []).append(task)
+        for resource, tasks in by_resource.items():
+            ordered = sorted(tasks, key=lambda task: (task.start, task.end))
+            for before, after in zip(ordered, ordered[1:]):
+                if after.start < before.end - eps:
+                    raise AssertionError(
+                        f"channel overlap on {resource}: {before} vs {after}"
+                    )
+        for task in self.tasks:
+            for dep_id in task.deps:
+                dep = self._by_id[dep_id]
+                if task.start < dep.end - eps:
+                    raise AssertionError(
+                        f"dependency violated: {task} starts before {dep} ends"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"EventScheduler(tasks={len(self.tasks)}, "
+            f"makespan={self.makespan:.6f}s)"
+        )

@@ -1,0 +1,71 @@
+"""Tasks and channels of the discrete-event execution engine.
+
+A :class:`Task` is one unit of simulated hardware work — a kernel, a PCIe
+transfer, a P2P copy, or a host-side accumulation — bound to a *channel* of
+one *device*. Channels model the independent hardware queues of a real GPU
+server (CUDA streams, copy engines, host threads): two tasks on different
+channels of the same device may overlap in time, while tasks on the same
+``(device, channel)`` pair serialize.
+
+Channels mirror the five cost categories of the reproduction's clock:
+
+* ``gpu`` — the device's compute queue (kernels + intra-GPU copies),
+* ``h2d`` — the host→device PCIe copy engine,
+* ``d2h`` — the device→host PCIe copy engine (full-duplex PCIe),
+* ``d2d`` — the NVLink/P2P engine,
+* ``cpu`` — the host-side accumulation thread serving that device.
+
+``HOST_DEVICE`` (-1) is the pseudo-device for work with no GPU affinity
+(e.g. the global loss computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["Task", "CHANNELS", "HOST_DEVICE", "OVERLAP_POLICIES"]
+
+#: hardware queues a device exposes; one scheduler resource per (device, channel)
+CHANNELS = ("gpu", "h2d", "d2h", "d2d", "cpu")
+
+#: pseudo-device id for host-global work
+HOST_DEVICE = -1
+
+#: epoch scheduling policies: ``barrier`` serializes phases exactly like the
+#: original TimeBreakdown accounting; ``pipeline`` lets independent channels
+#: overlap (prefetching batch j+1's host loads under batch j's compute).
+OVERLAP_POLICIES = ("barrier", "pipeline")
+
+
+@dataclass
+class Task:
+    """One scheduled unit of work on a ``(device, channel)`` resource."""
+
+    task_id: int
+    channel: str
+    device: int
+    seconds: float
+    start: float
+    end: float
+    #: clock category this task's time is reported under (defaults to channel)
+    category: str = ""
+    #: phase-group id: tasks submitted together as one parallel phase
+    group: int = -1
+    label: str = ""
+    #: dependency task ids (for validation / critical-path walks)
+    deps: Tuple[int, ...] = field(default_factory=tuple)
+    #: id of the task that determined this task's start time (or None if the
+    #: task started at a barrier / at time zero)
+    blocked_by: Optional[int] = None
+
+    def overlaps(self, other: "Task", eps: float = 1e-12) -> bool:
+        """True if the two tasks' time intervals intersect."""
+        return self.start < other.end - eps and other.start < self.end - eps
+
+    def __repr__(self) -> str:
+        return (
+            f"Task(#{self.task_id} {self.label or self.category or self.channel}"
+            f" dev={self.device} {self.channel}"
+            f" [{self.start:.6f}, {self.end:.6f}])"
+        )

@@ -137,6 +137,54 @@ class TestTrainerLifecycle:
         trainer.train_epoch()
         assert not trainer._checkpoints
 
+    def test_evaluate_stores_no_checkpoints(self, graph):
+        """Inference has no backward pass: the hybrid policy must not
+        checkpoint aggregates (nor charge host memory for them)."""
+        trainer = make_trainer(graph, num_chunks=2,
+                               intermediate_policy="hybrid")
+        host_before = trainer.platform.host.in_use
+        trainer.evaluate()
+        assert not trainer._checkpoints
+        assert trainer.platform.host.in_use == host_before
+        assert trainer.platform.host.by_tag.get("aggregate_cache", 0) == 0
+
+    def test_evaluate_writes_no_checkpoint_d2h(self, graph):
+        """Eval writeback volume is outputs only — no aggregate copies."""
+        train_eval = make_trainer(graph, num_chunks=2,
+                                  intermediate_policy="hybrid")
+        recompute = make_trainer(graph, num_chunks=2,
+                                 intermediate_policy="recompute")
+        for trainer in (train_eval, recompute):
+            before = dict(trainer._comm_values.bytes_moved)
+            trainer.evaluate()
+            trainer._eval_d2h = \
+                trainer._comm_values.bytes_moved["d2h"] - before["d2h"]
+        assert train_eval._eval_d2h == recompute._eval_d2h
+
+    def test_checkpoint_allocations_reused_across_epochs(self, graph):
+        """Re-storing a checkpoint must not grow the host accounting."""
+        trainer = make_trainer(graph, num_chunks=2,
+                               intermediate_policy="hybrid")
+        trainer.train_epoch()
+        cache_after_first = trainer.platform.host.by_tag["aggregate_cache"]
+        assert cache_after_first > 0
+        for _ in range(3):
+            trainer.train_epoch()
+        assert trainer.platform.host.by_tag["aggregate_cache"] == \
+            cache_after_first
+        assert trainer._checkpoint_bytes == cache_after_first
+
+    def test_free_checkpoints_releases_host_memory(self, graph):
+        trainer = make_trainer(graph, num_chunks=2,
+                               intermediate_policy="hybrid")
+        trainer.train_epoch()
+        assert trainer.platform.host.by_tag["aggregate_cache"] > 0
+        trainer.free_checkpoints()
+        assert trainer.platform.host.by_tag["aggregate_cache"] == 0
+        assert not trainer._checkpoints
+        with pytest.raises(ConfigurationError):
+            trainer._take_checkpoint(0, 0, 0)
+
 
 class TestMemoryBehavior:
     def test_oom_on_tiny_gpu(self, graph):

@@ -193,3 +193,75 @@ class TestProperties:
         for row_index in range(csr.num_rows):
             row = csr.row(row_index)
             assert np.all(np.diff(row) > 0) or len(row) <= 1
+
+
+def _sorted_rows_reference(csr):
+    """The pre-vectorization per-row Python loop (kept as a test oracle)."""
+    indices = csr.indices.copy()
+    values = None if csr.values is None else csr.values.copy()
+    for i in range(csr.num_rows):
+        lo, hi = csr.indptr[i], csr.indptr[i + 1]
+        order = np.argsort(indices[lo:hi], kind="stable")
+        indices[lo:hi] = indices[lo:hi][order]
+        if values is not None:
+            values[lo:hi] = values[lo:hi][order]
+    return CSRAdjacency(csr.indptr, indices, csr.num_cols, values)
+
+
+class TestVectorizedSorting:
+    """The np.lexsort rewrite of _sorted_rows/transpose (preprocessing)."""
+
+    def _build_unsorted(self, seed=0):
+        """(sorted reference, within-row-shuffled weighted copy) of the
+        reddit_sim in-CSR — realistic preprocessing input."""
+        from repro.graph import load_dataset
+
+        graph = load_dataset("reddit_sim", scale=0.3, seed=3)
+        csr = graph.in_csr
+        rng = np.random.default_rng(seed)
+        indices = csr.indices.copy()
+        values = rng.standard_normal(csr.nnz)
+        for i in range(csr.num_rows):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            perm = rng.permutation(hi - lo)
+            indices[lo:hi] = indices[lo:hi][perm]
+        shuffled = CSRAdjacency(csr.indptr, indices, csr.num_cols, values)
+        return csr, shuffled
+
+    def test_sorted_rows_matches_reference(self):
+        sorted_csr, shuffled = self._build_unsorted()
+        vectorized = shuffled._sorted_rows()
+        reference = _sorted_rows_reference(shuffled)
+        np.testing.assert_array_equal(vectorized.indices, reference.indices)
+        np.testing.assert_allclose(vectorized.values, reference.values)
+        np.testing.assert_array_equal(vectorized.indices, sorted_csr.indices)
+
+    def test_transpose_round_trip_weighted(self):
+        _, shuffled = self._build_unsorted(seed=1)
+        back = shuffled.transpose().transpose()
+        expected = shuffled._sorted_rows()
+        np.testing.assert_array_equal(back.indptr, expected.indptr)
+        np.testing.assert_array_equal(back.indices, expected.indices)
+        np.testing.assert_allclose(back.values, expected.values)
+
+    def test_preprocessing_faster_than_row_loop(self):
+        """Micro-benchmark: lexsort beats the per-row argsort loop on the
+        reddit_sim workload (the satellite's 'faster, not slower' gate)."""
+        import time
+
+        _, shuffled = self._build_unsorted(seed=2)
+
+        def best_of(fn, repeats=3):
+            samples = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn()
+                samples.append(time.perf_counter() - start)
+            return min(samples)
+
+        vectorized = best_of(shuffled._sorted_rows)
+        loop = best_of(lambda: _sorted_rows_reference(shuffled))
+        assert vectorized < loop, (
+            f"vectorized _sorted_rows ({vectorized:.4f}s) slower than "
+            f"the row loop ({loop:.4f}s)"
+        )

@@ -94,6 +94,15 @@ class TestMemoryPool:
         with pytest.raises(DeviceOutOfMemoryError):
             a.resize(200)
 
+    def test_resize_shrink_updates_by_tag(self):
+        pool = MemoryPool(100, "gpu")
+        a = pool.alloc("x", 40)
+        a.resize(10)
+        assert pool.by_tag["x"] == 10
+        a.free()
+        assert pool.by_tag["x"] == 0
+        assert pool.in_use == 0
+
     def test_by_tag_accounting(self):
         pool = MemoryPool(100, "gpu")
         pool.alloc("weights", 30)

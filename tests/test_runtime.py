@@ -1,0 +1,315 @@
+"""Tests for the event-timeline execution engine.
+
+Covers the scheduler invariants (channel exclusivity, dependency ordering,
+barriers), the EventTimeline category view, and the trainer-level contract
+of the overlap policies: ``barrier`` reproduces the serialized phase sum
+exactly, ``pipeline`` never increases the makespan (and strictly reduces it
+on transfer-heavy workloads), and numerics are bit-identical under both.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD
+from repro.baselines import FullGraphTrainer
+from repro.core import HongTuConfig, HongTuTrainer
+from repro.errors import ConfigurationError
+from repro.gnn import build_model
+from repro.graph import load_dataset
+from repro.hardware import A100_SERVER, EventTimeline, MultiGPUPlatform
+from repro.runtime import CHANNELS, EventScheduler, TransitionBuffers
+
+
+class TestEventScheduler:
+    def test_same_channel_serializes(self):
+        scheduler = EventScheduler()
+        first = scheduler.submit("h2d", 0, 1.0)
+        second = scheduler.submit("h2d", 0, 2.0)
+        assert first.start == 0.0 and first.end == 1.0
+        assert second.start == 1.0 and second.end == 3.0
+
+    def test_different_channels_overlap(self):
+        scheduler = EventScheduler()
+        scheduler.submit("h2d", 0, 1.0)
+        kernel = scheduler.submit("gpu", 0, 1.0)
+        assert kernel.start == 0.0
+        assert scheduler.makespan == 1.0
+
+    def test_different_devices_overlap(self):
+        scheduler = EventScheduler()
+        scheduler.submit("gpu", 0, 2.0)
+        other = scheduler.submit("gpu", 1, 1.0)
+        assert other.start == 0.0
+        assert scheduler.makespan == 2.0
+
+    def test_dependency_defers_start(self):
+        scheduler = EventScheduler()
+        load = scheduler.submit("h2d", 0, 1.5)
+        kernel = scheduler.submit("gpu", 0, 1.0, deps=[load])
+        assert kernel.start == 1.5
+        assert kernel.blocked_by == load.task_id
+
+    def test_barrier_fences_later_tasks(self):
+        scheduler = EventScheduler()
+        scheduler.submit("h2d", 0, 2.0)
+        scheduler.barrier()
+        late = scheduler.submit("gpu", 1, 1.0)
+        assert late.start == 2.0
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().submit("warp_drive", 0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().submit("gpu", 0, -1.0)
+
+    def test_busy_accounting(self):
+        scheduler = EventScheduler()
+        scheduler.submit("gpu", 0, 1.0)
+        scheduler.submit("gpu", 1, 2.0)
+        scheduler.submit("h2d", 0, 4.0)
+        assert scheduler.busy_seconds(channel="gpu") == 3.0
+        assert scheduler.busy_seconds(channel="gpu", device=1) == 2.0
+        assert scheduler.busy_by_channel()["h2d"] == 4.0
+
+    def test_validate_passes_for_scheduler_output(self):
+        scheduler = EventScheduler()
+        load = scheduler.submit("h2d", 0, 1.0)
+        scheduler.submit("gpu", 0, 2.0, deps=[load])
+        scheduler.submit("h2d", 0, 1.0)
+        scheduler.validate()
+
+    def test_validate_catches_corruption(self):
+        scheduler = EventScheduler()
+        first = scheduler.submit("gpu", 0, 2.0)
+        second = scheduler.submit("gpu", 0, 2.0)
+        second.start = first.start  # force an overlap
+        with pytest.raises(AssertionError):
+            scheduler.validate()
+
+    def test_critical_path_follows_blockers(self):
+        scheduler = EventScheduler()
+        load = scheduler.submit("h2d", 0, 3.0)
+        kernel = scheduler.submit("gpu", 0, 1.0, deps=[load])
+        chain = scheduler.critical_path()
+        assert [task.task_id for task in chain] == \
+            [load.task_id, kernel.task_id]
+
+    def test_removing_dependency_never_slows(self):
+        """The monotonicity argument behind pipeline <= barrier."""
+        durations = [(("h2d", 0), 2.0), (("gpu", 0), 3.0),
+                     (("h2d", 0), 2.0), (("gpu", 0), 3.0)]
+        chained = EventScheduler()
+        previous = None
+        for (channel, device), seconds in durations:
+            previous = chained.submit(channel, device, seconds,
+                                      deps=[previous] if previous else [])
+        free = EventScheduler()
+        for (channel, device), seconds in durations:
+            free.submit(channel, device, seconds)
+        assert free.makespan <= chained.makespan
+
+
+class TestEventTimeline:
+    def test_barrier_all_makespan_equals_serialized_sum(self):
+        timeline = EventTimeline(barrier_all=True)
+        timeline.submit_phase("h2d", [1.0, 2.0])
+        timeline.submit_phase("gpu", [3.0, 1.0])
+        timeline.add("cpu", 0.5)
+        assert timeline.makespan == pytest.approx(2.0 + 3.0 + 0.5)
+        assert timeline.makespan == pytest.approx(timeline.breakdown.total)
+
+    def test_phase_breakdown_charges_max(self):
+        timeline = EventTimeline()
+        timeline.submit_phase("d2d", [1.0, 5.0, 2.0])
+        assert timeline.seconds["d2d"] == 5.0
+
+    def test_unfenced_phases_overlap(self):
+        timeline = EventTimeline(barrier_all=False)
+        timeline.submit_phase("h2d", [2.0])
+        timeline.submit_phase("gpu", [2.0])
+        assert timeline.makespan == 2.0
+        assert timeline.breakdown.total == 4.0
+        assert timeline.overlap_saving() == 2.0
+
+    def test_deps_by_device_wiring(self):
+        timeline = EventTimeline()
+        loads = timeline.submit_phase("h2d", [1.0, 4.0])
+        kernels = timeline.submit_phase("gpu", [1.0, 1.0],
+                                        deps_by_device=loads)
+        assert kernels[0].start == 1.0
+        assert kernels[1].start == 4.0
+        timeline.validate()
+
+    def test_legacy_add_parallel_phase(self):
+        timeline = EventTimeline(barrier_all=True)
+        timeline.add_parallel_phase("gpu", [1.0, 2.0])
+        timeline.add_parallel_phase("gpu", [])
+        assert timeline.seconds["gpu"] == 2.0
+        assert timeline.makespan == 2.0
+
+    def test_busy_view_sums_devices(self):
+        timeline = EventTimeline()
+        timeline.submit_phase("gpu", [1.0, 2.0, 3.0])
+        assert timeline.busy_view()["gpu"] == 6.0
+
+
+class TestTransitionBuffers:
+    def test_double_buffer_charges_twice_the_memory(self):
+        single_platform = MultiGPUPlatform(A100_SERVER, num_gpus=2)
+        double_platform = MultiGPUPlatform(A100_SERVER, num_gpus=2)
+        rows = [10, 20]
+        single = TransitionBuffers(single_platform, rows, 8, np.float64, 4)
+        double = TransitionBuffers(double_platform, rows, 8, np.float64, 4,
+                                   double_buffer=True)
+        for gpu in range(2):
+            assert double_platform.gpus[gpu].memory.in_use == \
+                2 * single_platform.gpus[gpu].memory.in_use
+        assert single.parity(3) == 0
+        assert double.parity(3) == 1
+        single.free()
+        double.free()
+        assert all(gpu.memory.in_use == 0 for gpu in double_platform.gpus)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("reddit_sim", scale=0.12, seed=3)
+
+
+def make_trainer(graph, overlap, policy="hybrid", comm_mode="hongtu",
+                 num_chunks=4, seed=11, lr=0.02):
+    model = build_model("gcn", [graph.feature_dim, 12, graph.num_classes],
+                        np.random.default_rng(seed))
+    trainer = HongTuTrainer(
+        graph, model, MultiGPUPlatform(A100_SERVER),
+        HongTuConfig(num_chunks=num_chunks, comm_mode=comm_mode,
+                     intermediate_policy=policy, overlap=overlap, seed=2),
+        optimizer=SGD(model.parameters(), lr=lr),
+    )
+    return trainer
+
+
+class TestOverlapPolicies:
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HongTuConfig(overlap="wormhole")
+
+    @pytest.mark.parametrize("policy", ["hybrid", "recompute"])
+    def test_barrier_epoch_equals_serialized_sum(self, graph, policy):
+        """overlap='barrier' reproduces the pre-refactor accounting: the
+        makespan is exactly the serialized sum of phase maxima that
+        TimeBreakdown.total used to report."""
+        result = make_trainer(graph, "barrier", policy=policy).train_epoch()
+        assert result.epoch_seconds == pytest.approx(result.clock.total,
+                                                     rel=1e-12)
+
+    @pytest.mark.parametrize("policy", ["hybrid", "recompute"])
+    @pytest.mark.parametrize("comm_mode", ["baseline", "hongtu"])
+    def test_pipeline_never_increases_makespan(self, graph, policy,
+                                               comm_mode):
+        barrier = make_trainer(graph, "barrier", policy=policy,
+                               comm_mode=comm_mode).train_epoch()
+        pipeline = make_trainer(graph, "pipeline", policy=policy,
+                                comm_mode=comm_mode).train_epoch()
+        assert pipeline.epoch_seconds <= barrier.epoch_seconds
+
+    def test_pipeline_strictly_faster_on_transfer_heavy_workload(self, graph):
+        barrier = make_trainer(graph, "barrier").train_epoch()
+        pipeline = make_trainer(graph, "pipeline").train_epoch()
+        assert pipeline.epoch_seconds < barrier.epoch_seconds
+
+    def test_component_breakdowns_identical(self, graph):
+        """Same work, different schedule: Fig. 9 components must agree."""
+        barrier = make_trainer(graph, "barrier").train_epoch()
+        pipeline = make_trainer(graph, "pipeline").train_epoch()
+        for category, seconds in barrier.clock.seconds.items():
+            assert pipeline.clock.seconds[category] == \
+                pytest.approx(seconds, rel=1e-12)
+
+    @pytest.mark.parametrize("overlap", ["barrier", "pipeline"])
+    def test_timeline_invariants(self, graph, overlap):
+        """No two tasks share a (device, channel) slot; deps respected."""
+        result = make_trainer(graph, overlap).train_epoch()
+        timeline = result.timeline
+        timeline.validate()
+        assert set(task.channel for task in timeline.scheduler.tasks) \
+            <= set(CHANNELS)
+        assert timeline.makespan >= max(
+            task.end for task in timeline.scheduler.tasks
+        ) - 1e-15
+
+    @pytest.mark.parametrize("policy", ["hybrid", "recompute"])
+    def test_numerics_bit_identical_across_policies(self, graph, policy):
+        barrier = make_trainer(graph, "barrier", policy=policy)
+        pipeline = make_trainer(graph, "pipeline", policy=policy)
+        for _ in range(2):
+            rb = barrier.train_epoch()
+            rp = pipeline.train_epoch()
+            assert rb.loss == rp.loss
+        state_b = barrier.model.state_dict()
+        state_p = pipeline.model.state_dict()
+        for key in state_b:
+            np.testing.assert_array_equal(state_b[key], state_p[key])
+
+    def test_pipeline_matches_monolithic_reference(self, graph):
+        """The equivalence property of tests/test_equivalence.py holds
+        under the pipelined schedule too."""
+        reference_model = build_model(
+            "gcn", [graph.feature_dim, 12, graph.num_classes],
+            np.random.default_rng(11))
+        reference = FullGraphTrainer(
+            graph, reference_model,
+            optimizer=SGD(reference_model.parameters(), lr=0.02),
+        )
+        trainer = make_trainer(graph, "pipeline")
+        for _ in range(2):
+            ref_result = reference.train_epoch()
+            result = trainer.train_epoch()
+            assert np.isclose(ref_result.loss, result.loss, atol=1e-9)
+        state_ref = reference_model.state_dict()
+        state = trainer.model.state_dict()
+        assert max(np.abs(state_ref[k] - state[k]).max()
+                   for k in state_ref) < 1e-9
+
+    def test_pipeline_charges_double_buffers(self, graph):
+        barrier = make_trainer(graph, "barrier")
+        pipeline = make_trainer(graph, "pipeline")
+        barrier.train_epoch()
+        pipeline.train_epoch()
+        barrier_peak = max(
+            gpu.memory.peak for gpu in barrier.platform.gpus
+        )
+        pipeline_peak = max(
+            gpu.memory.peak for gpu in pipeline.platform.gpus
+        )
+        assert pipeline_peak > barrier_peak
+
+    def test_makespan_not_below_bottleneck_channel(self, graph):
+        """Per-(device, channel) busy time lower-bounds any valid schedule."""
+        result = make_trainer(graph, "pipeline").train_epoch()
+        scheduler = result.timeline.scheduler
+        bottleneck = max(
+            scheduler.busy_seconds(channel=channel, device=device)
+            for channel in CHANNELS for device in scheduler.devices()
+        )
+        assert result.epoch_seconds >= bottleneck - 1e-15
+
+
+class TestDirectionalTraffic:
+    def test_h2d_and_d2h_reported_separately(self, graph):
+        result = make_trainer(graph, "barrier").train_epoch()
+        assert result.h2d_bytes > 0
+        assert result.d2h_bytes > 0
+        assert result.pcie_bytes == result.h2d_bytes + result.d2h_bytes
+        # The split reaches the clock too: writebacks/flushes are d2h time.
+        assert result.clock.seconds["h2d"] > 0
+        assert result.clock.seconds["d2h"] > 0
+
+    def test_traffic_identical_across_overlap(self, graph):
+        barrier = make_trainer(graph, "barrier").train_epoch()
+        pipeline = make_trainer(graph, "pipeline").train_epoch()
+        assert barrier.h2d_bytes == pipeline.h2d_bytes
+        assert barrier.d2h_bytes == pipeline.d2h_bytes
+        assert barrier.d2d_bytes == pipeline.d2d_bytes
