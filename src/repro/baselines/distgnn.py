@@ -14,12 +14,20 @@ buffer inflation derived from the partition's replication factor, and
 per-epoch time = CPU kernel time + network time for replica synchronization.
 The numerics are optionally executed for real (small graphs) to produce
 losses; large-graph rows only need the cost model.
+
+Since the cluster extension, the epoch runs on the same event-timeline
+runtime as HongTu instead of a separate analytic path: each layer submits
+one ``cpu`` compute task per node and one ``net`` replica-sync task per
+node NIC (the diagonal :func:`~repro.runtime.task.net_link` resources),
+wired bulk-synchronously — a node's sync waits for its own compute, the
+next layer waits for every sync. Table 7's DistGNN column is therefore a
+timeline makespan, comparable task-for-task with the HongTu columns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -31,6 +39,7 @@ from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.memory import MemoryPool
 from repro.hardware.spec import CPUClusterSpec
 from repro.partition.metis import metis_partition
+from repro.runtime.task import Task, net_link
 
 __all__ = ["DistGNNSimulator", "DistGNNEpochResult"]
 
@@ -95,36 +104,54 @@ class DistGNNSimulator:
 
     # ------------------------------------------------------------------
     def train_epoch(self) -> DistGNNEpochResult:
-        """Simulate one epoch (forward + backward + replica sync)."""
-        timeline = EventTimeline(barrier_all=True)
+        """Simulate one epoch (forward + backward + replica sync).
+
+        The epoch is a per-layer bulk-synchronous task DAG on the event
+        timeline: layer l's per-node kernels (``cpu`` channel, one device
+        per node) feed that node's replica sync (``net`` channel, the
+        node's NIC), and layer l+1 starts only after every node's sync —
+        DistGNN's epoch-level BSP schedule. The epoch time is the DAG's
+        makespan.
+        """
+        timeline = EventTimeline()
         nodes = self.cluster.num_nodes
+        n, e = self.graph.num_vertices, self.graph.num_edges
         # Distributed execution achieves only a fraction of the modeled
         # compute/network throughput (bulk-synchronous stragglers, replica
         # upkeep); single-node rates are measured directly.
         slowdown = (1.0 / self.cluster.distributed_efficiency
                     if nodes > 1 else 1.0)
 
-        flops = 3 * self.model.forward_flops(
-            self.graph.num_vertices, self.graph.num_vertices,
-            self.graph.num_edges,
-        )
-        timeline.add("cpu", slowdown * flops
-                     / (nodes * self.cluster.compute_flops_per_node),
-                     device=0, label="cpu_kernels")
-
-        if nodes > 1:
-            per_node_seconds = []
-            for node in range(nodes):
-                row_bytes = sum(
-                    layer.in_dim * self.bytes_per_scalar
-                    for layer in self.model.layers
+        previous_layer: List[Task] = []
+        for l, layer in enumerate(self.model.layers):
+            # Forward + backward + recompute ≈ 3x the layer's forward cost,
+            # split evenly across nodes (METIS balances vertices/edges).
+            layer_flops = 3 * layer.forward_flops(n, n, e)
+            compute_seconds = (
+                slowdown * layer_flops
+                / (nodes * self.cluster.compute_flops_per_node)
+            )
+            compute_tasks = timeline.submit_phase(
+                "cpu", [compute_seconds] * nodes,
+                devices=list(range(nodes)),
+                deps=previous_layer, label=f"cpu[l{l}]",
+            )
+            previous_layer = compute_tasks
+            if nodes > 1:
+                row_bytes = layer.in_dim * self.bytes_per_scalar
+                sync_seconds = [
+                    slowdown * 2 * self._remote_rows[node] * row_bytes
+                    / self.cluster.network_bandwidth
+                    for node in range(nodes)
+                ]
+                sync_tasks = timeline.submit_phase(
+                    "net", sync_seconds,
+                    devices=[net_link(node, node, nodes)
+                             for node in range(nodes)],
+                    deps_by_device=compute_tasks,
+                    label=f"replica_sync[l{l}]",
                 )
-                volume = 2 * self._remote_rows[node] * row_bytes
-                per_node_seconds.append(
-                    slowdown * volume / self.cluster.network_bandwidth
-                )
-            timeline.submit_phase("d2d", per_node_seconds,
-                                  label="replica_sync")
+                previous_layer = sync_tasks
 
         self._epoch += 1
         peak = max(pool.peak for pool in self.node_pools)

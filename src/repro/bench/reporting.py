@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["render_table", "render_timeline", "format_seconds",
-           "format_bytes", "banner"]
+__all__ = ["render_table", "render_timeline", "render_node_utilization",
+           "format_seconds", "format_bytes", "banner"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -89,3 +89,36 @@ def render_timeline(timeline, title: Optional[str] = None,
         f"({format_seconds(saving)} hidden by overlap)"
     )
     return f"{table}\n{footer}"
+
+
+def render_node_utilization(timeline, platform,
+                            title: Optional[str] = None) -> str:
+    """Per-node busy-seconds table for a cluster timeline.
+
+    One row per node: kernel, PCIe (both directions), NVLink, host and
+    network busy seconds, each summed over the node's devices. GPU-side
+    channels attribute by ``platform.node_of``; network tasks attribute
+    their busy time to the *source* node of the link they occupy
+    (:func:`~repro.runtime.task.net_link_nodes`), so a node's ``net``
+    column is the traffic its NIC sent.
+    """
+    from repro.runtime.task import NET_DEVICE_BASE, net_link_nodes
+
+    num_nodes = platform.num_nodes
+    columns = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
+    busy = [{column: 0.0 for column in columns} for _ in range(num_nodes)]
+    for task in timeline.scheduler.tasks:
+        if task.channel == "net":
+            if task.device <= NET_DEVICE_BASE:
+                src, _dst = net_link_nodes(task.device, num_nodes)
+            else:
+                src = 0
+            busy[src]["net"] += task.seconds
+        elif task.channel in columns and task.device >= 0:
+            busy[platform.node_of(task.device)][task.channel] += task.seconds
+    rows = [
+        [f"node{node}"] + [format_seconds(busy[node][column])
+                           for column in columns]
+        for node in range(num_nodes)
+    ]
+    return render_table(["node"] + list(columns), rows, title=title)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.bench.reporting import (
     format_bytes,
     format_seconds,
+    render_node_utilization,
     render_table,
     render_timeline,
 )
@@ -34,7 +35,12 @@ from repro.core import (
 )
 from repro.gnn import MODEL_REGISTRY, build_model
 from repro.graph import PAPER_PROFILES, available_datasets, load_dataset
-from repro.hardware import A100_SERVER, MultiGPUPlatform
+from repro.hardware import (
+    A100_CLUSTER,
+    A100_SERVER,
+    ClusterPlatform,
+    MultiGPUPlatform,
+)
 from repro.partition import two_level_partition
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="epoch scheduling: barrier-synchronized phases "
                             "(the paper's Algorithms 1-3) or pipelined "
                             "transfer/compute overlap")
+    train.add_argument("--nodes", type=int, default=1,
+                       help="simulated cluster nodes; > 1 runs --gpus GPUs "
+                            "on each node of an A100 cluster with halo "
+                            "exchange + gradient all-reduce on the network")
+    train.add_argument("--allreduce", default="ring",
+                       choices=["ring", "tree"],
+                       help="inter-node gradient all-reduce schedule "
+                            "(only with --nodes > 1)")
     train.add_argument("--lr", type=float, default=0.01)
 
     analyze = sub.add_parser("analyze",
@@ -99,17 +113,22 @@ def cmd_train(args) -> int:
     dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
             + [graph.num_classes])
     model = build_model(args.arch, dims, np.random.default_rng(args.seed))
-    platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
+    if args.nodes > 1:
+        cluster = A100_CLUSTER.with_num_nodes(args.nodes)
+        platform = ClusterPlatform(cluster, gpus_per_node=args.gpus)
+    else:
+        platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
     config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
                           intermediate_policy=args.policy,
-                          overlap=args.overlap, seed=args.seed)
+                          overlap=args.overlap, nodes=args.nodes,
+                          allreduce=args.allreduce, seed=args.seed)
     from repro.autograd import Adam
 
     trainer = HongTuTrainer(graph, model, platform, config,
                             optimizer=Adam(model.parameters(), lr=args.lr))
     print(f"training {args.arch} {dims} on {graph} "
-          f"({args.gpus} GPUs x {args.chunks} chunks, {args.comm_mode}, "
-          f"{args.overlap})")
+          f"({args.nodes} node(s) x {args.gpus} GPUs x {args.chunks} "
+          f"chunks, {args.comm_mode}, {args.overlap})")
     for epoch in range(1, args.epochs + 1):
         result = trainer.train_epoch()
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "
@@ -124,6 +143,12 @@ def cmd_train(args) -> int:
                     for k, v in last.clock.as_dict().items()))
     print(render_timeline(last.timeline,
                           title="epoch channel utilization"))
+    if args.nodes > 1:
+        print(render_node_utilization(
+            last.timeline, platform,
+            title="per-node busy seconds "
+                  f"(net = {format_bytes(last.net_bytes)} halo+all-reduce)",
+        ))
     return 0
 
 

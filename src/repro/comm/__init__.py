@@ -7,14 +7,20 @@ from repro.comm.plan import (
     build_comm_plan,
 )
 from repro.comm.analysis import DedupVolumes, measure_volumes
-from repro.comm.cost_model import CommCostModel, communication_cost
+from repro.comm.cost_model import (
+    ALLREDUCE_ALGORITHMS,
+    ClusterCostModel,
+    CommCostModel,
+    communication_cost,
+)
 from repro.comm.reorganize import reorganize_partition, ReorganizationResult
 from repro.comm.executor import DedupCommunicator
 
 __all__ = [
     "FetchSegment", "BatchGpuPlan", "CommPlan", "build_comm_plan",
     "DedupVolumes", "measure_volumes",
-    "CommCostModel", "communication_cost",
+    "CommCostModel", "ClusterCostModel", "communication_cost",
+    "ALLREDUCE_ALGORITHMS",
     "reorganize_partition", "ReorganizationResult",
     "DedupCommunicator",
 ]

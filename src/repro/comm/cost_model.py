@@ -1,4 +1,6 @@
-"""The communication cost model of Eq. 4 (paper §5.3).
+"""Communication cost models: Eq. 4 (paper §5.3) and cluster collectives.
+
+The single-server model is the paper's Eq. 4:
 
     C = V⁺ᵣᵤ / T_hd  +  (V_ori − V⁺p2p) / T_dd  +  (V⁺p2p − V⁺ᵣᵤ) / T_ru
 
@@ -6,18 +8,32 @@ with volumes in bytes and throughputs in bytes/second. T_hd, T_dd and T_ru
 are environment parameters taken from a
 :class:`~repro.hardware.platform.MultiGPUPlatform`; the subgraph
 reorganization heuristic minimizes C by maximizing the two dedup volumes.
+
+:class:`ClusterCostModel` prices the scale-out extension's inter-node
+collectives on top (the paper stops at one server; §7.1's DistGNN cluster
+is the reference point): ring/tree all-reduce for the epoch-end gradient
+synchronization and point-to-point halo exchange for cross-node neighbor
+rows. All sizes in bytes, all results in seconds; the executor turns these
+into dependency-wired ``net`` tasks on the event timeline.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.comm.analysis import DedupVolumes, measure_volumes
 from repro.errors import ConfigurationError
 from repro.hardware.platform import MultiGPUPlatform
+from repro.hardware.spec import ClusterSpec
 from repro.partition.two_level import TwoLevelPartition
 
-__all__ = ["CommCostModel", "communication_cost"]
+__all__ = ["CommCostModel", "ClusterCostModel", "communication_cost",
+           "ALLREDUCE_ALGORITHMS"]
+
+#: inter-node all-reduce schedules: bandwidth-optimal ``ring`` (2(N-1)
+#: steps of B/N) vs latency-optimal ``tree`` (2⌈log2 N⌉ steps of B)
+ALLREDUCE_ALGORITHMS = ("ring", "tree")
 
 
 @dataclass(frozen=True)
@@ -47,6 +63,91 @@ class CommCostModel:
     def vanilla_cost_seconds(self, volumes: DedupVolumes, row_bytes: int) -> float:
         """Cost of the no-dedup baseline: everything crosses PCIe."""
         return volumes.v_ori * row_bytes / self.t_hd
+
+
+@dataclass(frozen=True)
+class ClusterCostModel:
+    """Inter-node collective costs on a flat, full-duplex network.
+
+    ``bandwidth`` is the achieved per-link, per-direction byte rate and
+    ``latency`` the fixed per-message setup cost — the two parameters of a
+    :class:`~repro.hardware.spec.ClusterSpec`. Every cost is the *per-node
+    busy time* of the collective: with non-blocking links and equal
+    payloads, each node's NIC is busy that long and the collective's wall
+    time equals it, so the executor can submit one ``net`` task per
+    participating link with these seconds.
+    """
+
+    num_nodes: int
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {self.num_nodes}"
+            )
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError("latency must be >= 0")
+
+    @staticmethod
+    def from_cluster(cluster: ClusterSpec) -> "ClusterCostModel":
+        return ClusterCostModel(
+            num_nodes=cluster.num_nodes,
+            bandwidth=cluster.network_bandwidth,
+            latency=cluster.network_latency,
+        )
+
+    def ring_allreduce_seconds(self, nbytes: float) -> float:
+        """Bandwidth-optimal ring all-reduce of an ``nbytes`` payload.
+
+        2(N−1) steps (reduce-scatter + all-gather), each moving B/N bytes
+        per link: 2(N−1)(α + B/(N·β)). Degenerate cases: one node costs
+        nothing (nothing to synchronize); two nodes reduce to a single
+        exchange-and-combine round trip, which the same formula prices as
+        2(α + B/2β). The N·1-GPU configuration (one GPU per node) uses
+        exactly this path for its whole gradient synchronization — no
+        intra-node leg exists.
+        """
+        if self.num_nodes == 1:
+            return 0.0
+        steps = 2 * (self.num_nodes - 1)
+        return steps * (self.latency + nbytes / self.num_nodes / self.bandwidth)
+
+    def tree_allreduce_seconds(self, nbytes: float) -> float:
+        """Latency-optimal binary-tree all-reduce (reduce + broadcast).
+
+        2⌈log2 N⌉ steps, each moving the full payload over one link:
+        2⌈log2 N⌉(α + B/β). Beats the ring only for small payloads or very
+        large N·α; the trainer exposes both so the crossover is visible.
+        """
+        if self.num_nodes == 1:
+            return 0.0
+        depth = math.ceil(math.log2(self.num_nodes))
+        return 2 * depth * (self.latency + nbytes / self.bandwidth)
+
+    def allreduce_seconds(self, nbytes: float,
+                          algorithm: str = "ring") -> float:
+        """Dispatch on :data:`ALLREDUCE_ALGORITHMS`."""
+        if algorithm not in ALLREDUCE_ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm must be one of {ALLREDUCE_ALGORITHMS}, "
+                f"got {algorithm!r}"
+            )
+        if algorithm == "ring":
+            return self.ring_allreduce_seconds(nbytes)
+        return self.tree_allreduce_seconds(nbytes)
+
+    def halo_exchange_seconds(self, nbytes: float) -> float:
+        """One point-to-point halo message of ``nbytes`` over one link.
+
+        Zero-byte halos still pay the latency term if a message is sent;
+        the executor simply emits no task for an empty halo, so a
+        zero-halo partition crosses the network exactly never.
+        """
+        return self.latency + nbytes / self.bandwidth
 
 
 def communication_cost(partition: TwoLevelPartition, row_bytes: int,

@@ -35,6 +35,29 @@ time under compute. After each batch call, :attr:`last_tasks` holds the
 submitted tasks so the trainer can hang its compute/writeback tasks off
 them.
 
+On a :class:`~repro.hardware.platform.ClusterPlatform` the same plan spans
+several nodes and three kinds of traffic additionally cross the network,
+each emitted as ``net`` tasks on per-link resources
+(:func:`~repro.runtime.task.net_link`):
+
+* **halo loads** — host rows owned by a remote node's partitions must
+  reach this node before its PCIe load (only in the non-dedup-inter
+  modes; full HongTu stages every row on its owner, so loads are always
+  node-local);
+* **halo fetches** — assembling h_{N_ij} from a transition buffer staged
+  on another node (the dominant cluster cost: what NVLink carried within
+  a server now crosses the network);
+* **halo flushes** — backward gradients of remotely-owned vertices
+  returning to the owner node's ∇h buffer.
+
+Per batch, traffic between each directed node pair coalesces into one
+message (one ``net`` task), and the adjacent PCIe/kernel tasks gain
+dependencies on it — so pipeline overlap can hide halo traffic under
+compute exactly like it hides PCIe. With one node no network task is ever
+emitted and the submission sequence is byte-for-byte the single-server
+one (the ``nodes=1`` float-equality contract, tested in
+``tests/test_cluster.py``).
+
 The framework is numerically exact regardless of clock type: data moves
 eagerly in program order, so summing atomic pushes and host accumulation
 reproduces the monolithic scatter-add gradient bit-for-bit (up to float
@@ -43,7 +66,7 @@ addition order).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,9 +75,18 @@ from repro.errors import CommunicationPlanError
 from repro.hardware.clock import EventTimeline
 from repro.hardware.platform import MultiGPUPlatform
 from repro.runtime.buffers import TransitionBuffers
-from repro.runtime.task import Task
+from repro.runtime.task import Task, net_link
 
 __all__ = ["DedupCommunicator"]
+
+
+def _as_tasks(entry) -> List[Task]:
+    """Normalize a deps_by_device entry (None | Task | iterable) to a list."""
+    if entry is None:
+        return []
+    if isinstance(entry, Task):
+        return [entry]
+    return list(entry)
 
 
 class DedupCommunicator:
@@ -85,13 +117,31 @@ class DedupCommunicator:
         self._buffers: Optional[TransitionBuffers] = None
         self._dim = 0
         #: bytes moved per category since construction (for reports)
-        self.bytes_moved: Dict[str, int] = {"h2d": 0, "d2h": 0, "d2d": 0, "ru": 0}
+        self.bytes_moved: Dict[str, int] = {
+            "h2d": 0, "d2h": 0, "d2d": 0, "ru": 0, "net": 0,
+        }
         #: tasks submitted by the most recent batch call (timeline clocks
         #: only): forward fills "load"/"reuse"/"assemble", backward fills
         #: "scatter"/"flush"/"cpu"
         self.last_tasks: Dict[str, List[Task]] = {}
         # Per-sweep dependency history (previous batches' tasks).
         self._history: List[Dict[str, List[Task]]] = []
+        # ---- cluster topology (degenerate on a single node) --------------
+        self._num_nodes: int = getattr(platform, "num_nodes", 1)
+        self._node_of_gpu: List[int] = [
+            platform.node_of(i) for i in range(plan.num_gpus)
+        ]
+        # Owner node of every vertex (owner partition's node); only needed
+        # for the halo splits, so skip the array on one node.
+        if self._num_nodes > 1:
+            node_map = np.asarray(self._node_of_gpu, dtype=np.int64)
+            self._vertex_node: Optional[np.ndarray] = \
+                node_map[plan.partition.assignment]
+        else:
+            self._vertex_node = None
+        # Per-gpu input tasks of the latest forward batch (net tasks have
+        # link device ids, so a device filter cannot recover them).
+        self._last_inputs_by_gpu: List[List[Task]] = []
 
     # ------------------------------------------------------------------
     # sweep lifecycle
@@ -113,6 +163,7 @@ class DedupCommunicator:
         )
         self._history = []
         self.last_tasks = {}
+        self._last_inputs_by_gpu = []
 
     def end_sweep(self) -> None:
         """Free the transition buffers."""
@@ -120,11 +171,88 @@ class DedupCommunicator:
             self._buffers.free()
         self._buffers = None
         self._history = []
+        self._last_inputs_by_gpu = []
 
     def _require_sweep(self) -> TransitionBuffers:
         if self._buffers is None:
             raise CommunicationPlanError("no active sweep; call start_sweep()")
         return self._buffers
+
+    # ------------------------------------------------------------------
+    # cluster halo helpers
+    # ------------------------------------------------------------------
+    def _halo_split(self, vertices: np.ndarray, gpu: int, row_bytes: int,
+                    halo_bytes: Dict[Tuple[int, int], int],
+                    halo_gpus: Dict[Tuple[int, int], List[int]],
+                    toward_owner: bool = False) -> int:
+        """Accumulate ``vertices``' remotely-owned rows into per-link sums.
+
+        Splits the rows GPU ``gpu`` touches by owner node: rows owned by a
+        different node add ``row_bytes`` each to the link between the two
+        nodes and register the GPU on it. The link direction is
+        owner→gpu for inbound traffic (loads), or gpu→owner with
+        ``toward_owner`` for outbound traffic (gradient flushes). Returns
+        the number of remote rows (0 on a single node, where no split is
+        ever computed).
+        """
+        if self._vertex_node is None or len(vertices) == 0:
+            return 0
+        gpu_node = self._node_of_gpu[gpu]
+        owner_nodes = self._vertex_node[vertices]
+        remote = owner_nodes != gpu_node
+        if not remote.any():
+            return 0
+        counts = np.bincount(owner_nodes[remote], minlength=self._num_nodes)
+        for owner_node in np.flatnonzero(counts):
+            pair = (gpu_node, int(owner_node)) if toward_owner \
+                else (int(owner_node), gpu_node)
+            halo_bytes[pair] = halo_bytes.get(pair, 0) \
+                + int(counts[owner_node]) * row_bytes
+            halo_gpus.setdefault(pair, []).append(gpu)
+        return int(remote.sum())
+
+    def _submit_halo_phase(self, timeline: Optional[EventTimeline], clock,
+                           halo_bytes: Dict[Tuple[int, int], int],
+                           deps_by_pair=None, deps: Sequence[Task] = (),
+                           label: str = "") -> Dict[Tuple[int, int], Task]:
+        """One coalesced ``net`` task per directed node pair with traffic.
+
+        ``deps`` gate every message; ``deps_by_pair`` (pair → task list)
+        adds per-link producers. Charges :attr:`bytes_moved` and returns
+        pair → submitted task (empty when there is no cross-node traffic,
+        so single-node runs never reach the scheduler from here).
+        """
+        if not halo_bytes:
+            return {}
+        pairs = sorted(halo_bytes)
+        seconds = [self.platform.net_seconds(halo_bytes[pair])
+                   for pair in pairs]
+        self.bytes_moved["net"] += sum(halo_bytes.values())
+        if timeline is None:
+            clock.add_parallel_phase("net", seconds)
+            return {}
+        devices = [net_link(src, dst, self._num_nodes)
+                   for src, dst in pairs]
+        extras = None
+        if deps_by_pair is not None:
+            extras = [deps_by_pair.get(pair, []) for pair in pairs]
+        tasks = timeline.submit_phase(
+            "net", seconds, devices=devices, deps=list(deps),
+            deps_by_device=extras, label=label,
+        )
+        return dict(zip(pairs, tasks))
+
+    @staticmethod
+    def _tasks_by_reader(pair_tasks: Dict[Tuple[int, int], Task],
+                         halo_gpus: Dict[Tuple[int, int], List[int]],
+                         num_gpus: int) -> List[List[Task]]:
+        """Invert pair → task into per-reader-GPU dependency lists."""
+        by_gpu: List[List[Task]] = [[] for _ in range(num_gpus)]
+        for pair, task in pair_tasks.items():
+            for gpu in halo_gpus.get(pair, []):
+                if task not in by_gpu[gpu]:
+                    by_gpu[gpu].append(task)
+        return by_gpu
 
     # ------------------------------------------------------------------
     # dependency bookkeeping helpers
@@ -166,9 +294,14 @@ class DedupCommunicator:
         row_bytes = self._dim * self.bytes_per_scalar
         timeline = clock if isinstance(clock, EventTimeline) else None
 
-        # Phase 1: host -> transition buffers (reuse in place first).
+        # Phase 1: host -> transition buffers (reuse in place first). Rows
+        # owned by a remote node's partitions must cross the network before
+        # they can cross this node's PCIe (empty under dedup_inter: every
+        # staged row is owner-local).
         h2d_seconds = []
         reuse_seconds = []
+        halo_bytes: Dict[Tuple[int, int], int] = {}
+        halo_gpus: Dict[Tuple[int, int], List[int]] = {}
         for plan in plans:
             load_vertices = plan.load_vertices
             buffers[plan.gpu][plan.load_positions] = host_values[load_vertices]
@@ -178,14 +311,25 @@ class DedupCommunicator:
             self.bytes_moved["ru"] += reused_bytes
             h2d_seconds.append(self.platform.h2d_seconds(loaded_bytes))
             reuse_seconds.append(self.platform.reuse_seconds(reused_bytes))
+            self._halo_split(load_vertices, plan.gpu, row_bytes,
+                             halo_bytes, halo_gpus)
 
         load_tasks: List[Task] = []
         reuse_tasks: List[Task] = []
+        halo_load_tasks = self._submit_halo_phase(
+            timeline, clock, halo_bytes, deps=list(extra_deps),
+            label=f"halo_load[b{batch}]",
+        )
         if timeline is not None:
             conflicts = self._staging_conflicts(batch)
+            halo_deps = None
+            if halo_load_tasks:
+                halo_deps = self._tasks_by_reader(
+                    halo_load_tasks, halo_gpus, len(plans)
+                )
             load_tasks = timeline.submit_phase(
                 "h2d", h2d_seconds, deps=list(extra_deps) + conflicts,
-                label=f"load[b{batch}]",
+                deps_by_device=halo_deps, label=f"load[b{batch}]",
             )
             previous_sources = [
                 list(self._batch_tasks(batch - 1, "load")[i:i + 1])
@@ -204,12 +348,18 @@ class DedupCommunicator:
             clock.add_parallel_phase("gpu", reuse_seconds)
 
         # Phase 2: assemble local inputs from (possibly remote) buffers.
+        # Same-node remote reads ride NVLink (d2d); reads from a buffer
+        # staged on another node are the halo exchange and ride a network
+        # link instead.
         outputs: List[np.ndarray] = []
         d2d_seconds = [0.0] * len(plans)
         local_seconds = [0.0] * len(plans)
+        fetch_bytes: Dict[Tuple[int, int], int] = {}
+        fetch_gpus: Dict[Tuple[int, int], List[int]] = {}
         for plan in plans:
             local = np.empty((len(plan.needed), self._dim),
                              dtype=host_values.dtype)
+            reader_node = self._node_of_gpu[plan.gpu]
             for segment in plan.fetch_segments:
                 local[segment.local_rows] = (
                     buffers[segment.source_gpu][segment.source_positions]
@@ -220,6 +370,12 @@ class DedupCommunicator:
                         segment_bytes
                     )
                     self.bytes_moved["ru"] += segment_bytes
+                elif self._node_of_gpu[segment.source_gpu] != reader_node:
+                    pair = (self._node_of_gpu[segment.source_gpu],
+                            reader_node)
+                    fetch_bytes[pair] = fetch_bytes.get(pair, 0) \
+                        + segment_bytes
+                    fetch_gpus.setdefault(pair, []).append(plan.gpu)
                 else:
                     d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
                         segment_bytes
@@ -233,6 +389,13 @@ class DedupCommunicator:
             remote_tasks = timeline.submit_phase(
                 "d2d", d2d_seconds, deps=staged, label=f"fetch[b{batch}]",
             )
+            halo_fetch_tasks = self._submit_halo_phase(
+                timeline, clock, fetch_bytes, deps=staged,
+                label=f"halo_fetch[b{batch}]",
+            )
+            net_by_reader = self._tasks_by_reader(
+                halo_fetch_tasks, fetch_gpus, len(plans)
+            )
             local_sources = [
                 [task for task in staged if task.device == i]
                 for i in range(len(plans))
@@ -241,7 +404,14 @@ class DedupCommunicator:
                 "gpu", local_seconds, deps_by_device=local_sources,
                 label=f"gather[b{batch}]",
             )
-            assemble_tasks = remote_tasks + local_tasks
+            assemble_tasks = (remote_tasks
+                              + list(halo_fetch_tasks.values())
+                              + local_tasks)
+            self._last_inputs_by_gpu = [
+                [task for task in remote_tasks + local_tasks
+                 if task.device == i] + net_by_reader[i]
+                for i in range(len(plans))
+            ]
             while len(self._history) <= batch:
                 self._history.append({})
             self._history[batch] = {
@@ -250,12 +420,20 @@ class DedupCommunicator:
             }
             self.last_tasks = dict(self._history[batch])
         else:
+            self._submit_halo_phase(timeline, clock, fetch_bytes)
             clock.add_parallel_phase("d2d", d2d_seconds)
             clock.add_parallel_phase("gpu", local_seconds)
         return outputs
 
     def batch_input_tasks(self, gpu: int) -> List[Task]:
-        """Tasks of the latest batch that produce GPU ``gpu``'s chunk input."""
+        """Tasks of the latest batch that produce GPU ``gpu``'s chunk input.
+
+        Includes the halo-exchange network tasks feeding the GPU, which a
+        plain device filter over the assemble phase could not find (their
+        device ids name network links, not GPUs).
+        """
+        if self._last_inputs_by_gpu:
+            return list(self._last_inputs_by_gpu[gpu])
         return [task for task in self.last_tasks.get("assemble", [])
                 if task.device == gpu]
 
@@ -286,14 +464,19 @@ class DedupCommunicator:
             buffers[plan.gpu][plan.load_positions] = 0.0
 
         # Phase 1: scatter gradients into owners' buffers (atomicAdd_system).
+        # Pushes into a buffer staged on another node cross the network
+        # (the backward direction of the halo exchange).
         d2d_seconds = [0.0] * len(plans)
         local_seconds = [0.0] * len(plans)
+        push_bytes: Dict[Tuple[int, int], int] = {}
+        push_gpus: Dict[Tuple[int, int], List[int]] = {}
         for plan, grads in zip(plans, neighbor_grads):
             if grads.shape != (len(plan.needed), self._dim):
                 raise CommunicationPlanError(
                     f"gradient shape {grads.shape} does not match needed set "
                     f"({len(plan.needed)}, {self._dim})"
                 )
+            reader_node = self._node_of_gpu[plan.gpu]
             for segment in plan.fetch_segments:
                 np.add.at(
                     buffers[segment.source_gpu],
@@ -306,6 +489,12 @@ class DedupCommunicator:
                         segment_bytes
                     )
                     self.bytes_moved["ru"] += segment_bytes
+                elif self._node_of_gpu[segment.source_gpu] != reader_node:
+                    pair = (reader_node,
+                            self._node_of_gpu[segment.source_gpu])
+                    push_bytes[pair] = push_bytes.get(pair, 0) \
+                        + segment_bytes
+                    push_gpus.setdefault(pair, []).append(plan.gpu)
                 else:
                     d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
                         segment_bytes
@@ -321,17 +510,39 @@ class DedupCommunicator:
                 "d2d", d2d_seconds, deps=prior,
                 deps_by_device=deps_by_device, label=f"scatter[b{batch}]",
             )
+            if push_bytes:
+                # A halo push leaves once the kernels of every pushing GPU
+                # on the source node have produced their gradients.
+                producers_by_pair = {}
+                for pair, gpus in push_gpus.items():
+                    producers: List[Task] = list(prior)
+                    if deps_by_device is not None:
+                        for gpu in gpus:
+                            producers.extend(_as_tasks(deps_by_device[gpu]))
+                    producers_by_pair[pair] = producers
+                halo_push_tasks = self._submit_halo_phase(
+                    timeline, clock, push_bytes,
+                    deps_by_pair=producers_by_pair,
+                    label=f"halo_push[b{batch}]",
+                )
+                scatter_tasks += list(halo_push_tasks.values())
             scatter_tasks += timeline.submit_phase(
                 "gpu", local_seconds, deps=prior,
                 deps_by_device=deps_by_device, label=f"push[b{batch}]",
             )
         else:
+            self._submit_halo_phase(timeline, clock, push_bytes)
             clock.add_parallel_phase("d2d", d2d_seconds)
             clock.add_parallel_phase("gpu", local_seconds)
 
-        # Phase 2: flush gradients not reused by the next batch.
+        # Phase 2: flush gradients not reused by the next batch. Gradients
+        # of remotely-owned vertices must additionally cross the network to
+        # reach the owner node's ∇h buffer (empty under dedup_inter, where
+        # every staged vertex is owner-local).
         d2h_seconds = []
         cpu_seconds = []
+        flush_net_bytes: Dict[Tuple[int, int], int] = {}
+        flush_net_gpus: Dict[Tuple[int, int], List[int]] = {}
         is_last = batch == self.plan.num_batches - 1
         for plan in plans:
             if is_last:
@@ -348,14 +559,37 @@ class DedupCommunicator:
             self.bytes_moved["d2h"] += flush_bytes
             d2h_seconds.append(self.platform.h2d_seconds(flush_bytes))
             cpu_seconds.append(self.platform.cpu_accumulate_seconds(flush_bytes))
+            self._halo_split(flush_vertices, plan.gpu, row_bytes,
+                             flush_net_bytes, flush_net_gpus,
+                             toward_owner=True)
 
         if timeline is not None:
             flush_tasks = timeline.submit_phase(
                 "d2h", d2h_seconds, deps=scatter_tasks,
                 label=f"flush[b{batch}]",
             )
+            # Remote-owned gradients ship after leaving the GPU; the
+            # accumulate below then also waits for their delivery, so the
+            # host ∇h is complete when the batch's cpu tasks end.
+            halo_flush_tasks = self._submit_halo_phase(
+                timeline, clock, flush_net_bytes,
+                deps_by_pair={
+                    pair: [flush_tasks[gpu] for gpu in gpus]
+                    for pair, gpus in flush_net_gpus.items()
+                },
+                label=f"halo_flush[b{batch}]",
+            )
+            net_by_gpu = self._tasks_by_reader(
+                halo_flush_tasks, flush_net_gpus, len(plans)
+            )
+            cpu_deps = flush_tasks
+            if halo_flush_tasks:
+                cpu_deps = [
+                    [flush_tasks[i]] + net_by_gpu[i]
+                    for i in range(len(plans))
+                ]
             cpu_tasks = timeline.submit_phase(
-                "cpu", cpu_seconds, deps_by_device=flush_tasks,
+                "cpu", cpu_seconds, deps_by_device=cpu_deps,
                 label=f"accumulate[b{batch}]",
             )
             while len(self._history) <= batch:
@@ -366,5 +600,6 @@ class DedupCommunicator:
             }
             self.last_tasks = dict(self._history[batch])
         else:
+            self._submit_halo_phase(timeline, clock, flush_net_bytes)
             clock.add_parallel_phase("d2h", d2h_seconds)
             clock.add_parallel_phase("cpu", cpu_seconds)

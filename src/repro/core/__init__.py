@@ -2,6 +2,7 @@
 
 from repro.core.config import (
     HongTuConfig,
+    ALLREDUCE_ALGORITHMS,
     COMM_MODES,
     INTERMEDIATE_POLICIES,
     OVERLAP_POLICIES,
@@ -19,8 +20,8 @@ from repro.core.serialization import (
 from repro.core.profiler import EpochProfiler, ProfileSummary
 
 __all__ = [
-    "HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES",
-    "OVERLAP_POLICIES",
+    "HongTuConfig", "ALLREDUCE_ALGORITHMS", "COMM_MODES",
+    "INTERMEDIATE_POLICIES", "OVERLAP_POLICIES",
     "MemoryEstimate", "estimate_training_memory", "estimate_for_model",
     "HongTuTrainer", "EpochResult",
     "save_training_state", "load_training_state",

@@ -7,11 +7,12 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.comm.cost_model import ALLREDUCE_ALGORITHMS
 from repro.errors import ConfigurationError
 from repro.runtime import OVERLAP_POLICIES
 
 __all__ = ["HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES",
-           "OVERLAP_POLICIES"]
+           "OVERLAP_POLICIES", "ALLREDUCE_ALGORITHMS"]
 
 #: communication ladder of the paper's evaluation (Fig. 9):
 #: ``baseline`` transfers each chunk's neighbor set individually; ``p2p``
@@ -47,6 +48,16 @@ class HongTuConfig:
         buffers and prefetches batch j+1's host loads under batch j's
         compute, so the epoch time becomes the event-timeline makespan.
         Numerics are bit-identical under both policies.
+    nodes:
+        Expected node count of the simulated cluster; must match the
+        platform handed to the trainer (1 for a plain
+        :class:`~repro.hardware.platform.MultiGPUPlatform`). With
+        ``nodes == 1`` every timing is float-identical to the
+        pre-cluster single-server path.
+    allreduce:
+        Inter-node gradient all-reduce schedule, one of
+        :data:`ALLREDUCE_ALGORITHMS` (``ring`` is bandwidth-optimal,
+        ``tree`` latency-optimal). Ignored on one node.
     bytes_per_scalar:
         Logical element width for communication/memory accounting (4 =
         float32 on the real hardware; numerics may run in float64).
@@ -61,6 +72,8 @@ class HongTuConfig:
     reorganize: bool = True
     intermediate_policy: str = "hybrid"
     overlap: str = "barrier"
+    nodes: int = 1
+    allreduce: str = "ring"
     bytes_per_scalar: int = 4
     dtype: type = np.float64
     seed: int = 0
@@ -83,6 +96,15 @@ class HongTuConfig:
             raise ConfigurationError(
                 f"overlap must be one of {OVERLAP_POLICIES}, "
                 f"got {self.overlap!r}"
+            )
+        if self.nodes < 1:
+            raise ConfigurationError(
+                f"nodes must be >= 1, got {self.nodes}"
+            )
+        if self.allreduce not in ALLREDUCE_ALGORITHMS:
+            raise ConfigurationError(
+                f"allreduce must be one of {ALLREDUCE_ALGORITHMS}, "
+                f"got {self.allreduce!r}"
             )
         if self.bytes_per_scalar <= 0:
             raise ConfigurationError("bytes_per_scalar must be positive")

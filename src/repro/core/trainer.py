@@ -37,6 +37,16 @@ critical-path makespan. Layer sweeps are separated by barriers in both
 modes — layer l+1 reads rows that layer l writes back. The simulated numpy
 work itself always runs eagerly in program order, so the choice of overlap
 policy cannot change any number the model computes.
+
+On a :class:`~repro.hardware.platform.ClusterPlatform` the same epoch
+spans N nodes: partitions map to nodes in contiguous blocks
+(partition p → node p // gpus_per_node), vertex data shards across node
+hosts, cross-node neighbor traffic becomes halo-exchange ``net`` tasks
+(emitted by the communicator), and the epoch ends with an inter-node
+gradient all-reduce (ring or tree, ``config.allreduce``) chained after
+each node's intra-node reduce. ``config.nodes`` must match the platform;
+with one node, the code path and every simulated second are identical to
+the single-server trainer.
 """
 
 from __future__ import annotations
@@ -52,7 +62,7 @@ from repro.autograd.functional import (
     masked_cross_entropy_value_and_grad,
 )
 from repro.autograd.optim import Adam, Optimizer
-from repro.comm.cost_model import CommCostModel
+from repro.comm.cost_model import ClusterCostModel, CommCostModel
 from repro.comm.executor import DedupCommunicator
 from repro.comm.plan import CommPlan, build_comm_plan
 from repro.comm.reorganize import reorganize_partition
@@ -64,6 +74,7 @@ from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.memory import Allocation
 from repro.hardware.platform import MultiGPUPlatform
 from repro.partition.two_level import TwoLevelPartition, two_level_partition
+from repro.runtime.task import net_link
 
 __all__ = ["HongTuTrainer", "EpochResult"]
 
@@ -83,6 +94,9 @@ class EpochResult:
     d2d_bytes: int = 0
     #: GPU→host bytes moved this epoch (writebacks + gradient flushes)
     d2h_bytes: int = 0
+    #: inter-node network bytes moved this epoch (halo + all-reduce;
+    #: zero on a single node)
+    net_bytes: int = 0
     #: the scheduled event timeline (None for legacy/synthetic results)
     timeline: Optional[EventTimeline] = None
 
@@ -128,6 +142,13 @@ class HongTuTrainer:
                 f"model input dim {model.dims[0]} != feature dim "
                 f"{graph.feature_dim}"
             )
+        platform_nodes = getattr(platform, "num_nodes", 1)
+        if config.nodes != platform_nodes:
+            raise ConfigurationError(
+                f"config.nodes={config.nodes} but the platform has "
+                f"{platform_nodes} node(s); build a ClusterPlatform with a "
+                f"matching node count"
+            )
         self.graph = graph
         self.model = model
         self.platform = platform
@@ -135,6 +156,7 @@ class HongTuTrainer:
         self.optimizer = optimizer or Adam(model.parameters(), lr=0.01)
         self._epoch = 0
         self._pipelined = config.overlap == "pipeline"
+        self._allreduce_net_bytes = 0  # per-epoch, reset by train_epoch
 
         # ---- preprocessing -------------------------------------------------
         self.partition: TwoLevelPartition = two_level_partition(
@@ -176,7 +198,12 @@ class HongTuTrainer:
         host_bytes = sum(
             2 * n * dim * config.bytes_per_scalar for dim in dims
         )
-        self._host_allocation = platform.host.alloc("vertex_data", host_bytes)
+        # Vertex data shards evenly across node hosts (one share per node;
+        # a single-node platform yields exactly one full-size share).
+        self._host_allocations = [
+            pool.alloc("vertex_data", share)
+            for pool, share in platform.split_host_bytes(host_bytes)
+        ]
         # Host-side checkpoint store for cached AGGREGATE outputs. The
         # host allocation behind each (layer, gpu, batch) slot is created
         # once and resized/reused across epochs.
@@ -202,6 +229,7 @@ class HongTuTrainer:
         timeline = self._new_timeline()
         bytes_before = dict(self._comm_values.bytes_moved)
         grads_before = dict(self._comm_grads.bytes_moved)
+        self._allreduce_net_bytes = 0
 
         self.model.zero_grad()
         self._forward(timeline)
@@ -224,15 +252,21 @@ class HongTuTrainer:
             self._comm_values.bytes_moved["d2d"] - bytes_before["d2d"]
             + self._comm_grads.bytes_moved["d2d"] - grads_before["d2d"]
         )
+        net = (
+            self._comm_values.bytes_moved["net"] - bytes_before["net"]
+            + self._comm_grads.bytes_moved["net"] - grads_before["net"]
+            + self._allreduce_net_bytes
+        )
         return EpochResult(
             epoch=self._epoch,
             loss=loss,
             clock=timeline.breakdown,
             peak_gpu_bytes=self.platform.peak_gpu_memory(),
-            host_bytes=self.platform.host.in_use,
+            host_bytes=self.platform.host_in_use(),
             h2d_bytes=h2d,
             d2d_bytes=d2d,
             d2h_bytes=d2h,
+            net_bytes=net,
             timeline=timeline,
         )
 
@@ -492,12 +526,44 @@ class HongTuTrainer:
     # ------------------------------------------------------------------
     def _all_reduce_and_step(self, timeline: EventTimeline) -> None:
         param_bytes = self.model.parameter_nbytes()
-        m = self.plan.num_gpus
-        if m > 1:
-            # Ring all-reduce volume: 2 (m-1)/m of the parameter payload.
-            volume = 2 * param_bytes * (m - 1) / m
-            timeline.add("d2d", self.platform.d2d_seconds(volume),
-                         device=0, label="all_reduce")
+        nodes = getattr(self.platform, "num_nodes", 1)
+        if nodes == 1:
+            m = self.plan.num_gpus
+            if m > 1:
+                # Ring all-reduce volume: 2 (m-1)/m of the parameter payload.
+                volume = 2 * param_bytes * (m - 1) / m
+                timeline.add("d2d", self.platform.d2d_seconds(volume),
+                             device=0, label="all_reduce")
+        else:
+            # Hierarchical all-reduce: each node ring-reduces over its own
+            # GPUs on NVLink, then the nodes run the configured inter-node
+            # collective over the network; every participating link gets
+            # one task of the collective's per-node busy time so pipeline
+            # scheduling sees the real dependency structure.
+            g = self.platform.gpus_per_node
+            intra_tasks = []
+            if g > 1:
+                volume = 2 * param_bytes * (g - 1) / g
+                intra_tasks = timeline.submit_phase(
+                    "d2d",
+                    [self.platform.d2d_seconds(volume)] * nodes,
+                    devices=[node * g for node in range(nodes)],
+                    label="all_reduce_intra",
+                )
+            cost = ClusterCostModel.from_cluster(self.platform.cluster)
+            seconds = cost.allreduce_seconds(
+                param_bytes, algorithm=self.config.allreduce
+            )
+            timeline.submit_phase(
+                "net", [seconds] * nodes,
+                devices=[net_link(node, (node + 1) % nodes, nodes)
+                         for node in range(nodes)],
+                deps=intra_tasks,
+                label=f"all_reduce_{self.config.allreduce}",
+            )
+            # Total wire volume of an all-reduce (ring and tree alike):
+            # 2 (N-1) payloads cross the network.
+            self._allreduce_net_bytes += 2 * param_bytes * (nodes - 1)
         self.optimizer.step()
 
     # ------------------------------------------------------------------
@@ -509,7 +575,10 @@ class HongTuTrainer:
         nbytes = data.shape[0] * data.shape[1] * self.config.bytes_per_scalar
         allocation = self._checkpoint_allocations.get(key)
         if allocation is None:
-            self._checkpoint_allocations[key] = self.platform.host.alloc(
+            # Checkpoints live on the host of the GPU that wrote them
+            # (node 0's pool on a single-node platform).
+            pool = self.platform.host_pool(self.platform.node_of(i))
+            self._checkpoint_allocations[key] = pool.alloc(
                 "aggregate_cache", nbytes
             )
         elif allocation.nbytes != nbytes:

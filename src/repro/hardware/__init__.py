@@ -4,22 +4,28 @@ from repro.hardware.spec import (
     GPUSpec,
     PlatformSpec,
     CPUClusterSpec,
+    ClusterSpec,
     A100_SERVER,
     PCIE_ONLY_SERVER,
     CPU_NODE,
     ECS_CLUSTER,
+    A100_CLUSTER,
     GB,
     scaled_platform,
 )
 from repro.hardware.memory import MemoryPool, Allocation
 from repro.hardware.clock import TimeBreakdown, EventTimeline, CATEGORIES
-from repro.hardware.platform import SimulatedGPU, MultiGPUPlatform
+from repro.hardware.platform import (
+    SimulatedGPU,
+    MultiGPUPlatform,
+    ClusterPlatform,
+)
 
 __all__ = [
-    "GPUSpec", "PlatformSpec", "CPUClusterSpec",
+    "GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
     "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
-    "GB", "scaled_platform",
+    "A100_CLUSTER", "GB", "scaled_platform",
     "MemoryPool", "Allocation",
     "TimeBreakdown", "EventTimeline", "CATEGORIES",
-    "SimulatedGPU", "MultiGPUPlatform",
+    "SimulatedGPU", "MultiGPUPlatform", "ClusterPlatform",
 ]

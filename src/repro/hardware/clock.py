@@ -8,10 +8,14 @@ the paper's Fig. 9 components, with host↔GPU traffic split by direction:
 * ``h2d``  — host→GPU transfers over PCIe,
 * ``d2h``  — GPU→host transfers over PCIe (writebacks, gradient flushes),
 * ``d2d``  — inter-GPU transfers over NVLink/P2P,
-* ``cpu``  — host-side gradient accumulation.
+* ``cpu``  — host-side gradient accumulation,
+* ``net``  — inter-node network transfers of the simulated cluster
+  (all-reduce, halo exchange; zero on a single-node run).
 
 (Fig. 9 reports both PCIe directions as one "H2D" bar; summing the ``h2d``
-and ``d2h`` categories reproduces it.)
+and ``d2h`` categories reproduces it. The paper's single-server runs never
+charge ``net``; the DistGNN baseline and the multi-node HongTu extension
+do.)
 
 Two concurrency models coexist:
 
@@ -36,7 +40,7 @@ from repro.runtime.task import HOST_DEVICE, Task
 
 __all__ = ["TimeBreakdown", "EventTimeline", "CATEGORIES"]
 
-CATEGORIES = ("gpu", "h2d", "d2h", "d2d", "cpu")
+CATEGORIES = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
 
 
 @dataclass

@@ -13,17 +13,25 @@ The NUMA model follows §7.6: with NUMA-aware vertex-data placement (possible
 when each socket's GPUs only read their socket's DRAM) H2D runs at full PCIe
 bandwidth; when the working set spans sockets (the paper hit this with ≤ 2
 GPUs), a fraction of traffic crosses QPI at ``qpi_factor`` of PCIe speed.
+
+:class:`ClusterPlatform` extends the same contract to N such servers joined
+by a network (:class:`~repro.hardware.spec.ClusterSpec`): GPUs get *global*
+device ids (node k owns ids ``[k·g, (k+1)·g)``), each node has its own host
+memory pool, and a ``net_seconds`` cost function prices inter-node
+messages. A one-node cluster is cost- and capacity-identical to the plain
+:class:`MultiGPUPlatform` (tested in ``tests/test_cluster.py``), which is
+what lets the trainer share one code path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.memory import MemoryPool
-from repro.hardware.spec import PlatformSpec
+from repro.hardware.spec import ClusterSpec, PlatformSpec
 
-__all__ = ["SimulatedGPU", "MultiGPUPlatform"]
+__all__ = ["SimulatedGPU", "MultiGPUPlatform", "ClusterPlatform"]
 
 
 class SimulatedGPU:
@@ -91,6 +99,47 @@ class MultiGPUPlatform:
         """Host-side gradient accumulation of ``nbytes`` of gradient data."""
         return nbytes / self.spec.cpu_accumulate_bandwidth
 
+    # -- node topology (single node here; ClusterPlatform overrides) -------
+    @property
+    def num_nodes(self) -> int:
+        """Server count; a plain platform is always one node."""
+        return 1
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.num_gpus
+
+    def node_of(self, device: int) -> int:
+        """Node hosting ``device`` (GPU id); host/net pseudo-devices → 0."""
+        return 0
+
+    def net_seconds(self, nbytes: float) -> float:
+        """Inter-node message cost; meaningless on one node."""
+        raise ConfigurationError(
+            f"{self.spec.name} is a single node; no network to price"
+        )
+
+    # -- host memory, node-aware -------------------------------------------
+    def host_pool(self, node: int = 0) -> MemoryPool:
+        """The host memory pool of ``node``."""
+        if node != 0:
+            raise ConfigurationError(
+                f"single-node platform has no node {node}"
+            )
+        return self.host
+
+    def split_host_bytes(self, nbytes: int) -> List[Tuple[MemoryPool, int]]:
+        """(pool, bytes) shares for data sharded across node hosts.
+
+        On one node the full allocation lands in the single host pool; a
+        cluster shards it evenly (vertex data lives on the owner node).
+        """
+        return [(self.host, nbytes)]
+
+    def host_in_use(self) -> int:
+        """Bytes currently allocated across all node host pools."""
+        return self.host.in_use
+
     # -- throughput triple for the Eq. 4 cost model --------------------------
     def throughputs(self) -> tuple:
         """(T_hd, T_dd, T_ru) in bytes/second, NUMA-adjusted."""
@@ -111,5 +160,102 @@ class MultiGPUPlatform:
     def __repr__(self) -> str:
         return (
             f"MultiGPUPlatform(spec={self.spec.name!r}, gpus={self.num_gpus}, "
+            f"numa_aware={self.numa_aware})"
+        )
+
+
+class ClusterPlatform(MultiGPUPlatform):
+    """Cost + capacity model of N multi-GPU servers on a flat network.
+
+    GPU ``p`` (global id) lives on node ``p // gpus_per_node`` as local
+    device ``p % gpus_per_node`` — the canonical partition→node→GPU map
+    (also exposed as :func:`repro.partition.partition_nodes`). Per-node
+    transfer/compute rates are those of the node spec; only ``net_seconds``
+    is new. With ``num_nodes == 1`` every cost and capacity answer is
+    identical to ``MultiGPUPlatform(cluster.node)``.
+    """
+
+    def __init__(self, cluster: ClusterSpec,
+                 gpus_per_node: Optional[int] = None,
+                 numa_aware: Optional[bool] = None):
+        node_spec = cluster.node
+        per_node = gpus_per_node if gpus_per_node is not None \
+            else node_spec.num_gpus
+        if not 1 <= per_node <= node_spec.num_gpus:
+            raise ConfigurationError(
+                f"node exposes {node_spec.num_gpus} GPUs, requested {per_node}"
+            )
+        self.cluster = cluster
+        self.spec = node_spec
+        self._gpus_per_node = per_node
+        self.num_gpus = cluster.num_nodes * per_node
+        gpus_per_socket = max(node_spec.num_gpus // node_spec.num_sockets, 1)
+        self.gpus = [
+            SimulatedGPU(
+                node * per_node + local,
+                local // gpus_per_socket,
+                node_spec.gpu.memory_bytes,
+            )
+            for node in range(cluster.num_nodes)
+            for local in range(per_node)
+        ]
+        self.hosts: List[MemoryPool] = [
+            MemoryPool(node_spec.host_memory_bytes, name=f"host{node}")
+            for node in range(cluster.num_nodes)
+        ]
+        self.host = self.hosts[0]
+        # NUMA placement is decided per node by its local GPU count (§7.6).
+        if numa_aware is None:
+            numa_aware = per_node > node_spec.num_sockets
+        self.numa_aware = numa_aware
+
+    @property
+    def num_nodes(self) -> int:
+        return self.cluster.num_nodes
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self._gpus_per_node
+
+    def node_of(self, device: int) -> int:
+        """Node of a global GPU id; pseudo-devices (< 0) map to node 0."""
+        if device < 0:
+            return 0
+        return device // self._gpus_per_node
+
+    def net_seconds(self, nbytes: float) -> float:
+        """One inter-node message: fixed latency + bytes over one link."""
+        return (self.cluster.network_latency
+                + nbytes / self.cluster.network_bandwidth)
+
+    # -- host memory, node-aware -------------------------------------------
+    def host_pool(self, node: int = 0) -> MemoryPool:
+        return self.hosts[node]
+
+    def split_host_bytes(self, nbytes: int) -> List[Tuple[MemoryPool, int]]:
+        """Even shard of ``nbytes`` across node hosts (remainder on node 0)."""
+        share = nbytes // self.num_nodes
+        shares = [share] * self.num_nodes
+        shares[0] += nbytes - share * self.num_nodes
+        return list(zip(self.hosts, shares))
+
+    def host_in_use(self) -> int:
+        return sum(pool.in_use for pool in self.hosts)
+
+    def reset_memory(self) -> None:
+        """Drop all allocations (between experiment runs)."""
+        for gpu in self.gpus:
+            gpu.memory = MemoryPool(self.spec.gpu.memory_bytes,
+                                    name=f"gpu{gpu.device_id}")
+        self.hosts = [
+            MemoryPool(self.spec.host_memory_bytes, name=f"host{node}")
+            for node in range(self.num_nodes)
+        ]
+        self.host = self.hosts[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterPlatform(cluster={self.cluster.name!r}, "
+            f"nodes={self.num_nodes}, gpus_per_node={self._gpus_per_node}, "
             f"numa_aware={self.numa_aware})"
         )

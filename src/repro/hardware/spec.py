@@ -12,17 +12,22 @@ The numbers mirror the paper's testbeds (§7.1, Fig. 1):
   interconnects").
 * ``CPU_NODE`` — one node of the 16-node Aliyun ECS cluster used by the
   DistGNN comparison (56 vCPUs, 512 GB, 20 Gbps network).
+* ``A100_CLUSTER`` — the scale-out extension beyond the paper: N copies of
+  ``A100_SERVER`` joined by a flat 100 Gbps fabric. The paper stops at one
+  server (its §8 names multi-server execution as future work); this spec is
+  what the event-timeline runtime uses to explore that axis.
 
-All bandwidths are bytes/second, capacities bytes, throughputs FLOP/s.
+All bandwidths are bytes/second, latencies seconds, capacities bytes,
+throughputs FLOP/s.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["GPUSpec", "PlatformSpec", "CPUClusterSpec",
+__all__ = ["GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
            "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
-           "GB", "scaled_platform"]
+           "A100_CLUSTER", "GB", "scaled_platform"]
 
 GB = 1024 ** 3
 
@@ -93,6 +98,48 @@ class CPUClusterSpec:
         return replace(self, num_nodes=num_nodes)
 
 
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N identical multi-GPU servers joined by a flat network.
+
+    The scale-out testbed of the multi-node extension: every node is one
+    ``node`` :class:`PlatformSpec` (the paper's single-server platform),
+    and nodes exchange halo rows / gradients over full-duplex,
+    non-blocking links. ``network_bandwidth`` is the achieved per-link,
+    per-direction byte rate; ``network_latency`` the fixed per-message
+    setup cost charged to every network task.
+    """
+
+    name: str
+    num_nodes: int
+    node: PlatformSpec
+    #: achieved bytes/second per link per direction
+    network_bandwidth: float
+    #: seconds of fixed per-message overhead
+    network_latency: float
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.network_bandwidth <= 0:
+            raise ValueError("network_bandwidth must be positive")
+        if self.network_latency < 0:
+            raise ValueError("network_latency must be >= 0")
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs across the whole cluster (``num_nodes × node.num_gpus``)."""
+        return self.num_nodes * self.node.num_gpus
+
+    def with_num_nodes(self, num_nodes: int) -> "ClusterSpec":
+        """Copy of this spec with a different node count."""
+        return replace(self, num_nodes=num_nodes)
+
+    def with_node(self, node: PlatformSpec) -> "ClusterSpec":
+        """Copy of this spec with a different per-node server."""
+        return replace(self, node=node)
+
+
 # Achieved (not peak) throughputs, calibrated against the paper's own
 # measurements: DGL's 2-layer GCN epoch on reddit takes 0.19 s (Table 5),
 # which at ~7.3e11 flops/epoch implies ~4 TFLOP/s achieved on the SpMM+GEMM
@@ -139,6 +186,14 @@ CPU_NODE = CPUClusterSpec(
 )
 
 ECS_CLUSTER = CPU_NODE.with_num_nodes(16)
+
+A100_CLUSTER = ClusterSpec(
+    name="2x(4xA100-NVLink)",
+    num_nodes=2,
+    node=A100_SERVER,
+    network_bandwidth=11 * GB,   # 100 Gbps links, ~90 % achieved
+    network_latency=5e-6,        # RDMA-class per-message latency
+)
 
 
 def scaled_platform(base: PlatformSpec, memory_scale: float) -> PlatformSpec:

@@ -12,6 +12,11 @@ from repro.partition.replication import (
     replication_factor_sweep,
     vertex_data_per_subgraph,
 )
+from repro.partition.nodes import (
+    partition_nodes,
+    node_of_partition,
+    halo_volumes,
+)
 
 __all__ = [
     "metis_partition", "edge_cut", "partition_balance",
@@ -19,4 +24,5 @@ __all__ = [
     "two_level_partition", "range_chunks", "TwoLevelPartition",
     "replication_factor", "replication_factor_sweep",
     "vertex_data_per_subgraph",
+    "partition_nodes", "node_of_partition", "halo_volumes",
 ]

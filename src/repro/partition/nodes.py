@@ -1,0 +1,89 @@
+"""Partition→node mapping and halo-volume analysis for cluster scale-out.
+
+The two-level partition (§4.1) assigns every vertex to one of ``m``
+partitions, one per GPU. On a cluster of N nodes with g GPUs each,
+``m = N·g`` and partition ``p`` runs on node ``p // g`` — contiguous
+blocks, which preserves the METIS ordering's locality so that most of a
+node's neighbor traffic stays on intra-node NVLink and only the remainder
+crosses the network.
+
+The *halo* of a node pair (s, d) is the set of vertex rows owned by node s
+that node d's chunks need as aggregation inputs — the rows that must cross
+the network each layer sweep. :func:`halo_volumes` measures it in vertex
+rows per epoch-layer, batch by batch, exactly matching the network tasks
+the executor emits (same dedup semantics: each staged row crosses once per
+batch it is fetched in).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.partition.two_level import TwoLevelPartition
+
+__all__ = ["partition_nodes", "node_of_partition", "halo_volumes"]
+
+
+def node_of_partition(partition_id: int, gpus_per_node: int) -> int:
+    """Node hosting ``partition_id`` under the contiguous-block map."""
+    if gpus_per_node < 1:
+        raise PartitionError(
+            f"gpus_per_node must be >= 1, got {gpus_per_node}"
+        )
+    return partition_id // gpus_per_node
+
+
+def partition_nodes(num_partitions: int, num_nodes: int) -> np.ndarray:
+    """Partition→node map: ``num_partitions`` ids in contiguous node blocks.
+
+    ``num_partitions`` must be divisible by ``num_nodes`` (every node runs
+    the same number of GPUs). Returns an int array of length
+    ``num_partitions`` with entry p = node of partition p.
+    """
+    if num_nodes < 1 or num_partitions < 1:
+        raise PartitionError(
+            f"need >= 1 nodes and partitions, got {num_nodes} nodes, "
+            f"{num_partitions} partitions"
+        )
+    if num_partitions % num_nodes != 0:
+        raise PartitionError(
+            f"{num_partitions} partitions do not divide evenly over "
+            f"{num_nodes} nodes"
+        )
+    gpus_per_node = num_partitions // num_nodes
+    return np.repeat(np.arange(num_nodes, dtype=np.int64), gpus_per_node)
+
+
+def halo_volumes(partition: TwoLevelPartition,
+                 num_nodes: int) -> np.ndarray:
+    """Per-epoch-layer network rows between node pairs.
+
+    Returns an ``(N, N)`` int matrix H where ``H[s, d]`` counts the vertex
+    rows staged on node s that node d's GPUs fetch across the network,
+    summed over all batches of one layer sweep (the same counting as the
+    executor's forward fetch under full deduplication: each batch-union
+    vertex is staged once on its owner GPU, and every remote reader GPU
+    that needs it pulls its own copy over the s→d link). The diagonal is
+    zero — intra-node fetches ride NVLink, not the network.
+
+    A zero matrix means the partition has no halo (every chunk's neighbors
+    are node-local) and a cluster run emits no fetch-phase network tasks.
+    """
+    node_map = partition_nodes(partition.num_partitions, num_nodes)
+    assignment = partition.assignment
+    m = partition.num_partitions
+    volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    for j in range(partition.num_chunks):
+        for i in range(m):
+            needed = partition.chunks[i][j].neighbor_global
+            if len(needed) == 0:
+                continue
+            reader_node = node_map[i]
+            owner_nodes = node_map[assignment[needed]]
+            remote = owner_nodes != reader_node
+            if remote.any():
+                counts = np.bincount(owner_nodes[remote],
+                                     minlength=num_nodes)
+                volumes[:, reader_node] += counts
+    return volumes

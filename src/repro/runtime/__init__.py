@@ -14,11 +14,20 @@ is the trainer-facing wrapper that combines a scheduler with the legacy
 :class:`~repro.hardware.clock.TimeBreakdown` category view.
 """
 
-from repro.runtime.task import CHANNELS, HOST_DEVICE, OVERLAP_POLICIES, Task
+from repro.runtime.task import (
+    CHANNELS,
+    HOST_DEVICE,
+    NET_DEVICE_BASE,
+    OVERLAP_POLICIES,
+    Task,
+    net_link,
+    net_link_nodes,
+)
 from repro.runtime.scheduler import EventScheduler
 from repro.runtime.buffers import TransitionBuffers
 
 __all__ = [
-    "CHANNELS", "HOST_DEVICE", "OVERLAP_POLICIES",
+    "CHANNELS", "HOST_DEVICE", "NET_DEVICE_BASE", "OVERLAP_POLICIES",
     "Task", "EventScheduler", "TransitionBuffers",
+    "net_link", "net_link_nodes",
 ]

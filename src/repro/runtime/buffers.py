@@ -25,7 +25,15 @@ __all__ = ["TransitionBuffers"]
 
 
 class TransitionBuffers:
-    """Per-GPU staging buffers registered with the simulated memory pools."""
+    """Per-GPU staging buffers registered with the simulated memory pools.
+
+    One instance backs one layer sweep (§6's transition data buffer, or the
+    transition *gradient* buffer during backward). ``buffer_rows[i]`` is
+    GPU i's capacity in vertex rows (the planner's in-place slot count),
+    ``dim`` the row width in scalars, and ``bytes_per_scalar`` the logical
+    element size charged to the simulated GPU pools (4 = float32 on the
+    real hardware, independent of the numpy payload dtype).
+    """
 
     def __init__(self, platform, buffer_rows: Sequence[int], dim: int,
                  dtype, bytes_per_scalar: int, double_buffer: bool = False):
@@ -44,7 +52,12 @@ class TransitionBuffers:
             self.arrays.append(np.zeros((rows, dim), dtype=dtype))
 
     def parity(self, batch: int) -> int:
-        """Which buffer copy batch ``batch`` stages into (0 when single)."""
+        """Which buffer copy batch ``batch`` stages into (0 when single).
+
+        Under double buffering, batches alternate between the two copies so
+        batch j+1's prefetch never overwrites rows batch j still reads —
+        the dependency relaxation behind ``overlap="pipeline"``.
+        """
         return batch % 2 if self.double_buffer else 0
 
     def free(self) -> None:

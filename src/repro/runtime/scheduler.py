@@ -1,7 +1,8 @@
 """Discrete-event scheduler over per-device channels.
 
-The scheduler assigns start/end times to :class:`~repro.runtime.task.Task`
-objects as they are submitted. A task starts at the latest of
+The scheduler assigns start/end times (simulated seconds) to
+:class:`~repro.runtime.task.Task` objects as they are submitted. A task
+starts at the latest of
 
 * the end of the previous task on its ``(device, channel)`` resource
   (hardware queues execute in order),
@@ -15,6 +16,15 @@ dependency end times and resource availability, removing a dependency or a
 barrier can never *increase* any start time — which is why the ``pipeline``
 overlap policy is guaranteed to produce a makespan no larger than the
 ``barrier`` policy for the same task stream.
+
+This is the timing half of the reproduction: the paper's barrier-
+synchronized Algorithms 1-3 correspond to a barrier after every submitted
+phase (epoch time = sum of per-phase maxima, the Fig. 9 accounting), while
+the pipelined schedule keeps only true data dependencies and reads the
+epoch time off the critical path. Cluster scale-out adds ``net``-channel
+tasks on per-link resources (:func:`~repro.runtime.task.net_link`) to the
+same DAG, so halo traffic competes/overlaps with PCIe and kernels under
+exactly the same rules.
 """
 
 from __future__ import annotations
@@ -27,7 +37,13 @@ __all__ = ["EventScheduler"]
 
 
 class EventScheduler:
-    """Assigns times to submitted tasks; answers makespan/busy queries."""
+    """Assigns times to submitted tasks; answers makespan/busy queries.
+
+    All times are simulated seconds (never wall clock). Devices are GPU
+    indices (``>= 0``), :data:`~repro.runtime.task.HOST_DEVICE`, or encoded
+    network links (``<= NET_DEVICE_BASE``); channels are the hardware
+    queues of :data:`~repro.runtime.task.CHANNELS`.
+    """
 
     def __init__(self) -> None:
         self.tasks: List[Task] = []
@@ -42,7 +58,14 @@ class EventScheduler:
     def submit(self, channel: str, device: int, seconds: float,
                deps: Iterable[Task] = (), category: str = "",
                group: int = -1, label: str = "") -> Task:
-        """Schedule ``seconds`` of work on ``(device, channel)``."""
+        """Schedule ``seconds`` of work on ``(device, channel)``.
+
+        ``seconds`` is the task's simulated duration (e.g. bytes/bandwidth
+        for a transfer, flops/throughput for a kernel); the assigned
+        ``start`` is the earliest time permitted by the resource queue,
+        ``deps``, and the latest barrier. Must be called in a topological
+        order of the dependency DAG (program order suffices).
+        """
         if channel not in CHANNELS:
             raise ValueError(f"unknown channel {channel!r}")
         if seconds < 0:
@@ -80,7 +103,13 @@ class EventScheduler:
         return task
 
     def barrier(self) -> float:
-        """Global synchronization: later tasks start at/after the makespan."""
+        """Global synchronization: later tasks start at/after the makespan.
+
+        Models a cross-device synchronize (the end-of-phase barrier of
+        Algorithms 1-3, or the layer-sweep boundary where layer l+1 reads
+        rows layer l wrote back). Returns the barrier time in simulated
+        seconds.
+        """
         self._barrier_time = self.makespan
         return self._barrier_time
 
@@ -94,7 +123,12 @@ class EventScheduler:
 
     def busy_seconds(self, channel: Optional[str] = None,
                      device: Optional[int] = None) -> float:
-        """Total task seconds matching the channel/device filters."""
+        """Total task seconds matching the channel/device filters.
+
+        Busy seconds are occupancy, not wall time: tasks on different
+        resources overlap, so per-resource busy time lower-bounds any
+        schedule's makespan (tested in ``tests/test_runtime.py``).
+        """
         return sum(
             task.seconds for task in self.tasks
             if (channel is None or task.channel == channel)
@@ -109,6 +143,7 @@ class EventScheduler:
         return out
 
     def devices(self) -> List[int]:
+        """Sorted ids of every device that received at least one task."""
         return sorted({task.device for task in self.tasks})
 
     def critical_path(self) -> List[Task]:

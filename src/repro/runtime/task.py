@@ -1,22 +1,32 @@
 """Tasks and channels of the discrete-event execution engine.
 
 A :class:`Task` is one unit of simulated hardware work — a kernel, a PCIe
-transfer, a P2P copy, or a host-side accumulation — bound to a *channel* of
-one *device*. Channels model the independent hardware queues of a real GPU
-server (CUDA streams, copy engines, host threads): two tasks on different
-channels of the same device may overlap in time, while tasks on the same
-``(device, channel)`` pair serialize.
+transfer, a P2P copy, a network message, or a host-side accumulation —
+bound to a *channel* of one *device*. Channels model the independent
+hardware queues of a real GPU server (CUDA streams, copy engines, NICs,
+host threads): two tasks on different channels of the same device may
+overlap in time, while tasks on the same ``(device, channel)`` pair
+serialize. This is the substrate of the paper's Algorithms 1-3: every
+load/compute/writeback step of HongTu's epoch (§4, Fig. 5) becomes one
+task, and barrier-vs-pipelined execution is purely a choice of
+dependencies and barriers over the same task stream.
 
-Channels mirror the five cost categories of the reproduction's clock:
+Channels mirror the cost categories of the reproduction's clock
+(the Fig. 9 components plus the cluster extension's network):
 
 * ``gpu`` — the device's compute queue (kernels + intra-GPU copies),
-* ``h2d`` — the host→device PCIe copy engine,
+* ``h2d`` — the host→device PCIe copy engine (the paper's T_hd traffic),
 * ``d2h`` — the device→host PCIe copy engine (full-duplex PCIe),
-* ``d2d`` — the NVLink/P2P engine,
-* ``cpu`` — the host-side accumulation thread serving that device.
+* ``d2d`` — the NVLink/P2P engine (the paper's T_dd traffic),
+* ``cpu`` — the host-side accumulation thread serving that device,
+* ``net`` — an inter-node network link of the simulated cluster
+  (the scale-out axis beyond the paper's single server; §7.1's DistGNN
+  cluster and the multi-node HongTu extension share it).
 
 ``HOST_DEVICE`` (-1) is the pseudo-device for work with no GPU affinity
-(e.g. the global loss computation).
+(e.g. the global loss computation). ``net`` tasks do not run on a GPU
+either: their device id encodes a *directed node pair* — the network link
+the message occupies — via :func:`net_link`.
 """
 
 from __future__ import annotations
@@ -24,13 +34,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-__all__ = ["Task", "CHANNELS", "HOST_DEVICE", "OVERLAP_POLICIES"]
+__all__ = ["Task", "CHANNELS", "HOST_DEVICE", "NET_DEVICE_BASE",
+           "OVERLAP_POLICIES", "net_link", "net_link_nodes"]
 
 #: hardware queues a device exposes; one scheduler resource per (device, channel)
-CHANNELS = ("gpu", "h2d", "d2h", "d2d", "cpu")
+CHANNELS = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
 
 #: pseudo-device id for host-global work
 HOST_DEVICE = -1
+
+#: network-link device ids occupy (-inf, NET_DEVICE_BASE]; see :func:`net_link`
+NET_DEVICE_BASE = -2
 
 #: epoch scheduling policies: ``barrier`` serializes phases exactly like the
 #: original TimeBreakdown accounting; ``pipeline`` lets independent channels
@@ -38,15 +52,52 @@ HOST_DEVICE = -1
 OVERLAP_POLICIES = ("barrier", "pipeline")
 
 
+def net_link(src_node: int, dst_node: int, num_nodes: int) -> int:
+    """Scheduler device id of the directed ``src_node → dst_node`` link.
+
+    Network tasks serialize per *link*, not per node: a full-duplex fabric
+    carries ``src→dst`` and ``dst→src`` concurrently, and distinct node
+    pairs never contend (a flat, non-blocking switch — the topology of the
+    paper's ECS testbed, §7.1). The diagonal ``src == dst`` is never used
+    by pair traffic and is reserved for per-node NIC aggregates (the
+    DistGNN baseline charges its bulk-synchronous replica sync there).
+
+    The returned id lives at/below :data:`NET_DEVICE_BASE` so it can never
+    collide with GPU device ids (``>= 0``) or :data:`HOST_DEVICE` (-1).
+    """
+    if not (0 <= src_node < num_nodes and 0 <= dst_node < num_nodes):
+        raise ValueError(
+            f"node pair ({src_node}, {dst_node}) outside cluster of "
+            f"{num_nodes} nodes"
+        )
+    return NET_DEVICE_BASE - (src_node * num_nodes + dst_node)
+
+
+def net_link_nodes(device: int, num_nodes: int) -> Tuple[int, int]:
+    """Inverse of :func:`net_link`: decode a link device id to its pair."""
+    if device > NET_DEVICE_BASE:
+        raise ValueError(f"{device} is not a network-link device id")
+    flat = NET_DEVICE_BASE - device
+    return flat // num_nodes, flat % num_nodes
+
+
 @dataclass
 class Task:
-    """One scheduled unit of work on a ``(device, channel)`` resource."""
+    """One scheduled unit of work on a ``(device, channel)`` resource.
+
+    Produced only by :meth:`~repro.runtime.scheduler.EventScheduler.submit`;
+    ``start``/``end`` are simulated seconds on the epoch clock, ``seconds``
+    the task's own duration (``end - start`` exactly — tasks never preempt).
+    """
 
     task_id: int
     channel: str
     device: int
+    #: duration in simulated seconds (bytes/bandwidth or flops/throughput)
     seconds: float
+    #: simulated start time, seconds since the epoch's time zero
     start: float
+    #: simulated completion time (``start + seconds``)
     end: float
     #: clock category this task's time is reported under (defaults to channel)
     category: str = ""

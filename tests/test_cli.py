@@ -24,6 +24,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--dataset", "imagenet"])
 
+    def test_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--nodes", "2", "--allreduce", "tree"]
+        )
+        assert args.nodes == 2
+        assert args.allreduce == "tree"
+        # Defaults: single node, ring all-reduce.
+        defaults = build_parser().parse_args(["train"])
+        assert defaults.nodes == 1
+        assert defaults.allreduce == "ring"
+
+    def test_rejects_unknown_allreduce(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--allreduce", "gossip"])
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -71,3 +86,12 @@ class TestCommands:
                      "--epochs", "1", "--arch", "ggnn",
                      "--hidden-dim", "8"]) == 0
         capsys.readouterr()
+
+    def test_train_multi_node(self, capsys):
+        assert main(["train", "--dataset", "products_sim", "--scale", "0.08",
+                     "--epochs", "1", "--nodes", "2", "--gpus", "2",
+                     "--overlap", "pipeline", "--hidden-dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2 node(s) x 2 GPUs" in out
+        assert "per-node busy seconds" in out
+        assert "node1" in out

@@ -11,6 +11,7 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 EXAMPLES = [
     "quickstart.py",
     "billion_scale_planning.py",
+    "cluster_scaling.py",
     "communication_tuning.py",
     "custom_model.py",
     "paper_walkthrough.py",

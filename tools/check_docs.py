@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Documentation checks: doctest the markdown code blocks, verify links.
+
+Run with:  PYTHONPATH=src python tools/check_docs.py
+
+Two checks over every tracked markdown file (repo root + docs/):
+
+1. **Doctests** — every fenced ``pycon`` code block must be a valid
+   doctest session and pass when executed (the ``python -m doctest``
+   semantics, applied per block via :mod:`doctest`). Plain ``python`` /
+   ``bash`` blocks are not executed — only blocks that opt in by using
+   the interpreter-session dialect.
+2. **Intra-repo links** — every relative markdown link target
+   (``[text](path)``, optionally with a ``#fragment``) must exist on
+   disk. External (``http``/``https``/``mailto``) and pure-fragment
+   links are skipped.
+
+Exit status 0 when everything passes; 1 with a per-failure report
+otherwise. CI runs this as the ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files under these locations are checked
+MARKDOWN_GLOBS = ["*.md", "docs/*.md"]
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _rel(path: Path) -> str:
+    """Repo-relative name when possible, plain path otherwise."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def markdown_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in MARKDOWN_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def extract_pycon_blocks(text: str) -> list[tuple[int, str]]:
+    """(start_line, block_source) for every fenced ``pycon`` block."""
+    blocks: list[tuple[int, str]] = []
+    language = None
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match is None:
+            if language is not None:
+                lines.append(line)
+            continue
+        if language is None:
+            language = match.group(1).lower()
+            start = number + 1
+            lines = []
+        else:
+            if language == "pycon":
+                blocks.append((start, "\n".join(lines) + "\n"))
+            language = None
+    return blocks
+
+
+def run_doctests(path: Path) -> list[str]:
+    """Run every pycon block of ``path``; return failure descriptions."""
+    failures: list[str] = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False,
+                                   optionflags=doctest.ELLIPSIS)
+    for start, source in extract_pycon_blocks(path.read_text()):
+        name = f"{_rel(path)}:{start}"
+        try:
+            test = parser.get_doctest(source, {}, name, str(path), start)
+        except ValueError as exc:
+            failures.append(f"{name}: malformed doctest block: {exc}")
+            continue
+        if not test.examples:
+            failures.append(f"{name}: pycon block contains no >>> examples")
+            continue
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            failures.append(
+                f"{name}: {result.failed}/{result.attempted} doctest "
+                f"example(s) failed (run with python -m doctest for detail)"
+            )
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    """Verify every relative link target of ``path`` exists."""
+    failures: list[str] = []
+    text = path.read_text()
+    # Strip fenced code blocks so shell snippets can't look like links.
+    stripped: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            stripped.append(line)
+    for number, line in enumerate(stripped, start=1):
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{_rel(path)}: broken link "
+                    f"-> {target}"
+                )
+    return failures
+
+
+def main() -> int:
+    files = markdown_files()
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures: list[str] = []
+    doctested = 0
+    for path in files:
+        block_failures = run_doctests(path)
+        doctested += len(extract_pycon_blocks(path.read_text()))
+        failures.extend(block_failures)
+        failures.extend(check_links(path))
+    if failures:
+        print(f"FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"docs OK: {len(files)} markdown file(s), "
+          f"{doctested} pycon block(s) doctested, links verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
