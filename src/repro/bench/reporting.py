@@ -64,22 +64,40 @@ def render_timeline(timeline, title: Optional[str] = None,
                     width: int = 40) -> str:
     """Channel-utilization summary of an EventTimeline.
 
-    One row per hardware channel: busy seconds (summed over devices), the
-    share of the makespan the busiest stretch could occupy, and a coarse
-    utilization bar — a quick visual answer to "what does pipelining hide?".
+    One row per hardware channel: busy seconds (summed over the channel's
+    devices), the devices that carried them, their mean utilization, and a
+    coarse utilization bar — a quick visual answer to "what does
+    pipelining hide?".
+
+    Utilization normalizes by ``makespan × active-device-count``: a
+    channel's busy seconds are summed over every device that used it (a
+    4-GPU run has four ``h2d`` copy engines; a cluster has one ``net``
+    queue per link), so dividing by the makespan alone would report up to
+    ``devices × 100%``. Per device a channel cannot exceed the makespan
+    (tasks on one ``(device, channel)`` queue serialize), so the rendered
+    share is always <= 100% — and is clamped and flagged anyway should an
+    upstream accounting bug ever break that invariant.
     """
     makespan = timeline.makespan
     serialized = timeline.breakdown.total
+    devices_by_channel: dict = {}
+    for task in timeline.scheduler.tasks:
+        devices_by_channel.setdefault(task.channel, set()).add(task.device)
     rows = []
     for channel, busy in timeline.busy_view().items():
         if busy == 0.0:
             continue
-        utilization = busy / makespan if makespan > 0 else 0.0
-        bar = "#" * max(1, round(min(utilization, 1.0) * width))
-        rows.append([channel, format_seconds(busy),
-                     f"{utilization:.0%}", bar])
+        num_devices = max(len(devices_by_channel.get(channel, ())), 1)
+        capacity = makespan * num_devices
+        utilization = busy / capacity if capacity > 0 else 0.0
+        overflow = utilization > 1.0
+        utilization = min(utilization, 1.0)
+        bar = "#" * max(1, round(utilization * width))
+        rows.append([channel, format_seconds(busy), num_devices,
+                     f"{utilization:.0%}" + ("!" if overflow else ""), bar])
     table = render_table(
-        ["channel", "busy", "busy/makespan", f"utilization ({width} cols)"],
+        ["channel", "busy", "devices", "utilization",
+         f"busy/(makespan x devices) ({width} cols)"],
         rows, title=title,
     )
     saving = max(0.0, serialized - makespan)
@@ -105,12 +123,14 @@ def render_node_utilization(timeline, platform,
     from repro.runtime.task import NET_DEVICE_BASE, net_link_nodes
 
     num_nodes = platform.num_nodes
+    num_rails = getattr(platform, "num_rails", 1)
     columns = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
     busy = [{column: 0.0 for column in columns} for _ in range(num_nodes)]
     for task in timeline.scheduler.tasks:
         if task.channel == "net":
             if task.device <= NET_DEVICE_BASE:
-                src, _dst = net_link_nodes(task.device, num_nodes)
+                src, _dst = net_link_nodes(task.device, num_nodes,
+                                           num_rails)
             else:
                 src = 0
             busy[src]["net"] += task.seconds

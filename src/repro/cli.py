@@ -40,6 +40,7 @@ from repro.hardware import (
     A100_SERVER,
     ClusterPlatform,
     MultiGPUPlatform,
+    NetworkTopology,
 )
 from repro.partition import two_level_partition
 
@@ -81,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["ring", "tree"],
                        help="inter-node gradient all-reduce schedule "
                             "(only with --nodes > 1)")
+    train.add_argument("--topology", default="flat",
+                       choices=["flat", "spine", "rail"],
+                       help="cluster network topology (only with "
+                            "--nodes > 1): flat = ideal non-blocking "
+                            "switch (default, identical to the "
+                            "pre-topology path), spine = oversubscribed "
+                            "core shared by all node pairs, rail = one "
+                            "rail per local GPU at 1/gpus of the link "
+                            "rate each")
+    train.add_argument("--oversubscription", type=float, default=1.0,
+                       help="spine core oversubscription factor >= 1 "
+                            "(1 = non-blocking, behaves exactly like "
+                            "flat; only with --topology spine)")
     train.add_argument("--lr", type=float, default=0.01)
 
     analyze = sub.add_parser("analyze",
@@ -109,26 +123,37 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_train(args) -> int:
+    if args.nodes == 1 and args.topology != "flat":
+        print(f"--topology {args.topology} needs --nodes > 1 "
+              "(a single server has no cluster network)", file=sys.stderr)
+        return 2
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed + 42)
     dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
             + [graph.num_classes])
     model = build_model(args.arch, dims, np.random.default_rng(args.seed))
     if args.nodes > 1:
-        cluster = A100_CLUSTER.with_num_nodes(args.nodes)
+        topology = NetworkTopology(kind=args.topology,
+                                   oversubscription=args.oversubscription)
+        cluster = A100_CLUSTER.with_num_nodes(args.nodes) \
+            .with_topology(topology)
         platform = ClusterPlatform(cluster, gpus_per_node=args.gpus)
     else:
         platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
     config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
                           intermediate_policy=args.policy,
                           overlap=args.overlap, nodes=args.nodes,
-                          allreduce=args.allreduce, seed=args.seed)
+                          allreduce=args.allreduce,
+                          topology=args.topology,
+                          oversubscription=args.oversubscription,
+                          seed=args.seed)
     from repro.autograd import Adam
 
     trainer = HongTuTrainer(graph, model, platform, config,
                             optimizer=Adam(model.parameters(), lr=args.lr))
+    wiring = "" if args.nodes == 1 else f", {args.topology} network"
     print(f"training {args.arch} {dims} on {graph} "
           f"({args.nodes} node(s) x {args.gpus} GPUs x {args.chunks} "
-          f"chunks, {args.comm_mode}, {args.overlap})")
+          f"chunks, {args.comm_mode}, {args.overlap}{wiring})")
     for epoch in range(1, args.epochs + 1):
         result = trainer.train_epoch()
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "

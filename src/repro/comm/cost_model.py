@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.comm.analysis import DedupVolumes, measure_volumes
 from repro.errors import ConfigurationError
 from repro.hardware.platform import MultiGPUPlatform
-from repro.hardware.spec import ClusterSpec
+from repro.hardware.spec import FLAT_TOPOLOGY, ClusterSpec, NetworkTopology
 from repro.partition.two_level import TwoLevelPartition
 
 __all__ = ["CommCostModel", "ClusterCostModel", "communication_cost",
@@ -67,20 +67,31 @@ class CommCostModel:
 
 @dataclass(frozen=True)
 class ClusterCostModel:
-    """Inter-node collective costs on a flat, full-duplex network.
+    """Inter-node collective costs on a full-duplex cluster network.
 
     ``bandwidth`` is the achieved per-link, per-direction byte rate and
-    ``latency`` the fixed per-message setup cost — the two parameters of a
+    ``latency`` the fixed per-message setup cost — the parameters of a
     :class:`~repro.hardware.spec.ClusterSpec`. Every cost is the *per-node
     busy time* of the collective: with non-blocking links and equal
     payloads, each node's NIC is busy that long and the collective's wall
     time equals it, so the executor can submit one ``net`` task per
     participating link with these seconds.
+
+    ``topology`` adjusts the prices for non-flat fabrics. A collective
+    keeps every node's uplink busy simultaneously, so on a ``spine``
+    fabric the oversubscribed core caps each flow at
+    ``bandwidth / oversubscription`` — the bandwidth terms scale by the
+    oversubscription factor. A ``rail`` fabric shards the payload over
+    its parallel rails (each at ``bandwidth / rails``, all active
+    concurrently), which reproduces the flat aggregate rate exactly, so
+    rail collectives price like flat ones. ``flat`` divides by 1.0 and is
+    float-identical to the pre-topology model.
     """
 
     num_nodes: int
     bandwidth: float
     latency: float
+    topology: NetworkTopology = FLAT_TOPOLOGY
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -98,7 +109,15 @@ class ClusterCostModel:
             num_nodes=cluster.num_nodes,
             bandwidth=cluster.network_bandwidth,
             latency=cluster.network_latency,
+            topology=cluster.topology,
         )
+
+    @property
+    def collective_bandwidth(self) -> float:
+        """Per-flow byte rate when every node's uplink is busy at once."""
+        if self.topology.kind == "spine":
+            return self.bandwidth / self.topology.oversubscription
+        return self.bandwidth
 
     def ring_allreduce_seconds(self, nbytes: float) -> float:
         """Bandwidth-optimal ring all-reduce of an ``nbytes`` payload.
@@ -114,7 +133,8 @@ class ClusterCostModel:
         if self.num_nodes == 1:
             return 0.0
         steps = 2 * (self.num_nodes - 1)
-        return steps * (self.latency + nbytes / self.num_nodes / self.bandwidth)
+        return steps * (self.latency
+                        + nbytes / self.num_nodes / self.collective_bandwidth)
 
     def tree_allreduce_seconds(self, nbytes: float) -> float:
         """Latency-optimal binary-tree all-reduce (reduce + broadcast).
@@ -126,7 +146,7 @@ class ClusterCostModel:
         if self.num_nodes == 1:
             return 0.0
         depth = math.ceil(math.log2(self.num_nodes))
-        return 2 * depth * (self.latency + nbytes / self.bandwidth)
+        return 2 * depth * (self.latency + nbytes / self.collective_bandwidth)
 
     def allreduce_seconds(self, nbytes: float,
                           algorithm: str = "ring") -> float:
@@ -148,6 +168,17 @@ class ClusterCostModel:
         zero-halo partition crosses the network exactly never.
         """
         return self.latency + nbytes / self.bandwidth
+
+    def halo_volume_seconds(self, nbytes: float) -> float:
+        """Bulk halo traffic: per-message latency amortized away.
+
+        The pricing the net-aware reorganization objective (Algorithm 4's
+        net term) uses for cross-node halo rows: halo messages coalesce
+        per node pair per batch, so the marginal cost of one more row is
+        purely the bandwidth term — at the collective (congested) rate,
+        since halo phases keep many links busy at once.
+        """
+        return nbytes / self.collective_bandwidth
 
 
 def communication_cost(partition: TwoLevelPartition, row_bytes: int,

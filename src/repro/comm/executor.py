@@ -58,6 +58,15 @@ emitted and the submission sequence is byte-for-byte the single-server
 one (the ``nodes=1`` float-equality contract, tested in
 ``tests/test_cluster.py``).
 
+Routing is topology-aware (the platform's
+:class:`~repro.hardware.spec.NetworkTopology`): on ``flat`` every message
+rides its own per-pair link (the original behavior, float-identical); on
+``spine`` messages additionally hold the shared
+:data:`~repro.runtime.task.SPINE_RESOURCE` for their excess core-transit
+time, so disjoint node pairs contend on the oversubscribed core; on
+``rail`` each pair's traffic splits by the *owning GPU's* rail
+(``local_gpu % num_rails``) into per-rail messages at per-rail bandwidth.
+
 The framework is numerically exact regardless of clock type: data moves
 eagerly in program order, so summing atomic pushes and host accumulation
 reproduces the monolithic scatter-add gradient bit-for-bit (up to float
@@ -75,7 +84,7 @@ from repro.errors import CommunicationPlanError
 from repro.hardware.clock import EventTimeline
 from repro.hardware.platform import MultiGPUPlatform
 from repro.runtime.buffers import TransitionBuffers
-from repro.runtime.task import Task, net_link
+from repro.runtime.task import SPINE_RESOURCE, Task, net_link
 
 __all__ = ["DedupCommunicator"]
 
@@ -120,6 +129,12 @@ class DedupCommunicator:
         self.bytes_moved: Dict[str, int] = {
             "h2d": 0, "d2h": 0, "d2d": 0, "ru": 0, "net": 0,
         }
+        #: network bytes per halo flow per directed node pair since
+        #: construction: flow ("halo_load" | "halo_fetch" | "halo_push" |
+        #: "halo_flush") → (src_node, dst_node) → bytes. This is the
+        #: measured side of the halo analyses in ``partition/nodes.py``
+        #: (tested to match ``halo_volumes`` exactly).
+        self.net_bytes_by_flow: Dict[str, Dict[Tuple[int, int], int]] = {}
         #: tasks submitted by the most recent batch call (timeline clocks
         #: only): forward fills "load"/"reuse"/"assemble", backward fills
         #: "scatter"/"flush"/"cpu"
@@ -131,6 +146,13 @@ class DedupCommunicator:
         self._node_of_gpu: List[int] = [
             platform.node_of(i) for i in range(plan.num_gpus)
         ]
+        # Network wiring: rail count resolves the per-pair link fan-out
+        # (1 for flat/spine); rail i%g carries GPU i's traffic.
+        topology = getattr(platform, "topology", None)
+        self._rail_topology = topology is not None and topology.kind == "rail"
+        self._num_rails: int = getattr(platform, "num_rails", 1)
+        self._gpus_per_node: int = getattr(platform, "gpus_per_node",
+                                           platform.num_gpus)
         # Owner node of every vertex (owner partition's node); only needed
         # for the halo splits, so skip the array on one node.
         if self._num_nodes > 1:
@@ -181,19 +203,30 @@ class DedupCommunicator:
     # ------------------------------------------------------------------
     # cluster halo helpers
     # ------------------------------------------------------------------
+    def _rail_of(self, gpu: int) -> int:
+        """Rail carrying GPU ``gpu``'s cross-node traffic (0 off-rail)."""
+        if not self._rail_topology:
+            return 0
+        return (gpu % self._gpus_per_node) % self._num_rails
+
+    def _link_key(self, src_node: int, dst_node: int,
+                  gpu: int) -> Tuple[int, int, int]:
+        """Halo-accumulation key: directed node pair + the GPU's rail."""
+        return (src_node, dst_node, self._rail_of(gpu))
+
     def _halo_split(self, vertices: np.ndarray, gpu: int, row_bytes: int,
-                    halo_bytes: Dict[Tuple[int, int], int],
-                    halo_gpus: Dict[Tuple[int, int], List[int]],
+                    halo_bytes: Dict[Tuple[int, int, int], int],
+                    halo_gpus: Dict[Tuple[int, int, int], List[int]],
                     toward_owner: bool = False) -> int:
         """Accumulate ``vertices``' remotely-owned rows into per-link sums.
 
         Splits the rows GPU ``gpu`` touches by owner node: rows owned by a
         different node add ``row_bytes`` each to the link between the two
-        nodes and register the GPU on it. The link direction is
-        owner→gpu for inbound traffic (loads), or gpu→owner with
-        ``toward_owner`` for outbound traffic (gradient flushes). Returns
-        the number of remote rows (0 on a single node, where no split is
-        ever computed).
+        nodes (on the GPU's rail) and register the GPU on it. The link
+        direction is owner→gpu for inbound traffic (loads), or gpu→owner
+        with ``toward_owner`` for outbound traffic (gradient flushes).
+        Returns the number of remote rows (0 on a single node, where no
+        split is ever computed).
         """
         if self._vertex_node is None or len(vertices) == 0:
             return 0
@@ -204,22 +237,37 @@ class DedupCommunicator:
             return 0
         counts = np.bincount(owner_nodes[remote], minlength=self._num_nodes)
         for owner_node in np.flatnonzero(counts):
-            pair = (gpu_node, int(owner_node)) if toward_owner \
-                else (int(owner_node), gpu_node)
-            halo_bytes[pair] = halo_bytes.get(pair, 0) \
+            key = self._link_key(gpu_node, int(owner_node), gpu) \
+                if toward_owner \
+                else self._link_key(int(owner_node), gpu_node, gpu)
+            halo_bytes[key] = halo_bytes.get(key, 0) \
                 + int(counts[owner_node]) * row_bytes
-            halo_gpus.setdefault(pair, []).append(gpu)
+            halo_gpus.setdefault(key, []).append(gpu)
         return int(remote.sum())
 
-    def _submit_halo_phase(self, timeline: Optional[EventTimeline], clock,
-                           halo_bytes: Dict[Tuple[int, int], int],
-                           deps_by_pair=None, deps: Sequence[Task] = (),
-                           label: str = "") -> Dict[Tuple[int, int], Task]:
-        """One coalesced ``net`` task per directed node pair with traffic.
+    def _charge_flow(self, flow: str,
+                     halo_bytes: Dict[Tuple[int, int, int], int]) -> None:
+        """Accumulate per-pair byte detail for ``flow`` (rails merged)."""
+        detail = self.net_bytes_by_flow.setdefault(flow, {})
+        for (src, dst, _rail), nbytes in halo_bytes.items():
+            detail[(src, dst)] = detail.get((src, dst), 0) + nbytes
 
-        ``deps`` gate every message; ``deps_by_pair`` (pair → task list)
-        adds per-link producers. Charges :attr:`bytes_moved` and returns
-        pair → submitted task (empty when there is no cross-node traffic,
+    def _submit_halo_phase(self, timeline: Optional[EventTimeline], clock,
+                           halo_bytes: Dict[Tuple[int, int, int], int],
+                           deps_by_pair=None, deps: Sequence[Task] = (),
+                           flow: str = "", label: str = ""
+                           ) -> Dict[Tuple[int, int, int], Task]:
+        """One coalesced ``net`` task per directed link with traffic.
+
+        Keys of ``halo_bytes`` are ``(src_node, dst_node, rail)`` — one
+        message per directed node pair on flat/spine fabrics (rail 0),
+        one per pair per rail on rail fabrics. ``deps`` gate every
+        message; ``deps_by_pair`` (key → task list) adds per-link
+        producers. Spine messages additionally hold the shared
+        :data:`~repro.runtime.task.SPINE_RESOURCE` for their excess
+        core-transit time, so disjoint pairs contend. Charges
+        :attr:`bytes_moved` (and the per-flow detail) and returns
+        key → submitted task (empty when there is no cross-node traffic,
         so single-node runs never reach the scheduler from here).
         """
         if not halo_bytes:
@@ -228,23 +276,29 @@ class DedupCommunicator:
         seconds = [self.platform.net_seconds(halo_bytes[pair])
                    for pair in pairs]
         self.bytes_moved["net"] += sum(halo_bytes.values())
+        if flow:
+            self._charge_flow(flow, halo_bytes)
         if timeline is None:
             clock.add_parallel_phase("net", seconds)
             return {}
-        devices = [net_link(src, dst, self._num_nodes)
-                   for src, dst in pairs]
+        devices = [net_link(src, dst, self._num_nodes, rail, self._num_rails)
+                   for src, dst, rail in pairs]
         extras = None
         if deps_by_pair is not None:
             extras = [deps_by_pair.get(pair, []) for pair in pairs]
+        shared = []
+        for pair in pairs:
+            hold = self.platform.spine_hold_seconds(halo_bytes[pair])
+            shared.append([(SPINE_RESOURCE, hold)] if hold > 0 else [])
         tasks = timeline.submit_phase(
             "net", seconds, devices=devices, deps=list(deps),
-            deps_by_device=extras, label=label,
+            deps_by_device=extras, shared_by_device=shared, label=label,
         )
         return dict(zip(pairs, tasks))
 
     @staticmethod
-    def _tasks_by_reader(pair_tasks: Dict[Tuple[int, int], Task],
-                         halo_gpus: Dict[Tuple[int, int], List[int]],
+    def _tasks_by_reader(pair_tasks: Dict[Tuple[int, int, int], Task],
+                         halo_gpus: Dict[Tuple[int, int, int], List[int]],
                          num_gpus: int) -> List[List[Task]]:
         """Invert pair → task into per-reader-GPU dependency lists."""
         by_gpu: List[List[Task]] = [[] for _ in range(num_gpus)]
@@ -300,8 +354,8 @@ class DedupCommunicator:
         # staged row is owner-local).
         h2d_seconds = []
         reuse_seconds = []
-        halo_bytes: Dict[Tuple[int, int], int] = {}
-        halo_gpus: Dict[Tuple[int, int], List[int]] = {}
+        halo_bytes: Dict[Tuple[int, int, int], int] = {}
+        halo_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         for plan in plans:
             load_vertices = plan.load_vertices
             buffers[plan.gpu][plan.load_positions] = host_values[load_vertices]
@@ -318,7 +372,7 @@ class DedupCommunicator:
         reuse_tasks: List[Task] = []
         halo_load_tasks = self._submit_halo_phase(
             timeline, clock, halo_bytes, deps=list(extra_deps),
-            label=f"halo_load[b{batch}]",
+            flow="halo_load", label=f"halo_load[b{batch}]",
         )
         if timeline is not None:
             conflicts = self._staging_conflicts(batch)
@@ -354,8 +408,8 @@ class DedupCommunicator:
         outputs: List[np.ndarray] = []
         d2d_seconds = [0.0] * len(plans)
         local_seconds = [0.0] * len(plans)
-        fetch_bytes: Dict[Tuple[int, int], int] = {}
-        fetch_gpus: Dict[Tuple[int, int], List[int]] = {}
+        fetch_bytes: Dict[Tuple[int, int, int], int] = {}
+        fetch_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         for plan in plans:
             local = np.empty((len(plan.needed), self._dim),
                              dtype=host_values.dtype)
@@ -371,11 +425,13 @@ class DedupCommunicator:
                     )
                     self.bytes_moved["ru"] += segment_bytes
                 elif self._node_of_gpu[segment.source_gpu] != reader_node:
-                    pair = (self._node_of_gpu[segment.source_gpu],
-                            reader_node)
-                    fetch_bytes[pair] = fetch_bytes.get(pair, 0) \
+                    key = self._link_key(
+                        self._node_of_gpu[segment.source_gpu],
+                        reader_node, plan.gpu,
+                    )
+                    fetch_bytes[key] = fetch_bytes.get(key, 0) \
                         + segment_bytes
-                    fetch_gpus.setdefault(pair, []).append(plan.gpu)
+                    fetch_gpus.setdefault(key, []).append(plan.gpu)
                 else:
                     d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
                         segment_bytes
@@ -391,7 +447,7 @@ class DedupCommunicator:
             )
             halo_fetch_tasks = self._submit_halo_phase(
                 timeline, clock, fetch_bytes, deps=staged,
-                label=f"halo_fetch[b{batch}]",
+                flow="halo_fetch", label=f"halo_fetch[b{batch}]",
             )
             net_by_reader = self._tasks_by_reader(
                 halo_fetch_tasks, fetch_gpus, len(plans)
@@ -420,7 +476,8 @@ class DedupCommunicator:
             }
             self.last_tasks = dict(self._history[batch])
         else:
-            self._submit_halo_phase(timeline, clock, fetch_bytes)
+            self._submit_halo_phase(timeline, clock, fetch_bytes,
+                                    flow="halo_fetch")
             clock.add_parallel_phase("d2d", d2d_seconds)
             clock.add_parallel_phase("gpu", local_seconds)
         return outputs
@@ -468,8 +525,8 @@ class DedupCommunicator:
         # (the backward direction of the halo exchange).
         d2d_seconds = [0.0] * len(plans)
         local_seconds = [0.0] * len(plans)
-        push_bytes: Dict[Tuple[int, int], int] = {}
-        push_gpus: Dict[Tuple[int, int], List[int]] = {}
+        push_bytes: Dict[Tuple[int, int, int], int] = {}
+        push_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         for plan, grads in zip(plans, neighbor_grads):
             if grads.shape != (len(plan.needed), self._dim):
                 raise CommunicationPlanError(
@@ -490,11 +547,13 @@ class DedupCommunicator:
                     )
                     self.bytes_moved["ru"] += segment_bytes
                 elif self._node_of_gpu[segment.source_gpu] != reader_node:
-                    pair = (reader_node,
-                            self._node_of_gpu[segment.source_gpu])
-                    push_bytes[pair] = push_bytes.get(pair, 0) \
+                    key = self._link_key(
+                        reader_node,
+                        self._node_of_gpu[segment.source_gpu], plan.gpu,
+                    )
+                    push_bytes[key] = push_bytes.get(key, 0) \
                         + segment_bytes
-                    push_gpus.setdefault(pair, []).append(plan.gpu)
+                    push_gpus.setdefault(key, []).append(plan.gpu)
                 else:
                     d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
                         segment_bytes
@@ -523,7 +582,7 @@ class DedupCommunicator:
                 halo_push_tasks = self._submit_halo_phase(
                     timeline, clock, push_bytes,
                     deps_by_pair=producers_by_pair,
-                    label=f"halo_push[b{batch}]",
+                    flow="halo_push", label=f"halo_push[b{batch}]",
                 )
                 scatter_tasks += list(halo_push_tasks.values())
             scatter_tasks += timeline.submit_phase(
@@ -531,7 +590,8 @@ class DedupCommunicator:
                 deps_by_device=deps_by_device, label=f"push[b{batch}]",
             )
         else:
-            self._submit_halo_phase(timeline, clock, push_bytes)
+            self._submit_halo_phase(timeline, clock, push_bytes,
+                                    flow="halo_push")
             clock.add_parallel_phase("d2d", d2d_seconds)
             clock.add_parallel_phase("gpu", local_seconds)
 
@@ -541,8 +601,8 @@ class DedupCommunicator:
         # every staged vertex is owner-local).
         d2h_seconds = []
         cpu_seconds = []
-        flush_net_bytes: Dict[Tuple[int, int], int] = {}
-        flush_net_gpus: Dict[Tuple[int, int], List[int]] = {}
+        flush_net_bytes: Dict[Tuple[int, int, int], int] = {}
+        flush_net_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         is_last = batch == self.plan.num_batches - 1
         for plan in plans:
             if is_last:
@@ -577,7 +637,7 @@ class DedupCommunicator:
                     pair: [flush_tasks[gpu] for gpu in gpus]
                     for pair, gpus in flush_net_gpus.items()
                 },
-                label=f"halo_flush[b{batch}]",
+                flow="halo_flush", label=f"halo_flush[b{batch}]",
             )
             net_by_gpu = self._tasks_by_reader(
                 halo_flush_tasks, flush_net_gpus, len(plans)
@@ -600,6 +660,7 @@ class DedupCommunicator:
             }
             self.last_tasks = dict(self._history[batch])
         else:
-            self._submit_halo_phase(timeline, clock, flush_net_bytes)
+            self._submit_halo_phase(timeline, clock, flush_net_bytes,
+                                    flow="halo_flush")
             clock.add_parallel_phase("d2h", d2h_seconds)
             clock.add_parallel_phase("cpu", cpu_seconds)

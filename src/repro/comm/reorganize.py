@@ -12,6 +12,20 @@ greedy heuristic:
 * **Phase 2 — maximize intra-GPU duplication.** Whole batches are reordered
   so consecutive batches' transition unions overlap maximally.
 
+On a cluster the paper's Eq. 4 objective is blind to the dominant cost —
+cross-node halo bytes — so ``reorganize_partition`` optionally extends it
+with a **net term** (the scale-out extension of Algorithm 4): cross-node
+halo rows are priced at network seconds via the halo analyses of
+:mod:`repro.partition.nodes`, and a *net-aware* candidate layout is grown
+alongside the paper's greedy one. The net-aware heuristic exploits the
+fact that batch-to-batch reuse decomposes per partition: each partition's
+chunks are chained greedily so consecutive neighbor sets overlap
+maximally, with remotely-owned rows weighted up by how much more a
+network crossing costs than a PCIe load. The cost guard then adopts
+whichever layout (original, greedy, net-aware) minimizes the combined
+Eq. 4 + net cost, so the reorganization shrinks network halos, not just
+PCIe traffic.
+
 ``reorganize_partition`` returns a new :class:`TwoLevelPartition` (chunk
 arrays shared, ids renumbered) plus the preprocessing wall-time, which
 Table 9 reports as overhead.
@@ -20,10 +34,15 @@ Table 9 reports as overhead.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Set
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.comm.analysis import measure_volumes
-from repro.comm.cost_model import CommCostModel
+from repro.comm.cost_model import ClusterCostModel, CommCostModel
+from repro.partition.nodes import (
+    halo_load_volumes,
+    halo_volumes,
+    partition_nodes,
+)
 from repro.partition.subgraph import SubgraphChunk
 from repro.partition.two_level import TwoLevelPartition
 
@@ -31,7 +50,20 @@ __all__ = ["reorganize_partition", "ReorganizationResult"]
 
 
 class ReorganizationResult:
-    """Reorganized partition + provenance."""
+    """Reorganized partition + provenance.
+
+    When the reorganization ran net-aware (a ``cluster_model`` and
+    ``num_nodes > 1`` were supplied), ``net_rows_before``/``net_rows_after``
+    hold the *predicted* cross-node halo rows per epoch-layer of the input
+    and adopted layouts (forward fetches plus staging loads and their
+    mirrored gradient flushes, from :func:`~repro.partition.halo_volumes`
+    and :func:`~repro.partition.halo_load_volumes`), and
+    ``net_seconds_before``/``net_seconds_after`` price them. The static
+    prediction is exact, so the *achieved* reduction — what
+    ``DedupCommunicator.net_bytes_by_flow`` measures when the layout
+    runs — matches it row for row (cross-checked in
+    ``tests/test_topology.py``).
+    """
 
     def __init__(self, partition: TwoLevelPartition,
                  preprocessing_seconds: float,
@@ -39,33 +71,63 @@ class ReorganizationResult:
                  phase2_order: List[int],
                  cost_before: Optional[float] = None,
                  cost_after: Optional[float] = None,
-                 kept_original: bool = False):
+                 kept_original: bool = False,
+                 net_aware: bool = False,
+                 net_rows_before: Optional[int] = None,
+                 net_rows_after: Optional[int] = None,
+                 net_seconds_before: Optional[float] = None,
+                 net_seconds_after: Optional[float] = None):
         self.partition = partition
         self.preprocessing_seconds = preprocessing_seconds
         #: phase1_assignments[i][j] = original chunk id of partition i placed
-        #: in (pre-phase-2) batch j
+        #: in (pre-phase-2) batch j (of the adopted layout)
         self.phase1_assignments = phase1_assignments
         #: phase2_order[j] = pre-phase-2 batch id scheduled at slot j
         self.phase2_order = phase2_order
-        #: Eq. 4 costs when a cost model was supplied
+        #: guard costs: Eq. 4 alone, plus the net term when net-aware
         self.cost_before = cost_before
         self.cost_after = cost_after
-        #: True if the greedy layout was rejected by the cost model
+        #: True if every candidate layout was rejected by the cost model
         self.kept_original = kept_original
+        #: True if the net term participated in objective and guard
+        self.net_aware = net_aware
+        #: predicted cross-node halo rows per epoch-layer (net-aware only)
+        self.net_rows_before = net_rows_before
+        self.net_rows_after = net_rows_after
+        #: the same rows priced at network seconds
+        self.net_seconds_before = net_seconds_before
+        self.net_seconds_after = net_seconds_after
+
+    @property
+    def predicted_net_rows_saved(self) -> Optional[int]:
+        """Predicted cross-node halo rows removed per epoch-layer."""
+        if self.net_rows_before is None or self.net_rows_after is None:
+            return None
+        return self.net_rows_before - self.net_rows_after
 
 
 def reorganize_partition(partition: TwoLevelPartition,
                          cost_model: Optional[CommCostModel] = None,
-                         row_bytes: int = 4 * 128) -> ReorganizationResult:
+                         row_bytes: int = 4 * 128,
+                         cluster_model: Optional[ClusterCostModel] = None,
+                         num_nodes: int = 1) -> ReorganizationResult:
     """Run Algorithm 4 on ``partition``.
 
-    When ``cost_model`` is given, the result is *cost-model guided*: the
+    When ``cost_model`` is given, the result is *cost-model guided*: a
     greedy layout is adopted only if it lowers the Eq. 4 communication cost
     (computed with ``row_bytes`` bytes per vertex row); otherwise the input
     layout is kept. Graphs whose initial range order already has strong
     locality (e.g. crawl-ordered web graphs) can be hurt by the greedy
     phases, and the cost model is exactly the guard the paper's design calls
     for.
+
+    When ``cluster_model`` is given and ``num_nodes > 1``, the objective
+    gains the **net term**: cross-node halo rows priced at
+    ``cluster_model`` network seconds join the guard, and an additional
+    net-aware candidate layout (per-partition reuse chains with
+    remotely-owned rows weighted up) competes with the paper's greedy
+    layout. With one node (or no cluster model) the behavior — including
+    every float — is identical to the pre-topology implementation.
     """
     started = time.perf_counter()
     m = partition.num_partitions
@@ -75,6 +137,78 @@ def reorganize_partition(partition: TwoLevelPartition,
         [set(partition.chunks[i][j].neighbor_global.tolist()) for j in range(n)]
         for i in range(m)
     ]
+
+    grid, order = _paper_greedy(neighbor_sets)
+    reorganized = _materialize(partition, grid, order)
+
+    net_aware = cluster_model is not None and num_nodes > 1
+    adopted, adopted_grid, adopted_order = reorganized, grid, order
+    cost_before = cost_after = None
+    net_rows_before = net_rows_after = None
+    net_seconds_before = net_seconds_after = None
+    kept_original = False
+
+    if net_aware:
+        aware_grid = _reuse_chain_grid(
+            partition, neighbor_sets, num_nodes,
+            _remote_row_weight(cost_model, cluster_model, row_bytes),
+        )
+        aware_order = list(range(n))
+        aware = _materialize(partition, aware_grid, aware_order)
+
+        candidates: List[Tuple[TwoLevelPartition, List[List[int]],
+                               List[int]]] = [
+            (partition, [list(range(n)) for _ in range(m)], list(range(n))),
+            (reorganized, grid, order),
+            (aware, aware_grid, aware_order),
+        ]
+        rows = [_net_rows(candidate, num_nodes)
+                for candidate, _g, _o in candidates]
+        costs = [
+            _guarded_cost(candidate, candidate_rows, cost_model,
+                          cluster_model, row_bytes)
+            for (candidate, _g, _o), candidate_rows
+            in zip(candidates, rows)
+        ]
+        best = min(range(len(candidates)), key=lambda k: costs[k])
+        adopted, adopted_grid, adopted_order = candidates[best]
+        kept_original = best == 0
+        cost_before, cost_after = costs[0], costs[best]
+        net_rows_before, net_rows_after = rows[0], rows[best]
+        net_seconds_before = cluster_model.halo_volume_seconds(
+            net_rows_before * row_bytes
+        )
+        net_seconds_after = cluster_model.halo_volume_seconds(
+            net_rows_after * row_bytes
+        )
+    elif cost_model is not None:
+        cost_before = cost_model.cost_seconds(measure_volumes(partition),
+                                              row_bytes)
+        cost_after = cost_model.cost_seconds(measure_volumes(reorganized),
+                                             row_bytes)
+        if cost_after >= cost_before:
+            adopted = partition
+            kept_original = True
+
+    elapsed = time.perf_counter() - started
+    return ReorganizationResult(
+        adopted, elapsed, adopted_grid, adopted_order,
+        cost_before, cost_after, kept_original,
+        net_aware=net_aware,
+        net_rows_before=net_rows_before, net_rows_after=net_rows_after,
+        net_seconds_before=net_seconds_before,
+        net_seconds_after=net_seconds_after,
+    )
+
+
+# ----------------------------------------------------------------------
+# the paper's two greedy phases (net-blind)
+# ----------------------------------------------------------------------
+def _paper_greedy(neighbor_sets: Sequence[Sequence[Set[int]]]
+                  ) -> Tuple[List[List[int]], List[int]]:
+    """Phases 1 and 2 of Algorithm 4 exactly as the paper states them."""
+    m = len(neighbor_sets)
+    n = len(neighbor_sets[0])
 
     # ---- Phase 1: per-partition chunk-to-batch assignment -----------------
     # grid[i][j] = original chunk id of partition i assigned to batch j.
@@ -106,33 +240,114 @@ def reorganize_partition(partition: TwoLevelPartition,
                 best_k, best_overlap = k, overlap
         order.append(best_k)
         remaining.discard(best_k)
+    return grid, order
 
-    # ---- materialize the reorganized grid ----------------------------------
-    new_rows: List[List[SubgraphChunk]] = []
+
+# ----------------------------------------------------------------------
+# the net-aware candidate (cluster extension)
+# ----------------------------------------------------------------------
+def _remote_row_weight(cost_model: Optional[CommCostModel],
+                       cluster_model: ClusterCostModel,
+                       row_bytes: int) -> float:
+    """How much more a remotely-owned row is worth reusing than a local one.
+
+    Reusing any staged row saves its PCIe load; reusing a remotely-owned
+    row additionally saves a network load *and* the mirrored gradient
+    flush, so its weight is ``1 + 2·(net row seconds / PCIe row seconds)``.
+    Without an Eq. 4 model to price PCIe the ratio defaults to the A100
+    ballpark (network ≈ PCIe seconds per row, weight 3).
+    """
+    net_row = cluster_model.halo_volume_seconds(row_bytes)
+    if cost_model is None or net_row == 0.0:
+        return 3.0
+    hd_row = row_bytes / cost_model.t_hd
+    return 1.0 + 2.0 * net_row / hd_row
+
+
+def _reuse_chain_grid(partition: TwoLevelPartition,
+                      neighbor_sets: Sequence[Sequence[Set[int]]],
+                      num_nodes: int, weight: float) -> List[List[int]]:
+    """Per-partition greedy reuse chains with net-weighted overlap.
+
+    Batch-to-batch reuse is independent across partitions (GPU i reuses
+    rows *it* staged last batch), so the net-relevant objective decomposes:
+    for every partition, order its chunks so consecutive neighbor sets
+    overlap maximally, scoring each shared row 1 and each shared
+    *remotely-owned* row ``weight`` (> 1: a reused remote row skips the
+    network, not just PCIe). Batch order is the identity afterwards — the
+    chains already are the schedule.
+    """
+    m = partition.num_partitions
+    n = partition.num_chunks
+    node_map = partition_nodes(m, num_nodes)
+    assignment = partition.assignment
+
+    grid: List[List[int]] = []
     for i in range(m):
+        home = node_map[i]
+        remote_sets = [
+            {v for v in neighbor_sets[i][j] if node_map[assignment[v]] != home}
+            for j in range(n)
+        ]
+        row = [0]
+        remaining = set(range(1, n))
+        while remaining:
+            last = row[-1]
+            best_k, best_score = -1, -1.0
+            for k in sorted(remaining):
+                score = (
+                    len(neighbor_sets[i][last] & neighbor_sets[i][k])
+                    + (weight - 1.0) * len(remote_sets[last] & remote_sets[k])
+                )
+                if score > best_score:
+                    best_k, best_score = k, score
+            row.append(best_k)
+            remaining.discard(best_k)
+        grid.append(row)
+    return grid
+
+
+def _net_rows(partition: TwoLevelPartition, num_nodes: int) -> int:
+    """Cross-node halo rows per epoch-layer: fetches + loads + flushes.
+
+    Forward fetches (:func:`halo_volumes`) plus staging loads
+    (:func:`halo_load_volumes`) counted twice — the backward gradient
+    flush retires exactly the rows the forward load staged (same
+    consecutive-batch differences, time-reversed), so its row total
+    equals the load total.
+    """
+    fetch = int(halo_volumes(partition, num_nodes).sum())
+    load = int(halo_load_volumes(partition, num_nodes).sum())
+    return fetch + 2 * load
+
+
+def _guarded_cost(partition: TwoLevelPartition, net_rows: int,
+                  cost_model: Optional[CommCostModel],
+                  cluster_model: ClusterCostModel,
+                  row_bytes: int) -> float:
+    """Combined guard objective: Eq. 4 (when priceable) + the net term.
+
+    ``net_rows`` is the precomputed :func:`_net_rows` of ``partition``
+    (the caller reuses it for the result's before/after reporting, so
+    the O(partitions × chunks) halo sweeps run once per candidate).
+    """
+    cost = cluster_model.halo_volume_seconds(net_rows * row_bytes)
+    if cost_model is not None:
+        cost += cost_model.cost_seconds(measure_volumes(partition), row_bytes)
+    return cost
+
+
+def _materialize(partition: TwoLevelPartition, grid: List[List[int]],
+                 order: List[int]) -> TwoLevelPartition:
+    """Apply a (grid, batch order) layout, renumbering chunk ids."""
+    new_rows: List[List[SubgraphChunk]] = []
+    for i in range(partition.num_partitions):
         new_row: List[SubgraphChunk] = []
         for slot, batch in enumerate(order):
             original = partition.chunks[i][grid[i][batch]]
             new_row.append(_renumbered(original, i, slot))
         new_rows.append(new_row)
-
-    reorganized = TwoLevelPartition(partition.graph, new_rows,
-                                    partition.assignment)
-
-    cost_before = cost_after = None
-    kept_original = False
-    if cost_model is not None:
-        cost_before = cost_model.cost_seconds(measure_volumes(partition),
-                                              row_bytes)
-        cost_after = cost_model.cost_seconds(measure_volumes(reorganized),
-                                             row_bytes)
-        if cost_after >= cost_before:
-            reorganized = partition
-            kept_original = True
-
-    elapsed = time.perf_counter() - started
-    return ReorganizationResult(reorganized, elapsed, grid, order,
-                                cost_before, cost_after, kept_original)
+    return TwoLevelPartition(partition.graph, new_rows, partition.assignment)
 
 
 def _renumbered(chunk: SubgraphChunk, partition_id: int,

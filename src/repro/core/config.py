@@ -9,10 +9,11 @@ import numpy as np
 
 from repro.comm.cost_model import ALLREDUCE_ALGORITHMS
 from repro.errors import ConfigurationError
+from repro.hardware.spec import TOPOLOGY_KINDS
 from repro.runtime import OVERLAP_POLICIES
 
 __all__ = ["HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES",
-           "OVERLAP_POLICIES", "ALLREDUCE_ALGORITHMS"]
+           "OVERLAP_POLICIES", "ALLREDUCE_ALGORITHMS", "TOPOLOGY_KINDS"]
 
 #: communication ladder of the paper's evaluation (Fig. 9):
 #: ``baseline`` transfers each chunk's neighbor set individually; ``p2p``
@@ -58,6 +59,15 @@ class HongTuConfig:
         Inter-node gradient all-reduce schedule, one of
         :data:`ALLREDUCE_ALGORITHMS` (``ring`` is bandwidth-optimal,
         ``tree`` latency-optimal). Ignored on one node.
+    topology:
+        Cluster network topology, one of :data:`TOPOLOGY_KINDS`
+        (``flat`` is the ideal non-blocking network and float-identical
+        to the pre-topology path; ``spine`` adds an oversubscribed core;
+        ``rail`` splits each node pair over per-GPU rails). Must match
+        the platform's wiring; single-node platforms are ``flat``.
+    oversubscription:
+        Spine core oversubscription factor (>= 1; 1 degenerates to
+        ``flat`` exactly). Ignored by the other topologies.
     bytes_per_scalar:
         Logical element width for communication/memory accounting (4 =
         float32 on the real hardware; numerics may run in float64).
@@ -74,6 +84,8 @@ class HongTuConfig:
     overlap: str = "barrier"
     nodes: int = 1
     allreduce: str = "ring"
+    topology: str = "flat"
+    oversubscription: float = 1.0
     bytes_per_scalar: int = 4
     dtype: type = np.float64
     seed: int = 0
@@ -105,6 +117,20 @@ class HongTuConfig:
             raise ConfigurationError(
                 f"allreduce must be one of {ALLREDUCE_ALGORITHMS}, "
                 f"got {self.allreduce!r}"
+            )
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ConfigurationError(
+                f"topology must be one of {TOPOLOGY_KINDS}, "
+                f"got {self.topology!r}"
+            )
+        if self.oversubscription < 1.0:
+            raise ConfigurationError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.nodes == 1 and self.topology != "flat":
+            raise ConfigurationError(
+                f"topology {self.topology!r} needs nodes > 1 (a single "
+                "server has no cluster network)"
             )
         if self.bytes_per_scalar <= 0:
             raise ConfigurationError("bytes_per_scalar must be positive")

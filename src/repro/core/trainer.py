@@ -65,7 +65,7 @@ from repro.autograd.optim import Adam, Optimizer
 from repro.comm.cost_model import ClusterCostModel, CommCostModel
 from repro.comm.executor import DedupCommunicator
 from repro.comm.plan import CommPlan, build_comm_plan
-from repro.comm.reorganize import reorganize_partition
+from repro.comm.reorganize import ReorganizationResult, reorganize_partition
 from repro.core.config import HongTuConfig
 from repro.errors import ConfigurationError
 from repro.gnn.models import GNNModel
@@ -149,6 +149,20 @@ class HongTuTrainer:
                 f"{platform_nodes} node(s); build a ClusterPlatform with a "
                 f"matching node count"
             )
+        topology = platform.topology
+        if config.topology != topology.kind:
+            raise ConfigurationError(
+                f"config.topology={config.topology!r} but the platform is "
+                f"wired as {topology.kind!r}; build the ClusterSpec with a "
+                f"matching NetworkTopology"
+            )
+        if (topology.kind == "spine"
+                and config.oversubscription != topology.oversubscription):
+            raise ConfigurationError(
+                f"config.oversubscription={config.oversubscription} but the "
+                f"platform's spine is oversubscribed "
+                f"{topology.oversubscription}x"
+            )
         self.graph = graph
         self.model = model
         self.platform = platform
@@ -163,12 +177,25 @@ class HongTuTrainer:
             graph, platform.num_gpus, config.num_chunks, seed=config.seed
         )
         self.preprocessing_seconds = 0.0
+        #: provenance of the (possibly net-aware) Algorithm 4 run
+        self.reorganization: Optional[ReorganizationResult] = None
         if config.reorganize:
             cost_model = CommCostModel.from_platform(platform)
             row_bytes = max(model.dims) * config.bytes_per_scalar
-            result = reorganize_partition(self.partition, cost_model, row_bytes)
+            # On a cluster the objective gains the net term: cross-node
+            # halo rows priced at network seconds (Algorithm 4 extension).
+            cluster_model = None
+            if platform_nodes > 1:
+                cluster_model = ClusterCostModel.from_cluster(
+                    platform.cluster
+                )
+            result = reorganize_partition(
+                self.partition, cost_model, row_bytes,
+                cluster_model=cluster_model, num_nodes=platform_nodes,
+            )
             self.partition = result.partition
             self.preprocessing_seconds = result.preprocessing_seconds
+            self.reorganization = result
 
         dedup_inter, dedup_intra = config.dedup_flags
         self.plan: CommPlan = build_comm_plan(
@@ -554,9 +581,15 @@ class HongTuTrainer:
             seconds = cost.allreduce_seconds(
                 param_bytes, algorithm=self.config.allreduce
             )
+            # Encode ring links with the platform's rail fan-out so the
+            # ids share the halo tasks' device space (on a rail fabric
+            # the collective's per-pair leg rides rail 0; spine pricing
+            # already folds the core contention into ``seconds``).
+            num_rails = self.platform.num_rails
             timeline.submit_phase(
                 "net", [seconds] * nodes,
-                devices=[net_link(node, (node + 1) % nodes, nodes)
+                devices=[net_link(node, (node + 1) % nodes, nodes,
+                                  0, num_rails)
                          for node in range(nodes)],
                 deps=intra_tasks,
                 label=f"all_reduce_{self.config.allreduce}",

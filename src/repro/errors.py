@@ -49,3 +49,7 @@ class AutogradError(ReproError):
 
 class ConfigurationError(ReproError):
     """A trainer or platform was configured with invalid options."""
+
+
+class SchedulerError(ReproError):
+    """The event scheduler received an invalid task submission."""

@@ -5,6 +5,9 @@ from repro.hardware.spec import (
     PlatformSpec,
     CPUClusterSpec,
     ClusterSpec,
+    NetworkTopology,
+    TOPOLOGY_KINDS,
+    FLAT_TOPOLOGY,
     A100_SERVER,
     PCIE_ONLY_SERVER,
     CPU_NODE,
@@ -23,6 +26,7 @@ from repro.hardware.platform import (
 
 __all__ = [
     "GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
+    "NetworkTopology", "TOPOLOGY_KINDS", "FLAT_TOPOLOGY",
     "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
     "A100_CLUSTER", "GB", "scaled_platform",
     "MemoryPool", "Allocation",

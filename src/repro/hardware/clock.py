@@ -129,12 +129,15 @@ class EventTimeline:
                      devices: Optional[Sequence[int]] = None,
                      deps: Sequence[Task] = (),
                      deps_by_device: Optional[Sequence] = None,
+                     shared_by_device: Optional[Sequence] = None,
                      label: str = "") -> List[Task]:
         """Submit one parallel phase: one task per device.
 
         ``deps`` apply to every task of the phase; ``deps_by_device[k]``
         (a Task or an iterable of Tasks) additionally gates device k's task.
-        Returns the submitted tasks in device order.
+        ``shared_by_device[k]`` is a sequence of ``(resource, hold)``
+        pairs device k's task occupies (topology contention — e.g. the
+        spine core). Returns the submitted tasks in device order.
         """
         values = list(per_device_seconds)
         if not values:
@@ -152,9 +155,12 @@ class EventTimeline:
                     task_deps.append(extra)
                 elif extra is not None:
                     task_deps.extend(extra)
+            shared = () if shared_by_device is None \
+                else shared_by_device[index]
             tasks.append(self.scheduler.submit(
                 channel, device, seconds, deps=task_deps,
                 category=category, group=group, label=label,
+                shared=shared,
             ))
         self.breakdown.add(category, max(values))
         if self.barrier_all:

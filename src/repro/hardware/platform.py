@@ -29,7 +29,12 @@ from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.memory import MemoryPool
-from repro.hardware.spec import ClusterSpec, PlatformSpec
+from repro.hardware.spec import (
+    FLAT_TOPOLOGY,
+    ClusterSpec,
+    NetworkTopology,
+    PlatformSpec,
+)
 
 __all__ = ["SimulatedGPU", "MultiGPUPlatform", "ClusterPlatform"]
 
@@ -113,11 +118,25 @@ class MultiGPUPlatform:
         """Node hosting ``device`` (GPU id); host/net pseudo-devices → 0."""
         return 0
 
+    @property
+    def topology(self) -> NetworkTopology:
+        """Network topology; a single node has the trivial flat wiring."""
+        return FLAT_TOPOLOGY
+
+    @property
+    def num_rails(self) -> int:
+        """Parallel network rails per node pair (1 for flat/spine)."""
+        return 1
+
     def net_seconds(self, nbytes: float) -> float:
         """Inter-node message cost; meaningless on one node."""
         raise ConfigurationError(
             f"{self.spec.name} is a single node; no network to price"
         )
+
+    def spine_hold_seconds(self, nbytes: float) -> float:
+        """Shared-spine occupancy of one message (0 off-spine)."""
+        return 0.0
 
     # -- host memory, node-aware -------------------------------------------
     def host_pool(self, node: int = 0) -> MemoryPool:
@@ -223,10 +242,42 @@ class ClusterPlatform(MultiGPUPlatform):
             return 0
         return device // self._gpus_per_node
 
+    @property
+    def topology(self) -> NetworkTopology:
+        """The cluster's network topology (flat / spine / rail)."""
+        return self.cluster.topology
+
+    @property
+    def num_rails(self) -> int:
+        """Parallel rails per directed node pair (1 unless rail-wired)."""
+        return self.cluster.topology.resolved_rails(self._gpus_per_node)
+
     def net_seconds(self, nbytes: float) -> float:
-        """One inter-node message: fixed latency + bytes over one link."""
-        return (self.cluster.network_latency
-                + nbytes / self.cluster.network_bandwidth)
+        """One inter-node message: fixed latency + bytes over one link.
+
+        On a rail topology a message rides one of ``num_rails`` parallel
+        rails at ``bandwidth / num_rails`` each; flat and spine messages
+        ride a full-rate per-pair link (spine contention is modeled as a
+        shared-resource hold, :meth:`spine_hold_seconds`, not as a slower
+        link).
+        """
+        bandwidth = self.cluster.network_bandwidth / self.num_rails
+        return self.cluster.network_latency + nbytes / bandwidth
+
+    def spine_hold_seconds(self, nbytes: float) -> float:
+        """Serialized spine-core occupancy of one ``nbytes`` message.
+
+        An oversubscribed core has capacity ``N * bandwidth / F``; the
+        hold charges the *excess* transit time over a non-blocking core,
+        ``(F - 1) * nbytes / (N * bandwidth)``, serially across all
+        messages. ``F == 1`` (or a non-spine topology) holds nothing, so
+        those schedules are float-identical to the flat network.
+        """
+        topology = self.cluster.topology
+        if topology.kind != "spine" or topology.oversubscription == 1.0:
+            return 0.0
+        return ((topology.oversubscription - 1.0) * nbytes
+                / (self.num_nodes * self.cluster.network_bandwidth))
 
     # -- host memory, node-aware -------------------------------------------
     def host_pool(self, node: int = 0) -> MemoryPool:

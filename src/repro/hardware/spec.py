@@ -26,10 +26,72 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 __all__ = ["GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
+           "NetworkTopology", "TOPOLOGY_KINDS", "FLAT_TOPOLOGY",
            "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
            "A100_CLUSTER", "GB", "scaled_platform"]
 
 GB = 1024 ** 3
+
+#: supported cluster network topologies (see :class:`NetworkTopology`)
+TOPOLOGY_KINDS = ("flat", "spine", "rail")
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """How a cluster's nodes are wired together.
+
+    Three topology models cover the realistic design space:
+
+    * ``flat`` — an ideal non-blocking switch: every directed node pair
+      owns a dedicated full-rate link and distinct pairs never contend.
+      This is the original cluster model and the default; a flat topology
+      is float-identical to the pre-topology scheduler behavior.
+    * ``spine`` — a leaf-spine fabric whose core is *oversubscribed* by
+      ``oversubscription`` (total leaf downlink bandwidth over core
+      bandwidth, >= 1). Per-pair links still exist, but every message
+      additionally holds a single shared spine resource for the *excess*
+      core-transit time ``(F - 1) * nbytes / (N * bandwidth)``, so
+      disjoint node pairs do contend once the core saturates. With
+      ``oversubscription == 1`` (a non-blocking core) the hold is zero
+      and ``spine`` degenerates to ``flat`` exactly.
+    * ``rail`` — a rail-optimized fabric: each node's NIC bandwidth is
+      split over ``num_rails`` parallel rails (one per local GPU when
+      ``num_rails == 0``), and GPU ``i``'s cross-node traffic rides rail
+      ``i % num_rails``. Per-rail links run at ``bandwidth / num_rails``;
+      balanced traffic matches ``flat``'s aggregate rate while skewed
+      per-GPU traffic queues on its rail.
+    """
+
+    kind: str = "flat"
+    #: spine only: core oversubscription factor F >= 1 (1 = non-blocking)
+    oversubscription: float = 1.0
+    #: rail only: parallel rails per node pair (0 = one per local GPU)
+    num_rails: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ValueError(
+                f"topology kind must be one of {TOPOLOGY_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.num_rails < 0:
+            raise ValueError(
+                f"num_rails must be >= 0, got {self.num_rails}"
+            )
+
+    def resolved_rails(self, gpus_per_node: int) -> int:
+        """Concrete rail count: ``num_rails`` or one rail per local GPU."""
+        if self.kind != "rail":
+            return 1
+        return self.num_rails if self.num_rails > 0 else gpus_per_node
+
+
+#: the default topology: an ideal non-blocking network
+FLAT_TOPOLOGY = NetworkTopology()
 
 
 @dataclass(frozen=True)
@@ -100,14 +162,16 @@ class CPUClusterSpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """N identical multi-GPU servers joined by a flat network.
+    """N identical multi-GPU servers joined by a cluster network.
 
     The scale-out testbed of the multi-node extension: every node is one
     ``node`` :class:`PlatformSpec` (the paper's single-server platform),
-    and nodes exchange halo rows / gradients over full-duplex,
-    non-blocking links. ``network_bandwidth`` is the achieved per-link,
-    per-direction byte rate; ``network_latency`` the fixed per-message
-    setup cost charged to every network task.
+    and nodes exchange halo rows / gradients over full-duplex links wired
+    as ``topology`` (flat non-blocking switch by default; oversubscribed
+    spine and rail-optimized fabrics via :class:`NetworkTopology`).
+    ``network_bandwidth`` is the achieved per-link, per-direction byte
+    rate; ``network_latency`` the fixed per-message setup cost charged to
+    every network task.
     """
 
     name: str
@@ -117,6 +181,8 @@ class ClusterSpec:
     network_bandwidth: float
     #: seconds of fixed per-message overhead
     network_latency: float
+    #: how the nodes are wired (flat / spine / rail)
+    topology: NetworkTopology = FLAT_TOPOLOGY
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -138,6 +204,10 @@ class ClusterSpec:
     def with_node(self, node: PlatformSpec) -> "ClusterSpec":
         """Copy of this spec with a different per-node server."""
         return replace(self, node=node)
+
+    def with_topology(self, topology: NetworkTopology) -> "ClusterSpec":
+        """Copy of this spec with a different network topology."""
+        return replace(self, topology=topology)
 
 
 # Achieved (not peak) throughputs, calibrated against the paper's own

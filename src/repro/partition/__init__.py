@@ -16,6 +16,7 @@ from repro.partition.nodes import (
     partition_nodes,
     node_of_partition,
     halo_volumes,
+    halo_load_volumes,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "replication_factor", "replication_factor_sweep",
     "vertex_data_per_subgraph",
     "partition_nodes", "node_of_partition", "halo_volumes",
+    "halo_load_volumes",
 ]

@@ -22,7 +22,8 @@ import numpy as np
 from repro.errors import PartitionError
 from repro.partition.two_level import TwoLevelPartition
 
-__all__ = ["partition_nodes", "node_of_partition", "halo_volumes"]
+__all__ = ["partition_nodes", "node_of_partition", "halo_volumes",
+           "halo_load_volumes"]
 
 
 def node_of_partition(partition_id: int, gpus_per_node: int) -> int:
@@ -86,4 +87,51 @@ def halo_volumes(partition: TwoLevelPartition,
                 counts = np.bincount(owner_nodes[remote],
                                      minlength=num_nodes)
                 volumes[:, reader_node] += counts
+    return volumes
+
+
+def halo_load_volumes(partition: TwoLevelPartition,
+                      num_nodes: int) -> np.ndarray:
+    """Per-epoch-layer *staging* halo rows between node pairs.
+
+    The reuse-sensitive companion of :func:`halo_volumes`: under
+    self-staging (``dedup_inter=False`` — the Baseline/+RU communication
+    modes) every GPU stages its own needed set, reusing the rows it
+    also staged in the previous batch (``dedup_intra``), and the
+    remotely-owned rows it must freshly load cross the network as
+    ``halo_load`` traffic. Returns an ``(N, N)`` int matrix L where
+    ``L[s, d]`` counts the rows owned by node s that node d's GPUs load
+    across the network over one layer sweep — exactly the executor's
+    ``halo_load`` split of ``plan.load_vertices`` (the gradient
+    ``halo_flush`` is the time-reversed mirror: the same counting with
+    consecutive batches swapped, so its total matches this one's on the
+    reversed schedule).
+
+    Unlike :func:`halo_volumes` (which is invariant under chunk
+    reordering — each chunk's neighbor set crosses the network no matter
+    which slot it runs in), this volume *depends on the schedule*:
+    consecutive batches with overlapping neighbor sets reuse staged rows
+    and skip the network. It is therefore the term of the net-aware
+    Algorithm 4 objective that subgraph reorganization can actually
+    shrink.
+    """
+    node_map = partition_nodes(partition.num_partitions, num_nodes)
+    assignment = partition.assignment
+    volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    for i in range(partition.num_partitions):
+        reader_node = node_map[i]
+        previous = np.empty(0, dtype=np.int64)
+        for j in range(partition.num_chunks):
+            needed = partition.chunks[i][j].neighbor_global
+            if len(needed):
+                loaded = needed[~np.isin(needed, previous,
+                                         assume_unique=True)]
+                if len(loaded):
+                    owner_nodes = node_map[assignment[loaded]]
+                    remote = owner_nodes != reader_node
+                    if remote.any():
+                        counts = np.bincount(owner_nodes[remote],
+                                             minlength=num_nodes)
+                        volumes[:, reader_node] += counts
+            previous = needed
     return volumes

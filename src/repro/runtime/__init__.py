@@ -19,15 +19,18 @@ from repro.runtime.task import (
     HOST_DEVICE,
     NET_DEVICE_BASE,
     OVERLAP_POLICIES,
+    SPINE_RESOURCE,
     Task,
     net_link,
     net_link_nodes,
+    net_link_parts,
 )
 from repro.runtime.scheduler import EventScheduler
 from repro.runtime.buffers import TransitionBuffers
 
 __all__ = [
-    "CHANNELS", "HOST_DEVICE", "NET_DEVICE_BASE", "OVERLAP_POLICIES",
+    "CHANNELS", "HOST_DEVICE", "NET_DEVICE_BASE", "SPINE_RESOURCE",
+    "OVERLAP_POLICIES",
     "Task", "EventScheduler", "TransitionBuffers",
-    "net_link", "net_link_nodes",
+    "net_link", "net_link_nodes", "net_link_parts",
 ]

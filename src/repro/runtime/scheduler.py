@@ -6,6 +6,8 @@ starts at the latest of
 
 * the end of the previous task on its ``(device, channel)`` resource
   (hardware queues execute in order),
+* the free time of every *shared resource* it occupies (e.g. the
+  oversubscribed spine core of a ``spine`` network topology),
 * the end of every task it depends on,
 * the most recent global barrier.
 
@@ -29,8 +31,9 @@ exactly the same rules.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import SchedulerError
 from repro.runtime.task import CHANNELS, Task
 
 __all__ = ["EventScheduler"]
@@ -42,40 +45,59 @@ class EventScheduler:
     All times are simulated seconds (never wall clock). Devices are GPU
     indices (``>= 0``), :data:`~repro.runtime.task.HOST_DEVICE`, or encoded
     network links (``<= NET_DEVICE_BASE``); channels are the hardware
-    queues of :data:`~repro.runtime.task.CHANNELS`.
+    queues of :data:`~repro.runtime.task.CHANNELS`. Beyond its own
+    ``(device, channel)`` queue a task may occupy extra *shared resources*
+    (e.g. an oversubscribed spine core) for part of its duration — the
+    topology-contention substrate.
     """
 
     def __init__(self) -> None:
         self.tasks: List[Task] = []
-        self._free: Dict[Tuple[int, str], float] = {}
+        self._free: Dict[Hashable, float] = {}
         self._barrier_time = 0.0
         self._by_id: Dict[int, Task] = {}
         self._max_end = 0.0  # running makespan; keeps barrier() O(1)
+        # Last task scheduled on each resource, so resource-contention
+        # blockers are attributable (critical_path crosses them).
+        self._last_on: Dict[Hashable, int] = {}
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     def submit(self, channel: str, device: int, seconds: float,
                deps: Iterable[Task] = (), category: str = "",
-               group: int = -1, label: str = "") -> Task:
+               group: int = -1, label: str = "",
+               shared: Sequence[Tuple[Hashable, float]] = ()) -> Task:
         """Schedule ``seconds`` of work on ``(device, channel)``.
 
         ``seconds`` is the task's simulated duration (e.g. bytes/bandwidth
         for a transfer, flops/throughput for a kernel); the assigned
         ``start`` is the earliest time permitted by the resource queue,
-        ``deps``, and the latest barrier. Must be called in a topological
-        order of the dependency DAG (program order suffices).
+        ``deps``, the latest barrier, and every ``shared`` resource.
+        ``shared`` entries are ``(resource_key, hold_seconds)`` pairs: the
+        task occupies each listed resource from its start for
+        ``hold_seconds`` (which may be shorter than the task itself — a
+        spine core is held only for the excess transit time). A zero hold
+        never advances the resource and so never delays anyone. Must be
+        called in a topological order of the dependency DAG (program
+        order suffices).
         """
         if channel not in CHANNELS:
-            raise ValueError(f"unknown channel {channel!r}")
+            raise SchedulerError(f"unknown channel {channel!r}")
         if seconds < 0:
-            raise ValueError(f"negative task duration: {seconds}")
+            raise SchedulerError(f"negative task duration: {seconds}")
         resource = (device, channel)
         start = self._barrier_time
         blocked_by: Optional[int] = None
         resource_free = self._free.get(resource, 0.0)
         if resource_free > start:
             start = resource_free
+            blocked_by = self._last_on.get(resource)
+        for key, _hold in shared:
+            shared_free = self._free.get(key, 0.0)
+            if shared_free > start:
+                start = shared_free
+                blocked_by = self._last_on.get(key)
         dep_ids = []
         for dep in deps:
             dep_ids.append(dep.task_id)
@@ -98,6 +120,14 @@ class EventScheduler:
         self.tasks.append(task)
         self._by_id[task.task_id] = task
         self._free[resource] = task.end
+        self._last_on[resource] = task.task_id
+        for key, hold in shared:
+            if hold <= 0:
+                continue  # zero holds never occupy the resource
+            hold_end = start + hold
+            if hold_end > self._free.get(key, 0.0):
+                self._free[key] = hold_end
+                self._last_on[key] = task.task_id
         if task.end > self._max_end:
             self._max_end = task.end
         return task
@@ -149,10 +179,12 @@ class EventScheduler:
     def critical_path(self) -> List[Task]:
         """Chain of tasks ending at the makespan, following start-time blockers.
 
-        The walk follows ``blocked_by`` links (the dependency that set each
-        task's start); gaps caused by resource contention or barriers end the
-        walk, so the returned chain is the *dependency-bound* suffix of the
-        critical path — enough to see what to optimize next.
+        The walk follows ``blocked_by`` links — whichever constraint set
+        each task's start: a dependency's end, the previous task on its
+        ``(device, channel)`` queue, or the last holder of a shared
+        resource (spine contention). The walk therefore crosses
+        resource-contention gaps, not just dependency edges; only barriers
+        and time-zero starts terminate it.
         """
         if not self.tasks:
             return []

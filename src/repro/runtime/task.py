@@ -25,8 +25,11 @@ Channels mirror the cost categories of the reproduction's clock
 
 ``HOST_DEVICE`` (-1) is the pseudo-device for work with no GPU affinity
 (e.g. the global loss computation). ``net`` tasks do not run on a GPU
-either: their device id encodes a *directed node pair* — the network link
-the message occupies — via :func:`net_link`.
+either: their device id encodes a *directed node pair* (plus a rail index
+on rail-optimized fabrics) — the network link the message occupies — via
+:func:`net_link`. On a spine topology, net tasks additionally occupy the
+shared :data:`SPINE_RESOURCE` so that disjoint node pairs contend on the
+oversubscribed core.
 """
 
 from __future__ import annotations
@@ -34,8 +37,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.errors import ConfigurationError
+
 __all__ = ["Task", "CHANNELS", "HOST_DEVICE", "NET_DEVICE_BASE",
-           "OVERLAP_POLICIES", "net_link", "net_link_nodes"]
+           "SPINE_RESOURCE", "OVERLAP_POLICIES",
+           "net_link", "net_link_nodes", "net_link_parts"]
 
 #: hardware queues a device exposes; one scheduler resource per (device, channel)
 CHANNELS = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
@@ -46,39 +52,63 @@ HOST_DEVICE = -1
 #: network-link device ids occupy (-inf, NET_DEVICE_BASE]; see :func:`net_link`
 NET_DEVICE_BASE = -2
 
+#: shared scheduler resource of a spine topology's oversubscribed core:
+#: every net task holds it for its excess core-transit time, so disjoint
+#: node pairs contend once the core saturates
+SPINE_RESOURCE = ("net", "spine")
+
 #: epoch scheduling policies: ``barrier`` serializes phases exactly like the
 #: original TimeBreakdown accounting; ``pipeline`` lets independent channels
 #: overlap (prefetching batch j+1's host loads under batch j's compute).
 OVERLAP_POLICIES = ("barrier", "pipeline")
 
 
-def net_link(src_node: int, dst_node: int, num_nodes: int) -> int:
+def net_link(src_node: int, dst_node: int, num_nodes: int,
+             rail: int = 0, num_rails: int = 1) -> int:
     """Scheduler device id of the directed ``src_node → dst_node`` link.
 
     Network tasks serialize per *link*, not per node: a full-duplex fabric
     carries ``src→dst`` and ``dst→src`` concurrently, and distinct node
-    pairs never contend (a flat, non-blocking switch — the topology of the
-    paper's ECS testbed, §7.1). The diagonal ``src == dst`` is never used
-    by pair traffic and is reserved for per-node NIC aggregates (the
+    pairs never contend on their own links (spine contention is modeled
+    separately, via the shared :data:`SPINE_RESOURCE`). On a
+    rail-optimized fabric each directed pair owns ``num_rails`` parallel
+    links, one per rail; ``num_rails == 1`` (flat/spine) reproduces the
+    pre-rail encoding bit for bit. The diagonal ``src == dst`` is never
+    used by pair traffic and is reserved for per-node NIC aggregates (the
     DistGNN baseline charges its bulk-synchronous replica sync there).
 
     The returned id lives at/below :data:`NET_DEVICE_BASE` so it can never
     collide with GPU device ids (``>= 0``) or :data:`HOST_DEVICE` (-1).
     """
     if not (0 <= src_node < num_nodes and 0 <= dst_node < num_nodes):
-        raise ValueError(
+        raise ConfigurationError(
             f"node pair ({src_node}, {dst_node}) outside cluster of "
             f"{num_nodes} nodes"
         )
-    return NET_DEVICE_BASE - (src_node * num_nodes + dst_node)
+    if not (0 <= rail < num_rails):
+        raise ConfigurationError(
+            f"rail {rail} outside fabric of {num_rails} rail(s)"
+        )
+    return NET_DEVICE_BASE - ((src_node * num_nodes + dst_node) * num_rails
+                              + rail)
 
 
-def net_link_nodes(device: int, num_nodes: int) -> Tuple[int, int]:
-    """Inverse of :func:`net_link`: decode a link device id to its pair."""
+def net_link_parts(device: int, num_nodes: int,
+                   num_rails: int = 1) -> Tuple[int, int, int]:
+    """Inverse of :func:`net_link`: decode ``(src, dst, rail)``."""
     if device > NET_DEVICE_BASE:
-        raise ValueError(f"{device} is not a network-link device id")
-    flat = NET_DEVICE_BASE - device
-    return flat // num_nodes, flat % num_nodes
+        raise ConfigurationError(
+            f"{device} is not a network-link device id"
+        )
+    flat, rail = divmod(NET_DEVICE_BASE - device, num_rails)
+    return flat // num_nodes, flat % num_nodes, rail
+
+
+def net_link_nodes(device: int, num_nodes: int,
+                   num_rails: int = 1) -> Tuple[int, int]:
+    """Decode a link device id to its directed node pair."""
+    src, dst, _rail = net_link_parts(device, num_nodes, num_rails)
+    return src, dst
 
 
 @dataclass

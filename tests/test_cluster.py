@@ -29,7 +29,12 @@ from repro.partition import (
     partition_nodes,
     two_level_partition,
 )
-from repro.runtime import NET_DEVICE_BASE, net_link, net_link_nodes
+from repro.runtime import (
+    NET_DEVICE_BASE,
+    net_link,
+    net_link_nodes,
+    net_link_parts,
+)
 
 
 class TestClusterCostModel:
@@ -109,10 +114,32 @@ class TestNetLinks:
                 assert net_link_nodes(net_link(s, d, 3), 3) == (s, d)
 
     def test_out_of_range_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             net_link(2, 0, 2)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             net_link_nodes(0, 2)
+        with pytest.raises(ConfigurationError):
+            net_link(0, 1, 2, rail=2, num_rails=2)
+
+    def test_rail_links_disjoint_and_decodable(self):
+        ids = [net_link(s, d, 3, rail, 4)
+               for s in range(3) for d in range(3) for rail in range(4)]
+        assert len(set(ids)) == 36
+        for s in range(3):
+            for d in range(3):
+                for rail in range(4):
+                    device = net_link(s, d, 3, rail, 4)
+                    assert net_link_parts(device, 3, 4) == (s, d, rail)
+                    assert net_link_nodes(device, 3, 4) == (s, d)
+
+    def test_single_rail_encoding_matches_flat(self):
+        """num_rails=1 must reproduce the pre-rail link ids bit for bit
+        (the flat-default equivalence guarantee)."""
+        for s in range(4):
+            for d in range(4):
+                flat_id = NET_DEVICE_BASE - (s * 4 + d)
+                assert net_link(s, d, 4) == flat_id
+                assert net_link(s, d, 4, 0, 1) == flat_id
 
 
 class TestPartitionNodes:

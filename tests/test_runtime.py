@@ -13,7 +13,7 @@ import pytest
 from repro.autograd import SGD
 from repro.baselines import FullGraphTrainer
 from repro.core import HongTuConfig, HongTuTrainer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SchedulerError
 from repro.gnn import build_model
 from repro.graph import load_dataset
 from repro.hardware import A100_SERVER, EventTimeline, MultiGPUPlatform
@@ -57,11 +57,11 @@ class TestEventScheduler:
         assert late.start == 2.0
 
     def test_unknown_channel_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SchedulerError):
             EventScheduler().submit("warp_drive", 0, 1.0)
 
     def test_negative_duration_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SchedulerError):
             EventScheduler().submit("gpu", 0, -1.0)
 
     def test_busy_accounting(self):
@@ -95,6 +95,52 @@ class TestEventScheduler:
         chain = scheduler.critical_path()
         assert [task.task_id for task in chain] == \
             [load.task_id, kernel.task_id]
+
+    def test_scheduler_errors_catchable_as_repro_errors(self):
+        """The runtime layer reports through the repro.errors hierarchy
+        like every other layer (no bare ValueError)."""
+        with pytest.raises(ReproError):
+            EventScheduler().submit("warp_drive", 0, 1.0)
+
+    def test_critical_path_crosses_resource_contention(self):
+        """A task delayed by its channel queue (not by a dependency)
+        records the queue predecessor as its blocker, so the critical
+        path walks through contention instead of stopping at the gap."""
+        scheduler = EventScheduler()
+        first = scheduler.submit("h2d", 0, 2.0)
+        second = scheduler.submit("h2d", 0, 1.5)   # queued behind first
+        kernel = scheduler.submit("gpu", 0, 1.0, deps=[second])
+        assert second.start == first.end
+        assert second.blocked_by == first.task_id
+        chain = scheduler.critical_path()
+        assert [task.task_id for task in chain] == \
+            [first.task_id, second.task_id, kernel.task_id]
+
+    def test_critical_path_crosses_deliberately_contended_channel(self):
+        """Regression for the contention-blind walk: the longest chain on
+        a deliberately contended channel spans every queued task even
+        though no dependencies exist at all."""
+        scheduler = EventScheduler()
+        tasks = [scheduler.submit("net", -2, 1.0) for _ in range(4)]
+        assert scheduler.makespan == pytest.approx(4.0)
+        chain = scheduler.critical_path()
+        assert [task.task_id for task in chain] == \
+            [task.task_id for task in tasks]
+
+    def test_shared_resource_serializes_disjoint_devices(self):
+        """Two tasks on different devices that both hold a shared
+        resource (the spine core) queue on it; zero holds never queue."""
+        scheduler = EventScheduler()
+        spine = ("net", "spine")
+        a = scheduler.submit("net", -2, 1.0, shared=[(spine, 0.5)])
+        b = scheduler.submit("net", -3, 1.0, shared=[(spine, 0.5)])
+        assert a.start == 0.0
+        assert b.start == pytest.approx(0.5)   # waits for a's hold
+        assert b.blocked_by == a.task_id
+        free = EventScheduler()
+        a2 = free.submit("net", -2, 1.0, shared=[(spine, 0.0)])
+        b2 = free.submit("net", -3, 1.0, shared=[(spine, 0.0)])
+        assert a2.start == b2.start == 0.0
 
     def test_removing_dependency_never_slows(self):
         """The monotonicity argument behind pipeline <= barrier."""
