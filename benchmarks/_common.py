@@ -4,13 +4,20 @@ Every ``bench_*`` module regenerates one table or figure of the paper: it
 runs the workload on the simulated platform, renders the same rows/series
 the paper reports, prints them, and archives them under
 ``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+
+:func:`emit_json` additionally archives machine-readable *simulated*
+metrics (makespans, halo rows — deterministic pure-float results, not
+wall-clock timings) as ``results/<name>.json``; the CI bench-regression
+job compares these against the committed ``results/baseline.json`` with
+``tools/check_bench_regression.py`` and fails on a >15% regression.
 """
 
 from __future__ import annotations
 
+import json
 import os
 
-__all__ = ["emit", "RESULTS_DIR", "BENCH_SCALE"]
+__all__ = ["emit", "emit_json", "RESULTS_DIR", "BENCH_SCALE"]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -26,3 +33,21 @@ def emit(name: str, text: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w") as handle:
         handle.write(text + "\n")
+
+
+def emit_json(name: str, metrics: dict) -> None:
+    """Archive simulated metrics as results/<name>.json for CI.
+
+    ``metrics`` maps metric name → number. Every metric must be
+    *simulated* (deterministic across machines) and lower-is-better —
+    that is the contract ``tools/check_bench_regression.py`` enforces
+    against ``results/baseline.json``.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"bench": name,
+                   "metrics": {key: float(value)
+                               for key, value in metrics.items()}},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")

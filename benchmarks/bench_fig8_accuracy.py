@@ -11,7 +11,6 @@ semantics); mini-batch reaches a different operating point — slightly lower
 validation accuracy on reddit, competitive on products.
 """
 
-import numpy as np
 
 from repro.autograd import Adam
 from repro.baselines import FullGraphTrainer, MiniBatchTrainer

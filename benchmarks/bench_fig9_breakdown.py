@@ -26,7 +26,7 @@ from repro.core import HongTuConfig, HongTuTrainer
 from repro.graph import load_dataset
 from repro.hardware import A100_SERVER, MultiGPUPlatform
 
-from benchmarks._common import BENCH_SCALE, emit
+from benchmarks._common import BENCH_SCALE, emit, emit_json
 
 DATASETS = ["it2004_sim", "papers_sim", "friendster_sim"]
 LAYER_COUNTS = [2, 3, 4]
@@ -93,6 +93,13 @@ def bench_fig9_gcn(benchmark):
     table, results = benchmark.pedantic(build_tables, args=("gcn",),
                                         rounds=1, iterations=1)
     emit("fig9_breakdown_gcn", table)
+    emit_json("fig9_breakdown_gcn", {
+        f"{dataset}_l{layers}_{label.lstrip('+').lower()}_seconds":
+            results[(dataset, layers, label)].epoch_seconds
+        for dataset in DATASETS
+        for layers in LAYER_COUNTS
+        for label, _mode in LADDER
+    })
     _check_shapes(results)
 
 
@@ -134,6 +141,12 @@ def bench_fig9_overlap(benchmark):
     table, results = benchmark.pedantic(build_overlap_table,
                                         rounds=1, iterations=1)
     emit("fig9_overlap", table)
+    emit_json("fig9_overlap", {
+        f"{dataset}_{overlap}_seconds":
+            results[(dataset, overlap)].epoch_seconds
+        for dataset in DATASETS
+        for overlap in ("barrier", "pipeline")
+    })
     for dataset in DATASETS:
         barrier = results[(dataset, "barrier")]
         pipeline = results[(dataset, "pipeline")]

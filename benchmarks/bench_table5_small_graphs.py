@@ -11,12 +11,10 @@ offload overhead) but is the only system that handles the deepest GAT
 without exhausting memory.
 """
 
-import numpy as np
 
 from repro.baselines import DistGNNSimulator, FullGraphTrainer, \
     InMemoryMultiGPUTrainer
 from repro.bench import (
-    RunOutcome,
     bench_model,
     render_table,
     run_or_oom,

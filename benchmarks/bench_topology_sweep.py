@@ -43,7 +43,7 @@ from repro.hardware import (
 )
 from repro.partition import two_level_partition
 
-from benchmarks._common import BENCH_SCALE, emit
+from benchmarks._common import BENCH_SCALE, emit, emit_json
 
 DATASET = "reddit_sim"
 NODE_COUNTS = [2, 4]
@@ -195,4 +195,9 @@ def bench_topology_smoke(benchmark):
         run_sweep, kwargs={"scale": 0.08, "node_counts": [2]},
         rounds=1, iterations=1)
     emit("topology_smoke", build_sweep_table(results, node_counts=[2]))
+    emit_json("topology_smoke", {
+        f"{name.replace(' ', '_')}_{overlap}_seconds": seconds
+        for (nodes, name, overlap), seconds in results.items()
+        if nodes == 2
+    })
     check_sweep(results, node_counts=[2])

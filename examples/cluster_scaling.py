@@ -15,7 +15,6 @@ on the shared event-timeline runtime:
    pipeline, and read the network time straight off the timeline.
 """
 
-import numpy as np
 
 from repro.baselines import DistGNNSimulator
 from repro.bench import (

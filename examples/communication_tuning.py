@@ -12,7 +12,6 @@ Walks through the paper's §5 pipeline on a social-network stand-in:
 4. train one epoch per communication mode and compare measured traffic.
 """
 
-import numpy as np
 
 from repro.bench import bench_model, format_bytes, format_seconds, render_table
 from repro.comm import (

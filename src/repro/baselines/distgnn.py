@@ -32,7 +32,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.memory_model import estimate_for_model
-from repro.errors import ConfigurationError, DeviceOutOfMemoryError
+from repro.errors import ConfigurationError
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
 from repro.hardware.clock import EventTimeline, TimeBreakdown

@@ -24,7 +24,6 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.autograd.functional import (
     accuracy,
-    cross_entropy,
     masked_cross_entropy_value_and_grad,
 )
 from repro.autograd.optim import Adam, Optimizer

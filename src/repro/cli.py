@@ -30,11 +30,10 @@ from repro.comm import CommCostModel, measure_volumes
 from repro.core import (
     HongTuConfig,
     HongTuTrainer,
-    estimate_for_model,
     estimate_training_memory,
 )
 from repro.gnn import MODEL_REGISTRY, build_model
-from repro.graph import PAPER_PROFILES, available_datasets, load_dataset
+from repro.graph import available_datasets, load_dataset
 from repro.hardware import (
     A100_CLUSTER,
     A100_SERVER,
@@ -95,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spine core oversubscription factor >= 1 "
                             "(1 = non-blocking, behaves exactly like "
                             "flat; only with --topology spine)")
+    train.add_argument("--placement", default="block",
+                       choices=["block", "search"],
+                       help="partition->node assignment (only with "
+                            "--nodes > 1): block = contiguous default "
+                            "(partition p on node p // gpus), search = "
+                            "greedy-swap + KL placement search "
+                            "minimizing cross-node halo rows")
     train.add_argument("--lr", type=float, default=0.01)
 
     analyze = sub.add_parser("analyze",
@@ -145,6 +151,7 @@ def cmd_train(args) -> int:
                           allreduce=args.allreduce,
                           topology=args.topology,
                           oversubscription=args.oversubscription,
+                          placement=args.placement,
                           seed=args.seed)
     from repro.autograd import Adam
 
@@ -154,6 +161,13 @@ def cmd_train(args) -> int:
     print(f"training {args.arch} {dims} on {graph} "
           f"({args.nodes} node(s) x {args.gpus} GPUs x {args.chunks} "
           f"chunks, {args.comm_mode}, {args.overlap}{wiring})")
+    placed = trainer.placement_result
+    if placed is not None:
+        print(f"placement search: cross-node halo rows "
+              f"{placed.rows_block:,} -> {placed.rows_search:,} per "
+              f"epoch-layer ({placed.swaps} swaps, "
+              f"{placed.refinement_passes} refinement pass(es)); "
+              f"assignment {placed.placement.tolist()}")
     for epoch in range(1, args.epochs + 1):
         result = trainer.train_epoch()
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "

@@ -180,6 +180,29 @@ class ClusterCostModel:
         """
         return nbytes / self.collective_bandwidth
 
+    def placement_seconds(self, net_rows: int, row_bytes: int,
+                          allreduce_bytes: float = 0.0,
+                          algorithm: str = "ring") -> float:
+        """Network seconds of a partition→node placement's epoch-layer.
+
+        The objective the placement search minimizes: ``net_rows``
+        cross-node halo rows (forward fetches plus staging loads and
+        their mirrored gradient flushes) priced at the topology-aware
+        congested rate, plus the collective legs of an
+        ``allreduce_bytes`` gradient synchronization. The collective
+        term is placement-invariant (it depends only on the node count),
+        so it never changes which placement wins — it makes the score a
+        complete per-epoch-layer network prediction rather than a bare
+        halo figure. A zero-byte synchronization adds nothing (the
+        trainer emits no collective task for an empty payload, so no
+        latency legs exist to price).
+        """
+        seconds = self.halo_volume_seconds(net_rows * row_bytes)
+        if allreduce_bytes > 0:
+            seconds += self.allreduce_seconds(allreduce_bytes,
+                                              algorithm=algorithm)
+        return seconds
+
 
 def communication_cost(partition: TwoLevelPartition, row_bytes: int,
                        model: CommCostModel) -> float:

@@ -65,7 +65,10 @@ rides its own per-pair link (the original behavior, float-identical); on
 :data:`~repro.runtime.task.SPINE_RESOURCE` for their excess core-transit
 time, so disjoint node pairs contend on the oversubscribed core; on
 ``rail`` each pair's traffic splits by the *owning GPU's* rail
-(``local_gpu % num_rails``) into per-rail messages at per-rail bandwidth.
+(``local_rank % num_rails``, placement-aware) into per-rail messages at
+per-rail bandwidth. Node membership itself comes from the platform's
+``node_of`` — an explicit GPU→node placement array, so an arbitrary
+partition→node assignment routes correctly with no changes here.
 
 The framework is numerically exact regardless of clock type: data moves
 eagerly in program order, so summing atomic pushes and host accumulation
@@ -147,12 +150,15 @@ class DedupCommunicator:
             platform.node_of(i) for i in range(plan.num_gpus)
         ]
         # Network wiring: rail count resolves the per-pair link fan-out
-        # (1 for flat/spine); rail i%g carries GPU i's traffic.
+        # (1 for flat/spine); a GPU's traffic rides the rail of its local
+        # rank within its node — placement-aware, so moving a partition
+        # to another node re-rails it with its new local rank.
         topology = getattr(platform, "topology", None)
         self._rail_topology = topology is not None and topology.kind == "rail"
         self._num_rails: int = getattr(platform, "num_rails", 1)
-        self._gpus_per_node: int = getattr(platform, "gpus_per_node",
-                                           platform.num_gpus)
+        self._local_rank: List[int] = [
+            platform.local_rank(i) for i in range(plan.num_gpus)
+        ]
         # Owner node of every vertex (owner partition's node); only needed
         # for the halo splits, so skip the array on one node.
         if self._num_nodes > 1:
@@ -207,7 +213,7 @@ class DedupCommunicator:
         """Rail carrying GPU ``gpu``'s cross-node traffic (0 off-rail)."""
         if not self._rail_topology:
             return 0
-        return (gpu % self._gpus_per_node) % self._num_rails
+        return self._local_rank[gpu] % self._num_rails
 
     def _link_key(self, src_node: int, dst_node: int,
                   gpu: int) -> Tuple[int, int, int]:

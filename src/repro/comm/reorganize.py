@@ -36,6 +36,8 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.comm.analysis import measure_volumes
 from repro.comm.cost_model import ClusterCostModel, CommCostModel
 from repro.partition.nodes import (
@@ -110,7 +112,9 @@ def reorganize_partition(partition: TwoLevelPartition,
                          cost_model: Optional[CommCostModel] = None,
                          row_bytes: int = 4 * 128,
                          cluster_model: Optional[ClusterCostModel] = None,
-                         num_nodes: int = 1) -> ReorganizationResult:
+                         num_nodes: int = 1,
+                         placement: Optional[np.ndarray] = None
+                         ) -> ReorganizationResult:
     """Run Algorithm 4 on ``partition``.
 
     When ``cost_model`` is given, the result is *cost-model guided*: a
@@ -128,6 +132,12 @@ def reorganize_partition(partition: TwoLevelPartition,
     remotely-owned rows weighted up) competes with the paper's greedy
     layout. With one node (or no cluster model) the behavior — including
     every float — is identical to the pre-topology implementation.
+
+    ``placement`` overrides the contiguous-block partition→node map for
+    the net term (see :func:`repro.partition.partition_nodes`): when the
+    placement search has moved partitions between nodes, the net-aware
+    objective and guard price halo rows against the *actual* assignment
+    the executor will route with.
     """
     started = time.perf_counter()
     m = partition.num_partitions
@@ -152,6 +162,7 @@ def reorganize_partition(partition: TwoLevelPartition,
         aware_grid = _reuse_chain_grid(
             partition, neighbor_sets, num_nodes,
             _remote_row_weight(cost_model, cluster_model, row_bytes),
+            placement=placement,
         )
         aware_order = list(range(n))
         aware = _materialize(partition, aware_grid, aware_order)
@@ -162,7 +173,7 @@ def reorganize_partition(partition: TwoLevelPartition,
             (reorganized, grid, order),
             (aware, aware_grid, aware_order),
         ]
-        rows = [_net_rows(candidate, num_nodes)
+        rows = [_net_rows(candidate, num_nodes, placement=placement)
                 for candidate, _g, _o in candidates]
         costs = [
             _guarded_cost(candidate, candidate_rows, cost_model,
@@ -266,7 +277,9 @@ def _remote_row_weight(cost_model: Optional[CommCostModel],
 
 def _reuse_chain_grid(partition: TwoLevelPartition,
                       neighbor_sets: Sequence[Sequence[Set[int]]],
-                      num_nodes: int, weight: float) -> List[List[int]]:
+                      num_nodes: int, weight: float,
+                      placement: Optional[np.ndarray] = None
+                      ) -> List[List[int]]:
     """Per-partition greedy reuse chains with net-weighted overlap.
 
     Batch-to-batch reuse is independent across partitions (GPU i reuses
@@ -279,7 +292,7 @@ def _reuse_chain_grid(partition: TwoLevelPartition,
     """
     m = partition.num_partitions
     n = partition.num_chunks
-    node_map = partition_nodes(m, num_nodes)
+    node_map = partition_nodes(m, num_nodes, placement)
     assignment = partition.assignment
 
     grid: List[List[int]] = []
@@ -307,17 +320,19 @@ def _reuse_chain_grid(partition: TwoLevelPartition,
     return grid
 
 
-def _net_rows(partition: TwoLevelPartition, num_nodes: int) -> int:
+def _net_rows(partition: TwoLevelPartition, num_nodes: int,
+              placement: Optional[np.ndarray] = None) -> int:
     """Cross-node halo rows per epoch-layer: fetches + loads + flushes.
 
     Forward fetches (:func:`halo_volumes`) plus staging loads
     (:func:`halo_load_volumes`) counted twice — the backward gradient
     flush retires exactly the rows the forward load staged (same
     consecutive-batch differences, time-reversed), so its row total
-    equals the load total.
+    equals the load total. ``placement`` selects the partition→node map
+    the rows are counted against.
     """
-    fetch = int(halo_volumes(partition, num_nodes).sum())
-    load = int(halo_load_volumes(partition, num_nodes).sum())
+    fetch = int(halo_volumes(partition, num_nodes, placement).sum())
+    load = int(halo_load_volumes(partition, num_nodes, placement).sum())
     return fetch + 2 * load
 
 

@@ -6,6 +6,7 @@ from repro.core.config import (
     COMM_MODES,
     INTERMEDIATE_POLICIES,
     OVERLAP_POLICIES,
+    PLACEMENT_POLICIES,
 )
 from repro.core.memory_model import (
     MemoryEstimate,
@@ -21,7 +22,7 @@ from repro.core.profiler import EpochProfiler, ProfileSummary
 
 __all__ = [
     "HongTuConfig", "ALLREDUCE_ALGORITHMS", "COMM_MODES",
-    "INTERMEDIATE_POLICIES", "OVERLAP_POLICIES",
+    "INTERMEDIATE_POLICIES", "OVERLAP_POLICIES", "PLACEMENT_POLICIES",
     "MemoryEstimate", "estimate_training_memory", "estimate_for_model",
     "HongTuTrainer", "EpochResult",
     "save_training_state", "load_training_state",

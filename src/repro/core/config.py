@@ -10,10 +10,12 @@ import numpy as np
 from repro.comm.cost_model import ALLREDUCE_ALGORITHMS
 from repro.errors import ConfigurationError
 from repro.hardware.spec import TOPOLOGY_KINDS
+from repro.partition.placement import PLACEMENT_POLICIES
 from repro.runtime import OVERLAP_POLICIES
 
 __all__ = ["HongTuConfig", "COMM_MODES", "INTERMEDIATE_POLICIES",
-           "OVERLAP_POLICIES", "ALLREDUCE_ALGORITHMS", "TOPOLOGY_KINDS"]
+           "OVERLAP_POLICIES", "ALLREDUCE_ALGORITHMS", "TOPOLOGY_KINDS",
+           "PLACEMENT_POLICIES"]
 
 #: communication ladder of the paper's evaluation (Fig. 9):
 #: ``baseline`` transfers each chunk's neighbor set individually; ``p2p``
@@ -68,6 +70,15 @@ class HongTuConfig:
     oversubscription:
         Spine core oversubscription factor (>= 1; 1 degenerates to
         ``flat`` exactly). Ignored by the other topologies.
+    placement:
+        Partition→node assignment policy, one of
+        :data:`PLACEMENT_POLICIES`. ``"block"`` keeps the contiguous
+        default (partition p on node p // gpus_per_node, the
+        pre-placement behavior, float-identical); ``"search"`` runs the
+        placement search of :func:`repro.partition.search_placement`
+        before planning communication and installs the found assignment
+        on the platform. With one node the search is a no-op (every
+        partition is on node 0) and timings stay float-identical.
     bytes_per_scalar:
         Logical element width for communication/memory accounting (4 =
         float32 on the real hardware; numerics may run in float64).
@@ -86,6 +97,7 @@ class HongTuConfig:
     allreduce: str = "ring"
     topology: str = "flat"
     oversubscription: float = 1.0
+    placement: str = "block"
     bytes_per_scalar: int = 4
     dtype: type = np.float64
     seed: int = 0
@@ -126,6 +138,11 @@ class HongTuConfig:
         if self.oversubscription < 1.0:
             raise ConfigurationError(
                 f"oversubscription must be >= 1, got {self.oversubscription}"
+            )
+        if self.placement not in PLACEMENT_POLICIES:
+            raise ConfigurationError(
+                f"placement must be one of {PLACEMENT_POLICIES}, "
+                f"got {self.placement!r}"
             )
         if self.nodes == 1 and self.topology != "flat":
             raise ConfigurationError(

@@ -8,7 +8,7 @@ configurations — the reporting layer behind the paper's Figure 9.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from repro.bench.reporting import format_seconds, render_table

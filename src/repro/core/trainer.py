@@ -39,19 +39,23 @@ work itself always runs eagerly in program order, so the choice of overlap
 policy cannot change any number the model computes.
 
 On a :class:`~repro.hardware.platform.ClusterPlatform` the same epoch
-spans N nodes: partitions map to nodes in contiguous blocks
-(partition p → node p // gpus_per_node), vertex data shards across node
-hosts, cross-node neighbor traffic becomes halo-exchange ``net`` tasks
-(emitted by the communicator), and the epoch ends with an inter-node
-gradient all-reduce (ring or tree, ``config.allreduce``) chained after
-each node's intra-node reduce. ``config.nodes`` must match the platform;
-with one node, the code path and every simulated second are identical to
-the single-server trainer.
+spans N nodes: partitions map to nodes through an explicit placement
+array (the contiguous-block default p → p // gpus_per_node, or the
+assignment found by the placement search when
+``config.placement == "search"`` — installed on the platform before any
+communication is planned, so link routing, rail selection and host-pool
+affinity all follow it), vertex data shards across node hosts,
+cross-node neighbor traffic becomes halo-exchange ``net`` tasks (emitted
+by the communicator), and the epoch ends with an inter-node gradient
+all-reduce (ring or tree, ``config.allreduce``) chained after each
+node's intra-node reduce. ``config.nodes`` must match the platform; with
+one node, the code path and every simulated second are identical to the
+single-server trainer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -73,6 +77,8 @@ from repro.graph.graph import Graph
 from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.memory import Allocation
 from repro.hardware.platform import MultiGPUPlatform
+from repro.partition.nodes import partition_nodes
+from repro.partition.placement import PlacementResult, search_placement
 from repro.partition.two_level import TwoLevelPartition, two_level_partition
 from repro.runtime.task import net_link
 
@@ -130,11 +136,17 @@ class HongTuTrainer:
         overlap policy).
     optimizer:
         Optional; defaults to Adam(lr=0.01) over the model parameters.
+    partition:
+        Optional precomputed two-level partition (e.g. an adversarially
+        relabeled ordering for placement experiments); must expose one
+        partition per platform GPU. Defaults to METIS-seeded
+        :func:`~repro.partition.two_level.two_level_partition`.
     """
 
     def __init__(self, graph: Graph, model: GNNModel,
                  platform: MultiGPUPlatform, config: HongTuConfig,
-                 optimizer: Optional[Optimizer] = None):
+                 optimizer: Optional[Optimizer] = None,
+                 partition: Optional[TwoLevelPartition] = None):
         if graph.features is None or graph.labels is None:
             raise ConfigurationError("training requires features and labels")
         if model.dims[0] != graph.feature_dim:
@@ -173,28 +185,65 @@ class HongTuTrainer:
         self._allreduce_net_bytes = 0  # per-epoch, reset by train_epoch
 
         # ---- preprocessing -------------------------------------------------
-        self.partition: TwoLevelPartition = two_level_partition(
-            graph, platform.num_gpus, config.num_chunks, seed=config.seed
-        )
+        if partition is None:
+            partition = two_level_partition(
+                graph, platform.num_gpus, config.num_chunks,
+                seed=config.seed
+            )
+        elif partition.num_partitions != platform.num_gpus:
+            raise ConfigurationError(
+                f"partition has {partition.num_partitions} partitions, "
+                f"platform exposes {platform.num_gpus} GPUs"
+            )
+        self.partition: TwoLevelPartition = partition
         self.preprocessing_seconds = 0.0
+        row_bytes = max(model.dims) * config.bytes_per_scalar
+        cluster_model = None
+        if platform_nodes > 1:
+            cluster_model = ClusterCostModel.from_cluster(platform.cluster)
+
+        # Partition→node placement: whatever the platform already has
+        # installed (the contiguous-block map unless the caller chose
+        # otherwise), or the searched assignment (installed on the
+        # platform before any communication is planned, so every
+        # downstream consumer — executor link routing, rails, host
+        # pools — sees it).
+        platform_placement = getattr(platform, "placement", None)
+        self.placement = (
+            platform_placement if platform_placement is not None
+            else partition_nodes(platform.num_gpus, platform_nodes)
+        )
+        #: provenance of the placement search (None under "block")
+        self.placement_result: Optional[PlacementResult] = None
+        if config.placement == "search" and platform_nodes > 1:
+            # Seed from the platform's active assignment so a caller-
+            # installed custom placement is refined, never regressed.
+            placed = search_placement(
+                self.partition, platform_nodes,
+                cluster_model=cluster_model, row_bytes=row_bytes,
+                allreduce_bytes=model.parameter_nbytes(),
+                allreduce_algorithm=config.allreduce,
+                seed_placement=self.placement,
+            )
+            self.placement = placed.placement
+            self.placement_result = placed
+            self.preprocessing_seconds += placed.seconds
+            platform.set_placement(self.placement)
+
         #: provenance of the (possibly net-aware) Algorithm 4 run
         self.reorganization: Optional[ReorganizationResult] = None
         if config.reorganize:
             cost_model = CommCostModel.from_platform(platform)
-            row_bytes = max(model.dims) * config.bytes_per_scalar
             # On a cluster the objective gains the net term: cross-node
-            # halo rows priced at network seconds (Algorithm 4 extension).
-            cluster_model = None
-            if platform_nodes > 1:
-                cluster_model = ClusterCostModel.from_cluster(
-                    platform.cluster
-                )
+            # halo rows priced at network seconds (Algorithm 4 extension),
+            # counted against the active placement.
             result = reorganize_partition(
                 self.partition, cost_model, row_bytes,
                 cluster_model=cluster_model, num_nodes=platform_nodes,
+                placement=self.placement,
             )
             self.partition = result.partition
-            self.preprocessing_seconds = result.preprocessing_seconds
+            self.preprocessing_seconds += result.preprocessing_seconds
             self.reorganization = result
 
         dedup_inter, dedup_intra = config.dedup_flags
@@ -571,10 +620,13 @@ class HongTuTrainer:
             intra_tasks = []
             if g > 1:
                 volume = 2 * param_bytes * (g - 1) / g
+                # One leg per node, charged to its first hosted GPU —
+                # placement-aware (the block map yields node*g exactly).
                 intra_tasks = timeline.submit_phase(
                     "d2d",
                     [self.platform.d2d_seconds(volume)] * nodes,
-                    devices=[node * g for node in range(nodes)],
+                    devices=[self.platform.node_gpus(node)[0]
+                             for node in range(nodes)],
                     label="all_reduce_intra",
                 )
             cost = ClusterCostModel.from_cluster(self.platform.cluster)

@@ -14,7 +14,7 @@ well-defined and binary-search membership cheap.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

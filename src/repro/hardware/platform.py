@@ -27,7 +27,9 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+import numpy as np
+
+from repro.errors import ConfigurationError, PartitionError
 from repro.hardware.memory import MemoryPool
 from repro.hardware.spec import (
     FLAT_TOPOLOGY,
@@ -118,6 +120,18 @@ class MultiGPUPlatform:
         """Node hosting ``device`` (GPU id); host/net pseudo-devices → 0."""
         return 0
 
+    def local_rank(self, device: int) -> int:
+        """Rank of ``device`` among its node's GPUs (its own id here)."""
+        return device
+
+    def node_gpus(self, node: int) -> List[int]:
+        """Global GPU ids hosted on ``node``, ascending."""
+        if node != 0:
+            raise ConfigurationError(
+                f"single-node platform has no node {node}"
+            )
+        return list(range(self.num_gpus))
+
     @property
     def topology(self) -> NetworkTopology:
         """Network topology; a single node has the trivial flat wiring."""
@@ -186,17 +200,25 @@ class MultiGPUPlatform:
 class ClusterPlatform(MultiGPUPlatform):
     """Cost + capacity model of N multi-GPU servers on a flat network.
 
-    GPU ``p`` (global id) lives on node ``p // gpus_per_node`` as local
-    device ``p % gpus_per_node`` — the canonical partition→node→GPU map
-    (also exposed as :func:`repro.partition.partition_nodes`). Per-node
-    transfer/compute rates are those of the node spec; only ``net_seconds``
-    is new. With ``num_nodes == 1`` every cost and capacity answer is
-    identical to ``MultiGPUPlatform(cluster.node)``.
+    By default GPU ``p`` (global id) lives on node ``p // gpus_per_node``
+    as local device ``p % gpus_per_node`` — the contiguous-block
+    partition→node→GPU map (also exposed as
+    :func:`repro.partition.partition_nodes`). The map is *explicit*,
+    not baked in: ``placement`` (or :meth:`set_placement`) installs an
+    arbitrary balanced GPU→node assignment, which is how the placement
+    search (:func:`repro.partition.search_placement`) moves whole
+    partitions between nodes — partition p keeps global GPU id p
+    everywhere, only :meth:`node_of` answers change, and with them the
+    executor's link routing, rail selection and host-pool affinity.
+    Per-node transfer/compute rates are those of the node spec; only
+    ``net_seconds`` is new. With ``num_nodes == 1`` every cost and
+    capacity answer is identical to ``MultiGPUPlatform(cluster.node)``.
     """
 
     def __init__(self, cluster: ClusterSpec,
                  gpus_per_node: Optional[int] = None,
-                 numa_aware: Optional[bool] = None):
+                 numa_aware: Optional[bool] = None,
+                 placement=None):
         node_spec = cluster.node
         per_node = gpus_per_node if gpus_per_node is not None \
             else node_spec.num_gpus
@@ -208,15 +230,9 @@ class ClusterPlatform(MultiGPUPlatform):
         self.spec = node_spec
         self._gpus_per_node = per_node
         self.num_gpus = cluster.num_nodes * per_node
-        gpus_per_socket = max(node_spec.num_gpus // node_spec.num_sockets, 1)
         self.gpus = [
-            SimulatedGPU(
-                node * per_node + local,
-                local // gpus_per_socket,
-                node_spec.gpu.memory_bytes,
-            )
-            for node in range(cluster.num_nodes)
-            for local in range(per_node)
+            SimulatedGPU(device, 0, node_spec.gpu.memory_bytes)
+            for device in range(self.num_gpus)
         ]
         self.hosts: List[MemoryPool] = [
             MemoryPool(node_spec.host_memory_bytes, name=f"host{node}")
@@ -227,6 +243,43 @@ class ClusterPlatform(MultiGPUPlatform):
         if numa_aware is None:
             numa_aware = per_node > node_spec.num_sockets
         self.numa_aware = numa_aware
+        self.set_placement(placement)
+
+    def set_placement(self, placement=None) -> None:
+        """Install a GPU→node assignment (``None`` restores block map).
+
+        ``placement[p]`` is the node hosting global GPU (= partition) p.
+        It must assign every GPU exactly once and keep nodes exactly
+        balanced at ``gpus_per_node`` GPUs each; sockets follow each
+        GPU's local rank within its node. Call before building
+        communicators/trainers — tasks already scheduled keep the link
+        ids they were routed with.
+        """
+        # Deferred import: repro.partition pulls graph/comm modules in,
+        # and importing them at module scope would cycle back here.
+        from repro.partition.nodes import partition_nodes
+
+        nodes = self.cluster.num_nodes
+        try:
+            resolved = partition_nodes(self.num_gpus, nodes, placement)
+        except PartitionError as error:
+            raise ConfigurationError(str(error)) from error
+        self._placement = resolved
+        self._node_gpus: List[List[int]] = [
+            np.flatnonzero(resolved == node).tolist()
+            for node in range(nodes)
+        ]
+        self._local_rank = np.empty(self.num_gpus, dtype=np.int64)
+        gpus_per_socket = max(self.spec.num_gpus // self.spec.num_sockets, 1)
+        for members in self._node_gpus:
+            for rank, device in enumerate(members):
+                self._local_rank[device] = rank
+                self.gpus[device].socket = rank // gpus_per_socket
+
+    @property
+    def placement(self) -> np.ndarray:
+        """The active GPU→node assignment (copy; length ``num_gpus``)."""
+        return self._placement.copy()
 
     @property
     def num_nodes(self) -> int:
@@ -240,7 +293,15 @@ class ClusterPlatform(MultiGPUPlatform):
         """Node of a global GPU id; pseudo-devices (< 0) map to node 0."""
         if device < 0:
             return 0
-        return device // self._gpus_per_node
+        return int(self._placement[device])
+
+    def local_rank(self, device: int) -> int:
+        """Rank of ``device`` among its node's GPUs (placement-aware)."""
+        return int(self._local_rank[device])
+
+    def node_gpus(self, node: int) -> List[int]:
+        """Global GPU ids hosted on ``node``, ascending."""
+        return list(self._node_gpus[node])
 
     @property
     def topology(self) -> NetworkTopology:

@@ -18,6 +18,15 @@ from repro.partition.nodes import (
     halo_volumes,
     halo_load_volumes,
 )
+from repro.partition.placement import (
+    PLACEMENT_POLICIES,
+    PlacementResult,
+    partition_halo_matrix,
+    partition_load_matrix,
+    permute_partitions,
+    placement_net_rows,
+    search_placement,
+)
 
 __all__ = [
     "metis_partition", "edge_cut", "partition_balance",
@@ -27,4 +36,7 @@ __all__ = [
     "vertex_data_per_subgraph",
     "partition_nodes", "node_of_partition", "halo_volumes",
     "halo_load_volumes",
+    "PLACEMENT_POLICIES", "PlacementResult", "partition_halo_matrix",
+    "partition_load_matrix", "permute_partitions", "placement_net_rows",
+    "search_placement",
 ]

@@ -13,9 +13,17 @@ the network each layer sweep. :func:`halo_volumes` measures it in vertex
 rows per epoch-layer, batch by batch, exactly matching the network tasks
 the executor emits (same dedup semantics: each staged row crosses once per
 batch it is fetched in).
+
+The contiguous-block map is only the *default*: every analysis here takes
+an optional explicit ``placement`` array (partition p → node
+``placement[p]``), the representation the placement search in
+:mod:`repro.partition.placement` optimizes over. ``placement=None``
+reproduces the block map bit for bit.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -35,12 +43,17 @@ def node_of_partition(partition_id: int, gpus_per_node: int) -> int:
     return partition_id // gpus_per_node
 
 
-def partition_nodes(num_partitions: int, num_nodes: int) -> np.ndarray:
-    """Partition→node map: ``num_partitions`` ids in contiguous node blocks.
+def partition_nodes(num_partitions: int, num_nodes: int,
+                    placement: Optional[np.ndarray] = None) -> np.ndarray:
+    """Partition→node map: explicit ``placement`` or contiguous node blocks.
 
     ``num_partitions`` must be divisible by ``num_nodes`` (every node runs
     the same number of GPUs). Returns an int array of length
-    ``num_partitions`` with entry p = node of partition p.
+    ``num_partitions`` with entry p = node of partition p: the validated
+    copy of ``placement`` when one is given (it must assign every
+    partition exactly once and keep nodes exactly balanced at
+    ``num_partitions / num_nodes`` GPUs each), else the contiguous-block
+    default ``p // gpus_per_node``.
     """
     if num_nodes < 1 or num_partitions < 1:
         raise PartitionError(
@@ -53,11 +66,30 @@ def partition_nodes(num_partitions: int, num_nodes: int) -> np.ndarray:
             f"{num_nodes} nodes"
         )
     gpus_per_node = num_partitions // num_nodes
-    return np.repeat(np.arange(num_nodes, dtype=np.int64), gpus_per_node)
+    if placement is None:
+        return np.repeat(np.arange(num_nodes, dtype=np.int64), gpus_per_node)
+    placement = np.asarray(placement, dtype=np.int64)
+    if placement.shape != (num_partitions,):
+        raise PartitionError(
+            f"placement must assign each of the {num_partitions} partitions "
+            f"one node, got shape {placement.shape}"
+        )
+    if len(placement) and (placement.min() < 0
+                           or placement.max() >= num_nodes):
+        raise PartitionError(
+            f"placement names nodes outside [0, {num_nodes})"
+        )
+    counts = np.bincount(placement, minlength=num_nodes)
+    if (counts != gpus_per_node).any():
+        raise PartitionError(
+            f"placement is unbalanced: nodes host {counts.tolist()} "
+            f"partitions, need exactly {gpus_per_node} each"
+        )
+    return placement.copy()
 
 
-def halo_volumes(partition: TwoLevelPartition,
-                 num_nodes: int) -> np.ndarray:
+def halo_volumes(partition: TwoLevelPartition, num_nodes: int,
+                 placement: Optional[np.ndarray] = None) -> np.ndarray:
     """Per-epoch-layer network rows between node pairs.
 
     Returns an ``(N, N)`` int matrix H where ``H[s, d]`` counts the vertex
@@ -70,8 +102,13 @@ def halo_volumes(partition: TwoLevelPartition,
 
     A zero matrix means the partition has no halo (every chunk's neighbors
     are node-local) and a cluster run emits no fetch-phase network tasks.
+
+    ``placement`` overrides the contiguous-block partition→node map (see
+    :func:`partition_nodes`), so the same analysis prices any assignment
+    the placement search proposes.
     """
-    node_map = partition_nodes(partition.num_partitions, num_nodes)
+    node_map = partition_nodes(partition.num_partitions, num_nodes,
+                               placement)
     assignment = partition.assignment
     m = partition.num_partitions
     volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
@@ -90,8 +127,8 @@ def halo_volumes(partition: TwoLevelPartition,
     return volumes
 
 
-def halo_load_volumes(partition: TwoLevelPartition,
-                      num_nodes: int) -> np.ndarray:
+def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
+                      placement: Optional[np.ndarray] = None) -> np.ndarray:
     """Per-epoch-layer *staging* halo rows between node pairs.
 
     The reuse-sensitive companion of :func:`halo_volumes`: under
@@ -114,8 +151,12 @@ def halo_load_volumes(partition: TwoLevelPartition,
     and skip the network. It is therefore the term of the net-aware
     Algorithm 4 objective that subgraph reorganization can actually
     shrink.
+
+    ``placement`` overrides the contiguous-block partition→node map,
+    exactly as in :func:`halo_volumes`.
     """
-    node_map = partition_nodes(partition.num_partitions, num_nodes)
+    node_map = partition_nodes(partition.num_partitions, num_nodes,
+                               placement)
     assignment = partition.assignment
     volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
     for i in range(partition.num_partitions):

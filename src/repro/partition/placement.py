@@ -1,0 +1,391 @@
+"""Partition-level chunk placement search across cluster nodes.
+
+The contiguous-block partition→node map (:func:`~repro.partition.nodes.
+partition_nodes`) inherits the METIS ordering's locality, but it is an
+*assumption*, not an optimum: on skewed orderings (or after adversarial
+relabeling) whole partitions end up separated from the partitions they
+exchange halo rows with, and the net-aware Algorithm 4 — which only
+reorders chunk *schedules* on their home GPUs — cannot fix that. This
+module searches over the partition→node assignment itself.
+
+The objective is the cluster net term of the reorganization guard,
+aggregated to partition granularity: per epoch-layer, partition pair
+``(k, i)`` exchanges
+
+* ``F[k, i]`` forward fetch rows (:func:`partition_halo_matrix` — rows
+  owned by k that i's chunks read from k's transition buffer; invariant
+  under chunk reordering), and
+* ``L[k, i]`` staging-load rows (:func:`partition_load_matrix` — rows
+  owned by k that i freshly loads per sweep under self-staging; counted
+  twice, once for the load and once for the mirrored gradient flush).
+
+A placement's cross-node halo rows are the entries of ``W = F + 2·L``
+whose endpoints land on different nodes — by construction the same
+counting as ``halo_volumes``/``halo_load_volumes`` under that placement,
+so the search's predictions stay byte-checkable against the executor's
+``net_bytes_by_flow``. :class:`~repro.comm.cost_model.ClusterCostModel`
+prices the rows (topology-aware congested rate, plus the placement-
+invariant collective legs) to report seconds.
+
+The search itself is classic graph partitioning on the symmetrized
+weight matrix ``S = W + Wᵀ``:
+
+1. **Seed** — the contiguous-block map (never worse than it: the block
+   placement is always a candidate).
+2. **Greedy pairwise swaps** — repeatedly apply the swap of two
+   partitions on different nodes with the largest positive cut
+   reduction ``gain(a∈A, b∈B) = [E_a(B) − E_a(A)] + [E_b(A) − E_b(B)]
+   − 2·S[a,b]`` (``E_p(X)`` = rows partition p exchanges with node X's
+   partitions), until no improving swap exists. Swaps preserve the
+   exact ``m/N``-per-node balance by construction.
+3. **KL/FM-style refinement** — to escape local minima, a
+   Kernighan-Lin pass performs the *best available* swap even when its
+   gain is negative, locks both endpoints, and repeats until fewer than
+   two free partitions remain on distinct nodes; the pass then keeps
+   the prefix of swaps with the maximum cumulative gain (reverting the
+   rest) and, if that gain is positive, goes back to step 2.
+
+All weights are integer row counts, so gains are exact and the search is
+deterministic (ties break on the lowest partition ids). With one node
+the placement is trivially all-zeros and every cost equals the block
+cost — the ``nodes=1`` float-identity contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import PartitionError
+
+if TYPE_CHECKING:  # import would cycle: repro.comm pulls this package in
+    from repro.comm.cost_model import ClusterCostModel
+from repro.partition.nodes import partition_nodes
+from repro.partition.subgraph import SubgraphChunk
+from repro.partition.two_level import TwoLevelPartition
+
+__all__ = ["PlacementResult", "search_placement", "partition_halo_matrix",
+           "partition_load_matrix", "placement_net_rows",
+           "permute_partitions", "PLACEMENT_POLICIES"]
+
+#: how partitions map to cluster nodes: the contiguous-``block`` default
+#: or the ``search``ed assignment of :func:`search_placement`
+PLACEMENT_POLICIES = ("block", "search")
+
+
+# ----------------------------------------------------------------------
+# partition-granularity halo analyses
+# ----------------------------------------------------------------------
+def partition_halo_matrix(partition: TwoLevelPartition) -> np.ndarray:
+    """Per-epoch-layer fetch rows between partition pairs.
+
+    Returns an ``(m, m)`` int matrix F where ``F[k, i]`` counts the
+    vertex rows owned by partition k that partition i's chunks read from
+    k's transition buffer over one layer sweep (zero diagonal: a chunk's
+    reads of its own partition's rows never leave the GPU). Summing the
+    entries whose endpoints a placement puts on different nodes
+    reproduces :func:`~repro.partition.nodes.halo_volumes` under that
+    placement exactly — this is the owner-partition refinement of the
+    same counting, and it is invariant under chunk reordering.
+    """
+    m = partition.num_partitions
+    assignment = partition.assignment
+    matrix = np.zeros((m, m), dtype=np.int64)
+    for i in range(m):
+        for j in range(partition.num_chunks):
+            needed = partition.chunks[i][j].neighbor_global
+            if len(needed) == 0:
+                continue
+            counts = np.bincount(assignment[needed], minlength=m)
+            matrix[:, i] += counts
+    np.fill_diagonal(matrix, 0)
+    return matrix
+
+
+def partition_load_matrix(partition: TwoLevelPartition) -> np.ndarray:
+    """Per-epoch-layer *freshly loaded* rows between partition pairs.
+
+    The owner-partition refinement of
+    :func:`~repro.partition.nodes.halo_load_volumes`: ``L[k, i]`` counts
+    the rows owned by partition k that partition i loads into its own
+    staging buffer per sweep after batch-to-batch reuse (self-staging
+    modes), so the entries crossing a placement's node boundary are the
+    ``halo_load`` network rows — and, time-reversed, the ``halo_flush``
+    rows. Unlike the fetch matrix this depends on the chunk schedule.
+    """
+    m = partition.num_partitions
+    assignment = partition.assignment
+    matrix = np.zeros((m, m), dtype=np.int64)
+    for i in range(m):
+        previous = np.empty(0, dtype=np.int64)
+        for j in range(partition.num_chunks):
+            needed = partition.chunks[i][j].neighbor_global
+            if len(needed):
+                loaded = needed[~np.isin(needed, previous,
+                                         assume_unique=True)]
+                if len(loaded):
+                    counts = np.bincount(assignment[loaded], minlength=m)
+                    matrix[:, i] += counts
+            previous = needed
+    np.fill_diagonal(matrix, 0)
+    return matrix
+
+
+def _cross_rows(weights: np.ndarray, placement: np.ndarray) -> int:
+    """Entries of ``weights`` whose endpoints sit on different nodes."""
+    cross = placement[:, None] != placement[None, :]
+    return int(weights[cross].sum())
+
+
+def placement_net_rows(partition: TwoLevelPartition, num_nodes: int,
+                       placement: Optional[np.ndarray] = None) -> int:
+    """Cross-node halo rows per epoch-layer under ``placement``.
+
+    Fetch rows plus staging loads counted twice (load + mirrored
+    gradient flush) — the same total as the net-aware reorganization's
+    ``_net_rows`` objective, for an arbitrary partition→node map.
+    """
+    node_map = partition_nodes(partition.num_partitions, num_nodes,
+                               placement)
+    weights = (partition_halo_matrix(partition)
+               + 2 * partition_load_matrix(partition))
+    return _cross_rows(weights, node_map)
+
+
+# ----------------------------------------------------------------------
+# the search
+# ----------------------------------------------------------------------
+@dataclass
+class PlacementResult:
+    """A searched partition→node assignment plus its provenance.
+
+    ``rows_*`` are cross-node halo rows per epoch-layer (fetches plus
+    loads and their mirrored flushes); ``cost_*`` price them with the
+    supplied :class:`~repro.comm.cost_model.ClusterCostModel` (``None``
+    when the search ran unpriced). The searched placement is never worse
+    than the block seed: ``rows_search <= rows_block`` always holds.
+    """
+
+    placement: np.ndarray
+    num_nodes: int
+    rows_block: int
+    rows_search: int
+    cost_block: Optional[float] = None
+    cost_search: Optional[float] = None
+    #: improving swaps applied (greedy phase + kept refinement prefixes)
+    swaps: int = 0
+    #: KL refinement passes run (each ends in a kept or reverted prefix)
+    refinement_passes: int = 0
+    #: search wall time (preprocessing overhead, Table 9 style)
+    seconds: float = 0.0
+
+    @property
+    def rows_saved(self) -> int:
+        """Cross-node halo rows removed per epoch-layer vs the block map."""
+        return self.rows_block - self.rows_search
+
+    @property
+    def improved(self) -> bool:
+        return self.rows_search < self.rows_block
+
+
+def _node_exchange(weights_sym: np.ndarray,
+                   placement: np.ndarray, num_nodes: int) -> np.ndarray:
+    """E[p, X] = rows partition p exchanges with node X's partitions."""
+    m = len(placement)
+    onehot = np.zeros((m, num_nodes), dtype=np.int64)
+    onehot[np.arange(m), placement] = 1
+    return weights_sym @ onehot
+
+
+def _swap_gains(weights_sym: np.ndarray, placement: np.ndarray,
+                num_nodes: int) -> np.ndarray:
+    """Cut reduction of swapping each partition pair's nodes.
+
+    ``G[a, b] = [E_a(B) − E_a(A)] + [E_b(A) − E_b(B)] − 2·S[a, b]`` for
+    a on node A, b on node B; pairs on the same node get a sentinel so
+    they are never selected.
+    """
+    exchange = _node_exchange(weights_sym, placement, num_nodes)
+    internal = exchange[np.arange(len(placement)), placement]
+    toward = exchange[:, placement]  # toward[a, b] = E_a(node of b)
+    gains = (toward + toward.T - internal[:, None] - internal[None, :]
+             - 2 * weights_sym)
+    gains[placement[:, None] == placement[None, :]] = np.iinfo(np.int64).min
+    return gains
+
+
+def _best_swap(gains: np.ndarray,
+               free: Optional[np.ndarray] = None
+               ) -> Tuple[int, int, int]:
+    """Highest-gain (a, b) pair, lowest ids first on ties."""
+    masked = gains
+    if free is not None:
+        masked = gains.copy()
+        masked[~free, :] = np.iinfo(np.int64).min
+        masked[:, ~free] = np.iinfo(np.int64).min
+    flat = int(np.argmax(masked))
+    a, b = divmod(flat, masked.shape[1])
+    return a, b, int(masked[a, b])
+
+
+def search_placement(partition: TwoLevelPartition, num_nodes: int,
+                     cluster_model: Optional["ClusterCostModel"] = None,
+                     row_bytes: int = 4 * 128,
+                     allreduce_bytes: float = 0.0,
+                     allreduce_algorithm: str = "ring",
+                     max_refinements: int = 4,
+                     seed_placement: Optional[np.ndarray] = None
+                     ) -> PlacementResult:
+    """Search partition→node assignments minimizing cross-node halo rows.
+
+    Seeds with ``seed_placement`` (the contiguous-block map by default —
+    pass a platform's active assignment to refine it instead of
+    restarting from scratch), improves it with greedy pairwise swaps,
+    then runs up to ``max_refinements`` Kernighan-Lin passes
+    (swap-lock-revert-to-best-prefix) to escape local minima; see the
+    module docstring for the objective and the gain formula. Balance is
+    exact throughout (swaps never move partition counts), and the result
+    is never worse than the seed: ``rows_block``/``cost_block`` report
+    the *seed* placement's objective, so ``rows_search <= rows_block``
+    holds for any seed.
+
+    When ``cluster_model`` is given, ``cost_block``/``cost_search``
+    price the rows at its topology-aware rate via
+    :meth:`~repro.comm.cost_model.ClusterCostModel.placement_seconds`
+    (``allreduce_bytes`` adds the placement-invariant collective legs so
+    the cost is a full epoch-layer net prediction).
+    """
+    started = time.perf_counter()
+    m = partition.num_partitions
+    block = partition_nodes(m, num_nodes, seed_placement)
+    weights = (partition_halo_matrix(partition)
+               + 2 * partition_load_matrix(partition))
+    weights_sym = weights + weights.T
+    rows_block = _cross_rows(weights, block)
+
+    placement = block.copy()
+    swaps = 0
+    refinements = 0
+    if num_nodes > 1 and m > num_nodes:
+        swaps += _greedy_swaps(weights_sym, placement, num_nodes)
+        for _ in range(max_refinements):
+            refinements += 1
+            kept = _refinement_pass(weights_sym, placement, num_nodes)
+            if kept == 0:
+                break
+            swaps += kept
+            swaps += _greedy_swaps(weights_sym, placement, num_nodes)
+
+    rows_search = _cross_rows(weights, placement)
+    cost_block = cost_search = None
+    if cluster_model is not None:
+        cost_block = cluster_model.placement_seconds(
+            rows_block, row_bytes, allreduce_bytes=allreduce_bytes,
+            algorithm=allreduce_algorithm,
+        )
+        cost_search = cluster_model.placement_seconds(
+            rows_search, row_bytes, allreduce_bytes=allreduce_bytes,
+            algorithm=allreduce_algorithm,
+        )
+    return PlacementResult(
+        placement=placement, num_nodes=num_nodes,
+        rows_block=rows_block, rows_search=rows_search,
+        cost_block=cost_block, cost_search=cost_search,
+        swaps=swaps, refinement_passes=refinements,
+        seconds=time.perf_counter() - started,
+    )
+
+
+def _greedy_swaps(weights_sym: np.ndarray, placement: np.ndarray,
+                  num_nodes: int) -> int:
+    """Apply best-improving pairwise swaps in place until none remains."""
+    applied = 0
+    limit = len(placement) ** 2  # safety cap; each swap strictly improves
+    while applied < limit:
+        a, b, gain = _best_swap(
+            _swap_gains(weights_sym, placement, num_nodes)
+        )
+        if gain <= 0:
+            break
+        placement[a], placement[b] = placement[b], placement[a]
+        applied += 1
+    return applied
+
+
+def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
+                     num_nodes: int) -> int:
+    """One KL pass: swap-and-lock greedily, keep the best prefix.
+
+    Mutates ``placement`` to the best prefix's state and returns the
+    number of swaps kept (0 when no prefix beat the starting cut — the
+    pass then leaves the placement exactly as it found it).
+    """
+    working = placement.copy()
+    free = np.ones(len(placement), dtype=bool)
+    cumulative = 0
+    best_gain = 0
+    best_prefix = 0
+    trail: List[Tuple[int, int]] = []
+    while True:
+        if len(np.unique(working[free])) < 2:
+            break  # no two free partitions left on distinct nodes
+        a, b, gain = _best_swap(
+            _swap_gains(weights_sym, working, num_nodes), free
+        )
+        if gain == np.iinfo(np.int64).min:
+            break
+        working[a], working[b] = working[b], working[a]
+        free[a] = free[b] = False
+        trail.append((a, b))
+        cumulative += gain
+        if cumulative > best_gain:
+            best_gain = cumulative
+            best_prefix = len(trail)
+    if best_prefix == 0:
+        return 0
+    for a, b in trail[:best_prefix]:
+        placement[a], placement[b] = placement[b], placement[a]
+    return best_prefix
+
+
+# ----------------------------------------------------------------------
+# adversarial relabeling (benchmarks + tests)
+# ----------------------------------------------------------------------
+def permute_partitions(partition: TwoLevelPartition,
+                       perm: np.ndarray) -> TwoLevelPartition:
+    """Relabel partitions: new partition i is old partition ``perm[i]``.
+
+    Chunk arrays are shared; only grid coordinates and the vertex→
+    partition assignment are rewritten. A round-robin ``perm`` scatters
+    the METIS ordering's contiguous locality across node blocks, which
+    is how benchmarks and tests construct *skewed* orderings where the
+    block placement is provably suboptimal (the placement search then
+    recovers the contiguous grouping).
+    """
+    m = partition.num_partitions
+    perm = np.asarray(perm, dtype=np.int64)
+    if sorted(perm.tolist()) != list(range(m)):
+        raise PartitionError(
+            f"perm must be a permutation of range({m}), got {perm.tolist()}"
+        )
+    inverse = np.empty(m, dtype=np.int64)
+    inverse[perm] = np.arange(m, dtype=np.int64)
+    rows: List[List[SubgraphChunk]] = []
+    for i in range(m):
+        row = []
+        for j, chunk in enumerate(partition.chunks[perm[i]]):
+            row.append(SubgraphChunk(
+                partition_id=i,
+                chunk_id=j,
+                dst_global=chunk.dst_global,
+                edge_src_global=chunk.edge_src_global,
+                edge_dst_local=chunk.edge_dst_local,
+                edge_weight=chunk.edge_weight,
+            ))
+        rows.append(row)
+    return TwoLevelPartition(partition.graph, rows,
+                             inverse[partition.assignment])

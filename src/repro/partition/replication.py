@@ -12,9 +12,8 @@ layer per direction).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
-import numpy as np
 
 from repro.graph.graph import Graph
 from repro.partition.two_level import TwoLevelPartition, two_level_partition

@@ -1,7 +1,6 @@
 """Tests for loss functions and metrics."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor
 from repro.autograd.functional import (

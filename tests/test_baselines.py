@@ -18,7 +18,6 @@ from repro.graph import load_dataset
 from repro.hardware import (
     A100_SERVER,
     CPU_NODE,
-    GB,
     MultiGPUPlatform,
 )
 

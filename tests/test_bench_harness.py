@@ -1,6 +1,5 @@
 """Tests for the benchmark harness utilities and reporting."""
 
-import numpy as np
 import pytest
 
 # ``bench_model``/``bench_graph`` are aliased on import: the pytest config

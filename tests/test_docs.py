@@ -8,9 +8,7 @@ silently bless broken docs).
 
 import importlib.util
 import os
-import sys
 
-import pytest
 
 _TOOLS = os.path.join(os.path.dirname(__file__), "..", "tools",
                       "check_docs.py")

@@ -162,7 +162,9 @@ class TestCacheableAggregates:
         block = toy_block()
         a = rng.standard_normal((8, 4))
         b = rng.standard_normal((8, 4))
-        agg = lambda x: layer.aggregate(block, Tensor(x)).data
+        def agg(x):
+            return layer.aggregate(block, Tensor(x)).data
+
         np.testing.assert_allclose(
             agg(a) + agg(b), agg(a + b), atol=1e-10
         )

@@ -6,10 +6,9 @@ identities, and chunked-vs-monolithic gradient equality.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.autograd import SGD, Tensor
+from repro.autograd import SGD
 from repro.baselines import FullGraphTrainer
 from repro.comm import DedupCommunicator, build_comm_plan, measure_volumes
 from repro.core import HongTuConfig, HongTuTrainer

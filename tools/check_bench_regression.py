@@ -1,0 +1,190 @@
+"""Gate benchmark JSON results against a committed baseline.
+
+The smoke benchmarks archive *simulated* metrics (epoch makespans, halo
+rows — deterministic pure-float results, not wall-clock timings) as
+``benchmarks/results/<bench>.json`` via ``emit_json``. This tool compares
+every metric named in ``benchmarks/results/baseline.json`` against the
+freshly produced value and fails when a lower-is-better metric grew by
+more than the tolerance (15% by default) — so a placement/scheduling
+"optimization" that silently regresses simulated makespans turns CI red.
+
+Usage::
+
+    python tools/check_bench_regression.py            # gate vs baseline
+    python tools/check_bench_regression.py --update   # rewrite baseline
+    python tools/check_bench_regression.py --tolerance 0.10
+
+Exit codes: 0 ok, 1 regression (or missing result), 2 bad invocation.
+
+Baseline format (committed, reviewed like code)::
+
+    {"<bench>": {"<metric>": <number>, ...}, ...}
+
+Improvements never fail the gate; they print a note suggesting a
+baseline refresh so future regressions are measured from the new level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
+BASELINE_PATH = os.path.join(RESULTS_DIR, "baseline.json")
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_result(bench: str) -> dict:
+    """Metrics dict of one freshly produced results/<bench>.json."""
+    path = os.path.join(RESULTS_DIR, f"{bench}.json")
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"{path} not found - did the '{bench}' smoke benchmark run?"
+        )
+    with open(path) as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path} has no 'metrics' object")
+    return metrics
+
+
+def discover_results() -> list:
+    """Bench names with a results/<name>.json on disk (baseline aside)."""
+    if not os.path.isdir(RESULTS_DIR):
+        return []
+    return sorted(
+        name[: -len(".json")]
+        for name in os.listdir(RESULTS_DIR)
+        if name.endswith(".json") and name != "baseline.json"
+    )
+
+
+def compare(baseline: dict, tolerance: float) -> list:
+    """All (bench, metric, base, current, ratio) regressions found."""
+    regressions = []
+    improvements = 0
+    for bench in discover_results():
+        if bench not in baseline:
+            print(
+                f"note: {bench}.json is not in the baseline - run "
+                f"--update to start gating it"
+            )
+    for bench, expected in sorted(baseline.items()):
+        current = load_result(bench)
+        for metric, base_value in sorted(expected.items()):
+            if metric not in current:
+                regressions.append((bench, metric, base_value, None, None))
+                continue
+            value = current[metric]
+            if base_value == 0:
+                grew = value > 0
+                ratio = float("inf") if grew else 1.0
+            else:
+                ratio = value / base_value
+                grew = ratio > 1.0 + tolerance
+            if grew:
+                regressions.append((bench, metric, base_value, value, ratio))
+            elif base_value and ratio < 1.0 - tolerance:
+                improvements += 1
+                print(
+                    f"note: {bench}.{metric} improved "
+                    f"{base_value:.6g} -> {value:.6g} ({ratio:.2f}x); "
+                    f"consider refreshing the baseline"
+                )
+    if improvements:
+        print(f"{improvements} metric(s) improved beyond tolerance")
+    return regressions
+
+
+def update_baseline(baseline_path: str) -> None:
+    """Rewrite the baseline from every results file on disk.
+
+    Discovery-based on purpose: a newly added smoke bench enters the
+    baseline on the next ``--update`` with no hand-seeding.
+    """
+    benches = discover_results()
+    if not benches:
+        raise FileNotFoundError(
+            f"no results/<bench>.json files under {RESULTS_DIR} - run the "
+            f"smoke benchmarks first"
+        )
+    refreshed = {bench: load_result(bench) for bench in benches}
+    with open(baseline_path, "w") as handle:
+        json.dump(refreshed, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"baseline refreshed: {baseline_path} "
+        f"({len(refreshed)} benchmark(s))"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative growth of lower-is-better metrics "
+        f"(default {DEFAULT_TOLERANCE:.0%})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_PATH,
+        help="baseline JSON path (default benchmarks/results/baseline.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current results instead of gating",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("tolerance must be >= 0")
+
+    if args.update:
+        try:
+            update_baseline(args.baseline)
+        except (FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+
+    try:
+        regressions = compare(baseline, args.tolerance)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    checked = sum(len(metrics) for metrics in baseline.values())
+    if not regressions:
+        print(
+            f"bench regression gate: {checked} metric(s) across "
+            f"{len(baseline)} benchmark(s) within {args.tolerance:.0%}"
+        )
+        return 0
+    for bench, metric, base_value, value, ratio in regressions:
+        if value is None:
+            print(
+                f"REGRESSION {bench}.{metric}: metric missing from results",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"REGRESSION {bench}.{metric}: {base_value:.6g} -> "
+                f"{value:.6g} ({ratio:.2f}x > 1 + {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,8 +77,7 @@ def run_doctests(path: Path) -> list[str]:
     """Run every pycon block of ``path``; return failure descriptions."""
     failures: list[str] = []
     parser = doctest.DocTestParser()
-    runner = doctest.DocTestRunner(verbose=False,
-                                   optionflags=doctest.ELLIPSIS)
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
     for start, source in extract_pycon_blocks(path.read_text()):
         name = f"{_rel(path)}:{start}"
         try:
@@ -120,10 +119,7 @@ def check_links(path: Path) -> list[str]:
                 continue
             resolved = (path.parent / relative).resolve()
             if not resolved.exists():
-                failures.append(
-                    f"{_rel(path)}: broken link "
-                    f"-> {target}"
-                )
+                failures.append(f"{_rel(path)}: broken link -> {target}")
     return failures
 
 
@@ -144,8 +140,10 @@ def main() -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print(f"docs OK: {len(files)} markdown file(s), "
-          f"{doctested} pycon block(s) doctested, links verified")
+    print(
+        f"docs OK: {len(files)} markdown file(s), "
+        f"{doctested} pycon block(s) doctested, links verified"
+    )
     return 0
 
 
