@@ -119,6 +119,14 @@ def render_node_utilization(timeline, platform,
     their busy time to the *source* node of the link they occupy
     (:func:`~repro.runtime.task.net_link_nodes`), so a node's ``net``
     column is the traffic its NIC sent.
+
+    The same capacity invariant as :func:`render_timeline` applies per
+    cell: a node's busy seconds on one channel cannot exceed ``makespan
+    × devices`` (tasks on one ``(device, channel)`` queue serialize).
+    Cells that break it — an upstream accounting bug — are marked with
+    ``!`` and explained by a footnote, so the clamp that keeps the
+    channel view under 100% is *visible* here instead of silently
+    swallowed.
     """
     from repro.runtime.task import NET_DEVICE_BASE, net_link_nodes
 
@@ -126,6 +134,8 @@ def render_node_utilization(timeline, platform,
     num_rails = getattr(platform, "num_rails", 1)
     columns = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
     busy = [{column: 0.0 for column in columns} for _ in range(num_nodes)]
+    devices = [{column: set() for column in columns}
+               for _ in range(num_nodes)]
     for task in timeline.scheduler.tasks:
         if task.channel == "net":
             if task.device <= NET_DEVICE_BASE:
@@ -134,11 +144,26 @@ def render_node_utilization(timeline, platform,
             else:
                 src = 0
             busy[src]["net"] += task.seconds
+            devices[src]["net"].add(task.device)
         elif task.channel in columns and task.device >= 0:
-            busy[platform.node_of(task.device)][task.channel] += task.seconds
-    rows = [
-        [f"node{node}"] + [format_seconds(busy[node][column])
-                           for column in columns]
-        for node in range(num_nodes)
-    ]
-    return render_table(["node"] + list(columns), rows, title=title)
+            node = platform.node_of(task.device)
+            busy[node][task.channel] += task.seconds
+            devices[node][task.channel].add(task.device)
+    makespan = timeline.makespan
+    flagged = False
+    rows = []
+    for node in range(num_nodes):
+        cells = [f"node{node}"]
+        for column in columns:
+            capacity = makespan * max(len(devices[node][column]), 1)
+            overflow = busy[node][column] > capacity * (1.0 + 1e-9)
+            flagged = flagged or overflow
+            cells.append(format_seconds(busy[node][column])
+                         + ("!" if overflow else ""))
+        rows.append(cells)
+    table = render_table(["node"] + list(columns), rows, title=title)
+    if flagged:
+        table += ("\n! = busy exceeds makespan x devices for that "
+                  "channel (clamped at 100% in the channel view) — "
+                  "upstream accounting bug")
+    return table

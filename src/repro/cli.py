@@ -95,12 +95,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "(1 = non-blocking, behaves exactly like "
                             "flat; only with --topology spine)")
     train.add_argument("--placement", default="block",
-                       choices=["block", "search"],
+                       choices=["block", "search", "joint"],
                        help="partition->node assignment (only with "
                             "--nodes > 1): block = contiguous default "
                             "(partition p on node p // gpus), search = "
                             "greedy-swap + KL placement search "
-                            "minimizing cross-node halo rows")
+                            "minimizing cross-node halo rows, joint = "
+                            "alternate the search with the schedule "
+                            "reorganization until the combined "
+                            "predicted cost stops improving (never "
+                            "worse than search)")
+    train.add_argument("--max-imbalance", type=int, default=0,
+                       help="allow per-node partition counts to deviate "
+                            "from the exact m/nodes balance by up to "
+                            "this many partitions when node host "
+                            "memory admits the skew (only with "
+                            "--placement search/joint)")
     train.add_argument("--lr", type=float, default=0.01)
 
     analyze = sub.add_parser("analyze",
@@ -152,6 +162,7 @@ def cmd_train(args) -> int:
                           topology=args.topology,
                           oversubscription=args.oversubscription,
                           placement=args.placement,
+                          max_imbalance=args.max_imbalance,
                           seed=args.seed)
     from repro.autograd import Adam
 
@@ -163,11 +174,22 @@ def cmd_train(args) -> int:
           f"chunks, {args.comm_mode}, {args.overlap}{wiring})")
     placed = trainer.placement_result
     if placed is not None:
+        moved = f", {placed.moves} moves" if placed.moves else ""
         print(f"placement search: cross-node halo rows "
               f"{placed.rows_block:,} -> {placed.rows_search:,} per "
-              f"epoch-layer ({placed.swaps} swaps, "
+              f"epoch-layer ({placed.swaps} swaps{moved}, "
               f"{placed.refinement_passes} refinement pass(es)); "
-              f"assignment {placed.placement.tolist()}")
+              f"assignment {placed.placement.tolist()} "
+              f"(per-node counts {placed.node_counts})")
+        iterations = getattr(placed, "iterations", None)
+        if iterations:
+            steps = "; ".join(
+                f"it{it.index}: rows {it.rows_before:,}->{it.rows_after:,}"
+                f", cost {it.cost:.6f}s"
+                + (" (schedule kept)" if it.reorg_kept_schedule else "")
+                for it in iterations
+            )
+            print(f"joint iteration: {steps}")
     for epoch in range(1, args.epochs + 1):
         result = trainer.train_epoch()
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "

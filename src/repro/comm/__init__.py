@@ -14,6 +14,7 @@ from repro.comm.cost_model import (
     communication_cost,
 )
 from repro.comm.reorganize import reorganize_partition, ReorganizationResult
+from repro.comm.joint import joint_placement, JointResult, JointIteration
 from repro.comm.executor import DedupCommunicator
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "CommCostModel", "ClusterCostModel", "communication_cost",
     "ALLREDUCE_ALGORITHMS",
     "reorganize_partition", "ReorganizationResult",
+    "joint_placement", "JointResult", "JointIteration",
     "DedupCommunicator",
 ]

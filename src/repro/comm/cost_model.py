@@ -176,8 +176,13 @@ class ClusterCostModel:
         net term) uses for cross-node halo rows: halo messages coalesce
         per node pair per batch, so the marginal cost of one more row is
         purely the bandwidth term — at the collective (congested) rate,
-        since halo phases keep many links busy at once.
+        since halo phases keep many links busy at once. One node has no
+        network: the cost is exactly zero, whatever the payload — so a
+        single-node ``placement_seconds`` can never charge phantom
+        preprocessing time.
         """
+        if self.num_nodes == 1:
+            return 0.0
         return nbytes / self.collective_bandwidth
 
     def placement_seconds(self, net_rows: int, row_bytes: int,
@@ -195,7 +200,10 @@ class ClusterCostModel:
         complete per-epoch-layer network prediction rather than a bare
         halo figure. A zero-byte synchronization adds nothing (the
         trainer emits no collective task for an empty payload, so no
-        latency legs exist to price).
+        latency legs exist to price). On a single node both terms are
+        zero by construction — ``--placement search`` with ``nodes=1``
+        is a true no-op, and this pricing path asserts the zero-payload
+        side of that contract.
         """
         seconds = self.halo_volume_seconds(net_rows * row_bytes)
         if allreduce_bytes > 0:

@@ -1,0 +1,244 @@
+"""Joint placement↔schedule iteration (the Algorithm-4 cost-model loop
+closed over both axes).
+
+The single-pass pipeline searches the partition→node placement once — on
+the *pre-reorganization* chunk schedule — and then reorganizes the
+schedule under that placement. But the two optimizations feed each
+other: the placement objective's load term (``partition_load_matrix``)
+depends on the chunk schedule, and the net-aware reorganization's
+objective depends on the placement it prices cross-node rows against. A
+schedule adopted for one placement can open placement moves the first
+search could not see, and vice versa.
+
+:func:`joint_placement` closes the loop by block-coordinate descent:
+
+1. ``search_placement`` with the schedule fixed (seeded from the current
+   assignment, so the placement is refined, never restarted), then
+2. ``reorganize_partition`` with the placement fixed (the net term is
+   re-priced against the *current* assignment each iteration),
+
+repeating until the combined predicted cost — the Eq. 4 compute/host
+term plus the cluster net term plus the placement-invariant collective
+legs — stops strictly improving, with a deterministic iteration cap.
+
+Monotonicity makes the loop safe: the placement step cannot change the
+Eq. 4 term (it depends only on the schedule) and never raises the net
+term (the search is never worse than its seed), and the reorganization
+step's cost guard keeps the incumbent schedule whenever no candidate
+beats it under the active placement. The combined cost is therefore
+non-increasing across iterations, and iteration 1 *is* the single-pass
+pipeline — so the joint result is never worse than single-pass by
+construction; the best (placement, schedule) pair seen is tracked and
+returned regardless, as a belt-and-braces guarantee.
+
+Uneven placements thread straight through: ``max_imbalance`` /
+``node_budgets`` / ``partition_host_bytes`` are handed to every
+``search_placement`` call, so each iteration may only skew node loads
+the memory model admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.analysis import measure_volumes
+from repro.comm.cost_model import ClusterCostModel, CommCostModel
+from repro.comm.reorganize import ReorganizationResult, reorganize_partition
+from repro.partition.placement import PlacementResult, search_placement
+from repro.partition.two_level import TwoLevelPartition
+
+__all__ = ["joint_placement", "JointResult", "JointIteration"]
+
+
+@dataclass(frozen=True)
+class JointIteration:
+    """Provenance of one placement→reorganization round."""
+
+    #: 1-based iteration index
+    index: int
+    #: cross-node halo rows under the placement found this round
+    #: (before / after the search step)
+    rows_before: int
+    rows_after: int
+    #: swaps + moves the search step applied
+    swaps: int
+    moves: int
+    #: True if the reorganization guard kept the incoming schedule
+    reorg_kept_schedule: bool
+    #: combined predicted cost (Eq. 4 + net + collective legs) after
+    #: this round
+    cost: float
+
+
+@dataclass
+class JointPlacementResult(PlacementResult):
+    """A :class:`~repro.partition.placement.PlacementResult` that also
+    records the joint loop's per-iteration provenance.
+
+    ``rows_block``/``cost_block`` report the *initial* (block-seeded)
+    placement on the *initial* schedule; ``rows_search``/``cost_search``
+    the adopted pair — so ``improved``/``rows_saved`` measure the whole
+    loop, and ``iterations`` shows where each row went.
+    """
+
+    iterations: List[JointIteration] = field(default_factory=list)
+    #: iterations actually run before the cost stopped improving
+    converged_after: int = 0
+
+
+@dataclass
+class JointResult:
+    """Adopted (schedule, placement) pair plus full provenance."""
+
+    partition: TwoLevelPartition
+    placement_result: JointPlacementResult
+    reorganization: ReorganizationResult
+    #: combined predicted cost of the single-pass pipeline (iteration 1)
+    cost_single_pass: float
+    #: combined predicted cost of the adopted pair
+    cost_joint: float
+
+    @property
+    def iterations(self) -> List[JointIteration]:
+        return self.placement_result.iterations
+
+
+def _combined_cost(partition: TwoLevelPartition, net_rows: int,
+                   cost_model: CommCostModel,
+                   cluster_model: ClusterCostModel, row_bytes: int,
+                   allreduce_bytes: float, allreduce_algorithm: str) -> float:
+    """Eq. 4 + cluster net term + (constant) collective legs, seconds."""
+    eq4 = cost_model.cost_seconds(measure_volumes(partition), row_bytes)
+    net = cluster_model.placement_seconds(
+        net_rows, row_bytes, allreduce_bytes=allreduce_bytes,
+        algorithm=allreduce_algorithm,
+    )
+    return eq4 + net
+
+
+def joint_placement(partition: TwoLevelPartition, num_nodes: int,
+                    cost_model: CommCostModel,
+                    cluster_model: ClusterCostModel,
+                    row_bytes: int = 4 * 128,
+                    allreduce_bytes: float = 0.0,
+                    allreduce_algorithm: str = "ring",
+                    max_iterations: int = 4,
+                    seed_placement: Optional[np.ndarray] = None,
+                    max_imbalance: int = 0,
+                    node_budgets: Optional[Sequence[Optional[float]]] = None,
+                    partition_host_bytes: Optional[np.ndarray] = None
+                    ) -> JointResult:
+    """Alternate placement search and schedule reorganization to a
+    fixed point of the combined predicted cost.
+
+    Runs at most ``max_iterations`` rounds of ``search_placement`` (the
+    schedule fixed, the placement seeded from the previous round) then
+    ``reorganize_partition`` (the placement fixed, the net term priced
+    against it), stopping as soon as a round fails to *strictly* lower
+    the combined cost. Deterministic: every component breaks ties on
+    lowest ids, and the loop state is a pure function of its inputs.
+
+    Returns the best (schedule, placement) pair seen. Iteration 1 is
+    exactly the single-pass ``placement="search"`` pipeline, so
+    ``cost_joint <= cost_single_pass`` always holds.
+    """
+    if num_nodes < 2:
+        raise ValueError(
+            "joint placement iteration needs a multi-node cluster; "
+            "with one node both axes are no-ops"
+        )
+    if max_iterations < 1:
+        raise ValueError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+
+    placement = seed_placement
+    current = partition
+    iterations: List[JointIteration] = []
+    total_swaps = 0
+    total_moves = 0
+    total_refinements = 0
+    total_seconds = 0.0
+    rows_initial: Optional[int] = None
+    cost_initial: Optional[float] = None
+    cost_single_pass: Optional[float] = None
+
+    best_cost = np.inf
+    best_partition = current
+    best_placement: Optional[np.ndarray] = None
+    best_reorganization: Optional[ReorganizationResult] = None
+    best_rows = 0
+    converged_after = 0
+
+    for index in range(1, max_iterations + 1):
+        placed = search_placement(
+            current, num_nodes, cluster_model=cluster_model,
+            row_bytes=row_bytes, allreduce_bytes=allreduce_bytes,
+            allreduce_algorithm=allreduce_algorithm,
+            seed_placement=placement, max_imbalance=max_imbalance,
+            node_budgets=node_budgets,
+            partition_host_bytes=partition_host_bytes,
+        )
+        placement = placed.placement
+        total_swaps += placed.swaps
+        total_moves += placed.moves
+        total_refinements += placed.refinement_passes
+        total_seconds += placed.seconds
+        if rows_initial is None:
+            rows_initial = placed.rows_block
+            cost_initial = _combined_cost(
+                current, placed.rows_block, cost_model, cluster_model,
+                row_bytes, allreduce_bytes, allreduce_algorithm,
+            )
+
+        reorganized = reorganize_partition(
+            current, cost_model, row_bytes, cluster_model=cluster_model,
+            num_nodes=num_nodes, placement=placement,
+        )
+        current = reorganized.partition
+        total_seconds += reorganized.preprocessing_seconds
+
+        net_rows = reorganized.net_rows_after
+        cost = _combined_cost(
+            current, net_rows, cost_model, cluster_model, row_bytes,
+            allreduce_bytes, allreduce_algorithm,
+        )
+        iterations.append(JointIteration(
+            index=index,
+            rows_before=placed.rows_block, rows_after=placed.rows_search,
+            swaps=placed.swaps, moves=placed.moves,
+            reorg_kept_schedule=reorganized.kept_original,
+            cost=cost,
+        ))
+        if cost_single_pass is None:
+            cost_single_pass = cost
+        if cost < best_cost:
+            best_cost = cost
+            best_partition = current
+            best_placement = placement
+            best_reorganization = reorganized
+            best_rows = net_rows
+            converged_after = index
+        else:
+            break  # fixed point: the round did not strictly improve
+
+    assert best_placement is not None  # max_iterations >= 1 ran one round
+    placement_result = JointPlacementResult(
+        placement=best_placement, num_nodes=num_nodes,
+        rows_block=rows_initial, rows_search=best_rows,
+        cost_block=cost_initial, cost_search=best_cost,
+        swaps=total_swaps, refinement_passes=total_refinements,
+        seconds=total_seconds, moves=total_moves,
+        max_imbalance=max_imbalance,
+        iterations=iterations, converged_after=converged_after,
+    )
+    return JointResult(
+        partition=best_partition,
+        placement_result=placement_result,
+        reorganization=best_reorganization,
+        cost_single_pass=cost_single_pass,
+        cost_joint=best_cost,
+    )

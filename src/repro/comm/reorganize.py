@@ -292,7 +292,7 @@ def _reuse_chain_grid(partition: TwoLevelPartition,
     """
     m = partition.num_partitions
     n = partition.num_chunks
-    node_map = partition_nodes(m, num_nodes, placement)
+    node_map = partition_nodes(m, num_nodes, placement, max_imbalance=None)
     assignment = partition.assignment
 
     grid: List[List[int]] = []

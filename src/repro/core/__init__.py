@@ -12,6 +12,9 @@ from repro.core.memory_model import (
     MemoryEstimate,
     estimate_training_memory,
     estimate_for_model,
+    partition_host_bytes,
+    placement_host_bytes,
+    admits_placement,
 )
 from repro.core.trainer import HongTuTrainer, EpochResult
 from repro.core.serialization import (
@@ -24,6 +27,7 @@ __all__ = [
     "HongTuConfig", "ALLREDUCE_ALGORITHMS", "COMM_MODES",
     "INTERMEDIATE_POLICIES", "OVERLAP_POLICIES", "PLACEMENT_POLICIES",
     "MemoryEstimate", "estimate_training_memory", "estimate_for_model",
+    "partition_host_bytes", "placement_host_bytes", "admits_placement",
     "HongTuTrainer", "EpochResult",
     "save_training_state", "load_training_state",
     "EpochProfiler", "ProfileSummary",

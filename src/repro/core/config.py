@@ -77,8 +77,18 @@ class HongTuConfig:
         pre-placement behavior, float-identical); ``"search"`` runs the
         placement search of :func:`repro.partition.search_placement`
         before planning communication and installs the found assignment
-        on the platform. With one node the search is a no-op (every
-        partition is on node 0) and timings stay float-identical.
+        on the platform; ``"joint"`` alternates the search with the
+        schedule reorganization (:func:`repro.comm.joint_placement`)
+        until the combined predicted cost stops improving — never worse
+        than the single-pass search, requires ``reorganize=True``. With
+        one node every policy is a no-op (every partition is on node 0,
+        nothing to iterate) and timings stay float-identical.
+    max_imbalance:
+        Balance slack for uneven placements: per-node partition counts
+        may deviate from the exact ``m / nodes`` by up to this many
+        partitions (never emptying a node) when the per-node host
+        memory model admits the skew. 0 (the default) keeps the exact
+        balance; > 0 requires a searching placement policy.
     bytes_per_scalar:
         Logical element width for communication/memory accounting (4 =
         float32 on the real hardware; numerics may run in float64).
@@ -98,6 +108,7 @@ class HongTuConfig:
     topology: str = "flat"
     oversubscription: float = 1.0
     placement: str = "block"
+    max_imbalance: int = 0
     bytes_per_scalar: int = 4
     dtype: type = np.float64
     seed: int = 0
@@ -143,6 +154,20 @@ class HongTuConfig:
             raise ConfigurationError(
                 f"placement must be one of {PLACEMENT_POLICIES}, "
                 f"got {self.placement!r}"
+            )
+        if self.placement == "joint" and not self.reorganize:
+            raise ConfigurationError(
+                "placement 'joint' iterates the placement search against "
+                "the schedule reorganization; it requires reorganize=True"
+            )
+        if self.max_imbalance < 0:
+            raise ConfigurationError(
+                f"max_imbalance must be >= 0, got {self.max_imbalance}"
+            )
+        if self.max_imbalance > 0 and self.placement == "block":
+            raise ConfigurationError(
+                "max_imbalance > 0 relaxes the placement search's balance; "
+                "it requires placement 'search' or 'joint'"
             )
         if self.nodes == 1 and self.topology != "flat":
             raise ConfigurationError(

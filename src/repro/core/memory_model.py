@@ -19,13 +19,15 @@ footprints the runtime memory pools enforce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.gnn.models import GNNModel, build_model
 
-__all__ = ["MemoryEstimate", "estimate_training_memory", "estimate_for_model"]
+__all__ = ["MemoryEstimate", "estimate_training_memory", "estimate_for_model",
+           "partition_host_bytes", "placement_host_bytes",
+           "admits_placement"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +87,59 @@ def estimate_for_model(num_vertices: int, num_edges: int, model: GNNModel,
         vertex_data_bytes=int(vertex),
         intermediate_bytes=int(intermediate),
     )
+
+
+# ----------------------------------------------------------------------
+# per-node host-memory admission (uneven partition→node placements)
+# ----------------------------------------------------------------------
+def partition_host_bytes(partition_sizes: Sequence[int],
+                         aggregate_dims: Sequence[int],
+                         bytes_per_scalar: int = 4) -> np.ndarray:
+    """Host bytes each partition pins on its node's host pool.
+
+    Under the hybrid recompute policy a partition's cacheable layers
+    checkpoint their AGGREGATE outputs to the host of the node the
+    partition is placed on — one row per destination vertex per cacheable
+    layer, so partition i pins ``|V_i| * sum(aggregate_dims) *
+    bytes_per_scalar`` bytes wherever it lands (each destination appears
+    in exactly one chunk). This is the placement-*dependent* share of the
+    host working set; the per-layer h/∇h vertex buffers shard evenly
+    across node hosts regardless of placement.
+    """
+    sizes = np.asarray(partition_sizes, dtype=np.int64)
+    if (sizes < 0).any():
+        raise ValueError("partition sizes must be >= 0")
+    scalars = int(sum(aggregate_dims))
+    return sizes * scalars * int(bytes_per_scalar)
+
+
+def placement_host_bytes(placement: Sequence[int],
+                         per_partition_bytes: Sequence[int],
+                         num_nodes: int) -> np.ndarray:
+    """Per-node placement-pinned host bytes: ``B[n] = Σ_{p→n} bytes[p]``."""
+    placement = np.asarray(placement, dtype=np.int64)
+    per_partition = np.asarray(per_partition_bytes, dtype=np.int64)
+    if placement.shape != per_partition.shape:
+        raise ValueError(
+            f"placement ({placement.shape}) and per-partition bytes "
+            f"({per_partition.shape}) must align"
+        )
+    return np.bincount(placement, weights=per_partition,
+                       minlength=num_nodes).astype(np.int64)
+
+
+def admits_placement(placement: Sequence[int],
+                     per_partition_bytes: Sequence[int],
+                     node_budgets: Sequence[Optional[float]]) -> bool:
+    """Whether every node's host memory admits the placement's partitions.
+
+    ``node_budgets[n]`` is node n's remaining host-pool byte budget after
+    the placement-invariant allocations (vertex-data shard, live
+    reservations); ``None`` means unlimited. The placement search rejects
+    any uneven assignment this returns ``False`` for — a skewed node must
+    actually fit the checkpoints its extra partitions pin.
+    """
+    loads = placement_host_bytes(placement, per_partition_bytes,
+                                 len(node_budgets))
+    return all(budget is None or load <= budget
+               for load, budget in zip(loads.tolist(), node_budgets))

@@ -40,11 +40,15 @@ policy cannot change any number the model computes.
 
 On a :class:`~repro.hardware.platform.ClusterPlatform` the same epoch
 spans N nodes: partitions map to nodes through an explicit placement
-array (the contiguous-block default p → p // gpus_per_node, or the
+array (the contiguous-block default p → p // gpus_per_node; the
 assignment found by the placement search when
-``config.placement == "search"`` — installed on the platform before any
-communication is planned, so link routing, rail selection and host-pool
-affinity all follow it), vertex data shards across node hosts,
+``config.placement == "search"``; or the joint placement↔schedule
+iteration's adopted pair under ``"joint"`` — in every case installed on
+the platform before any communication is planned, so link routing, rail
+selection and host-pool affinity all follow it, and uneven assignments
+within ``config.max_imbalance`` are admitted only when each node's host
+memory fits the checkpoints they pin), vertex data shards across node
+hosts,
 cross-node neighbor traffic becomes halo-exchange ``net`` tasks (emitted
 by the communicator), and the epoch ends with an inter-node gradient
 all-reduce (ring or tree, ``config.allreduce``) chained after each
@@ -68,9 +72,11 @@ from repro.autograd.functional import (
 from repro.autograd.optim import Adam, Optimizer
 from repro.comm.cost_model import ClusterCostModel, CommCostModel
 from repro.comm.executor import DedupCommunicator
+from repro.comm.joint import joint_placement
 from repro.comm.plan import CommPlan, build_comm_plan
 from repro.comm.reorganize import ReorganizationResult, reorganize_partition
 from repro.core.config import HongTuConfig
+from repro.core.memory_model import partition_host_bytes
 from repro.errors import ConfigurationError
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
@@ -215,36 +221,79 @@ class HongTuTrainer:
         )
         #: provenance of the placement search (None under "block")
         self.placement_result: Optional[PlacementResult] = None
-        if config.placement == "search" and platform_nodes > 1:
-            # Seed from the platform's active assignment so a caller-
-            # installed custom placement is refined, never regressed.
-            placed = search_placement(
+        #: provenance of the (possibly net-aware) Algorithm 4 run
+        self.reorganization: Optional[ReorganizationResult] = None
+
+        # Uneven placements: skewed node loads are admitted only when
+        # the per-node host memory fits the checkpoints the extra
+        # partitions pin (core.memory_model's admission rule).
+        node_budgets = None
+        per_partition_bytes = None
+        if config.max_imbalance > 0 and platform_nodes > 1:
+            node_budgets, per_partition_bytes = self._admission_inputs()
+        #: the admission inputs the placement search ran with (None when
+        #: exact balance was enforced) — provenance for benches/tests
+        self.placement_node_budgets = node_budgets
+        self.placement_partition_host_bytes = per_partition_bytes
+
+        if config.placement == "joint" and platform_nodes > 1:
+            # Alternate placement search and schedule reorganization to
+            # a fixed point of the combined predicted cost; iteration 1
+            # is exactly the single-pass "search" pipeline, so the
+            # adopted pair is never worse than it.
+            joint = joint_placement(
                 self.partition, platform_nodes,
+                cost_model=CommCostModel.from_platform(platform),
                 cluster_model=cluster_model, row_bytes=row_bytes,
                 allreduce_bytes=model.parameter_nbytes(),
                 allreduce_algorithm=config.allreduce,
                 seed_placement=self.placement,
+                max_imbalance=config.max_imbalance,
+                node_budgets=node_budgets,
+                partition_host_bytes=per_partition_bytes,
             )
-            self.placement = placed.placement
-            self.placement_result = placed
-            self.preprocessing_seconds += placed.seconds
-            platform.set_placement(self.placement)
-
-        #: provenance of the (possibly net-aware) Algorithm 4 run
-        self.reorganization: Optional[ReorganizationResult] = None
-        if config.reorganize:
-            cost_model = CommCostModel.from_platform(platform)
-            # On a cluster the objective gains the net term: cross-node
-            # halo rows priced at network seconds (Algorithm 4 extension),
-            # counted against the active placement.
-            result = reorganize_partition(
-                self.partition, cost_model, row_bytes,
-                cluster_model=cluster_model, num_nodes=platform_nodes,
-                placement=self.placement,
-            )
-            self.partition = result.partition
-            self.preprocessing_seconds += result.preprocessing_seconds
-            self.reorganization = result
+            self.partition = joint.partition
+            self.placement = joint.placement_result.placement
+            self.placement_result = joint.placement_result
+            self.reorganization = joint.reorganization
+            # The loop's wall time (every search + reorganization round)
+            # is preprocessing overhead, Table 9 style.
+            self.preprocessing_seconds += joint.placement_result.seconds
+            platform.set_placement(self.placement,
+                                   max_imbalance=config.max_imbalance)
+        else:
+            if config.placement == "search" and platform_nodes > 1:
+                # Seed from the platform's active assignment so a caller-
+                # installed custom placement is refined, never regressed.
+                placed = search_placement(
+                    self.partition, platform_nodes,
+                    cluster_model=cluster_model, row_bytes=row_bytes,
+                    allreduce_bytes=model.parameter_nbytes(),
+                    allreduce_algorithm=config.allreduce,
+                    seed_placement=self.placement,
+                    max_imbalance=config.max_imbalance,
+                    node_budgets=node_budgets,
+                    partition_host_bytes=per_partition_bytes,
+                )
+                self.placement = placed.placement
+                self.placement_result = placed
+                self.preprocessing_seconds += placed.seconds
+                platform.set_placement(self.placement,
+                                       max_imbalance=config.max_imbalance)
+            if config.reorganize:
+                cost_model = CommCostModel.from_platform(platform)
+                # On a cluster the objective gains the net term:
+                # cross-node halo rows priced at network seconds
+                # (Algorithm 4 extension), counted against the active
+                # placement.
+                result = reorganize_partition(
+                    self.partition, cost_model, row_bytes,
+                    cluster_model=cluster_model, num_nodes=platform_nodes,
+                    placement=self.placement,
+                )
+                self.partition = result.partition
+                self.preprocessing_seconds += result.preprocessing_seconds
+                self.reorganization = result
 
         dedup_inter, dedup_intra = config.dedup_flags
         self.plan: CommPlan = build_comm_plan(
@@ -271,9 +320,7 @@ class HongTuTrainer:
             np.zeros((n, dim), dtype=dtype) for dim in dims
         ]
         self._h[0][:] = graph.features.astype(dtype)
-        host_bytes = sum(
-            2 * n * dim * config.bytes_per_scalar for dim in dims
-        )
+        host_bytes = self._vertex_host_bytes()
         # Vertex data shards evenly across node hosts (one share per node;
         # a single-node platform yields exactly one full-size share).
         self._host_allocations = [
@@ -293,6 +340,50 @@ class HongTuTrainer:
                 platform.gpus[chunk.partition_id].memory.alloc(
                     "topology", topo_bytes
                 )
+
+    def _vertex_host_bytes(self) -> int:
+        """Host bytes of the per-layer h/∇h vertex buffers.
+
+        The single sizing authority: both the real ``vertex_data``
+        allocation and the admission budgets subtract exactly this, so
+        the two can never drift apart.
+        """
+        n = self.graph.num_vertices
+        return sum(
+            2 * n * dim * self.config.bytes_per_scalar
+            for dim in self.model.dims
+        )
+
+    def _admission_inputs(self):
+        """Per-node budgets + per-partition host bytes for uneven moves.
+
+        A node's budget is its host pool's remaining capacity after live
+        reservations and its (placement-invariant) vertex-data shard —
+        what is actually left for the placement-pinned aggregate
+        checkpoints. The per-partition bytes are the hybrid policy's
+        checkpoint footprint (zero under ``recompute``, which pins
+        nothing placement-dependent on the host).
+        """
+        config = self.config
+        budgets = []
+        for pool, share in self.platform.split_host_bytes(
+                self._vertex_host_bytes()):
+            if pool.capacity is None:
+                budgets.append(None)
+            else:
+                budgets.append(pool.capacity - pool.in_use - share)
+        sizes = np.bincount(self.partition.assignment,
+                            minlength=self.platform.num_gpus)
+        aggregate_dims = []
+        if config.intermediate_policy == "hybrid":
+            aggregate_dims = [
+                layer.aggregate_dim() for layer in self.model.layers
+                if layer.cacheable_aggregate
+            ]
+        per_partition = partition_host_bytes(
+            sizes, aggregate_dims, config.bytes_per_scalar
+        )
+        return budgets, per_partition
 
     # ------------------------------------------------------------------
     # public API
@@ -615,18 +706,25 @@ class HongTuTrainer:
             # GPUs on NVLink, then the nodes run the configured inter-node
             # collective over the network; every participating link gets
             # one task of the collective's per-node busy time so pipeline
-            # scheduling sees the real dependency structure.
-            g = self.platform.gpus_per_node
+            # scheduling sees the real dependency structure. Under an
+            # uneven placement each node's ring spans however many GPUs
+            # the placement put there (a single-GPU node has no intra
+            # leg); balanced placements price every node identically,
+            # float-identical to the pre-uneven code.
+            intra_legs = []
+            for node in range(nodes):
+                members = self.platform.node_gpus(node)
+                if len(members) > 1:
+                    volume = 2 * param_bytes * (len(members) - 1) \
+                        / len(members)
+                    intra_legs.append((members[0], volume))
             intra_tasks = []
-            if g > 1:
-                volume = 2 * param_bytes * (g - 1) / g
-                # One leg per node, charged to its first hosted GPU —
-                # placement-aware (the block map yields node*g exactly).
+            if intra_legs:
                 intra_tasks = timeline.submit_phase(
                     "d2d",
-                    [self.platform.d2d_seconds(volume)] * nodes,
-                    devices=[self.platform.node_gpus(node)[0]
-                             for node in range(nodes)],
+                    [self.platform.d2d_seconds(volume)
+                     for _, volume in intra_legs],
+                    devices=[device for device, _ in intra_legs],
                     label="all_reduce_intra",
                 )
             cost = ClusterCostModel.from_cluster(self.platform.cluster)

@@ -205,9 +205,11 @@ class ClusterPlatform(MultiGPUPlatform):
     partition→node→GPU map (also exposed as
     :func:`repro.partition.partition_nodes`). The map is *explicit*,
     not baked in: ``placement`` (or :meth:`set_placement`) installs an
-    arbitrary balanced GPU→node assignment, which is how the placement
-    search (:func:`repro.partition.search_placement`) moves whole
-    partitions between nodes — partition p keeps global GPU id p
+    arbitrary GPU→node assignment — exactly balanced by default, or
+    uneven within ``gpus_per_node ± max_imbalance`` when the
+    memory-bounded placement search skews node loads — which is how the
+    placement search (:func:`repro.partition.search_placement`) moves
+    whole partitions between nodes. Partition p keeps global GPU id p
     everywhere, only :meth:`node_of` answers change, and with them the
     executor's link routing, rail selection and host-pool affinity.
     Per-node transfer/compute rates are those of the node spec; only
@@ -218,7 +220,7 @@ class ClusterPlatform(MultiGPUPlatform):
     def __init__(self, cluster: ClusterSpec,
                  gpus_per_node: Optional[int] = None,
                  numa_aware: Optional[bool] = None,
-                 placement=None):
+                 placement=None, max_imbalance: int = 0):
         node_spec = cluster.node
         per_node = gpus_per_node if gpus_per_node is not None \
             else node_spec.num_gpus
@@ -243,25 +245,35 @@ class ClusterPlatform(MultiGPUPlatform):
         if numa_aware is None:
             numa_aware = per_node > node_spec.num_sockets
         self.numa_aware = numa_aware
+        self.max_imbalance = max_imbalance
         self.set_placement(placement)
 
-    def set_placement(self, placement=None) -> None:
+    def set_placement(self, placement=None,
+                      max_imbalance: Optional[int] = None) -> None:
         """Install a GPU→node assignment (``None`` restores block map).
 
         ``placement[p]`` is the node hosting global GPU (= partition) p.
-        It must assign every GPU exactly once and keep nodes exactly
-        balanced at ``gpus_per_node`` GPUs each; sockets follow each
-        GPU's local rank within its node. Call before building
-        communicators/trainers — tasks already scheduled keep the link
-        ids they were routed with.
+        It must assign every GPU exactly once, name only this cluster's
+        nodes, and leave no node empty — a stale placement carried over
+        from a relabeled partition raises
+        :class:`~repro.errors.ConfigurationError` instead of silently
+        mis-routing rails. Per-node counts must stay within
+        ``gpus_per_node ± max_imbalance`` (exact balance by default;
+        passing ``max_imbalance`` here updates the platform's stored
+        slack); sockets follow each GPU's local rank within its node.
+        Call before building communicators/trainers — tasks already
+        scheduled keep the link ids they were routed with.
         """
         # Deferred import: repro.partition pulls graph/comm modules in,
         # and importing them at module scope would cycle back here.
         from repro.partition.nodes import partition_nodes
 
+        if max_imbalance is not None:
+            self.max_imbalance = max_imbalance
         nodes = self.cluster.num_nodes
         try:
-            resolved = partition_nodes(self.num_gpus, nodes, placement)
+            resolved = partition_nodes(self.num_gpus, nodes, placement,
+                                       max_imbalance=self.max_imbalance)
         except PartitionError as error:
             raise ConfigurationError(str(error)) from error
         self._placement = resolved
@@ -271,10 +283,15 @@ class ClusterPlatform(MultiGPUPlatform):
         ]
         self._local_rank = np.empty(self.num_gpus, dtype=np.int64)
         gpus_per_socket = max(self.spec.num_gpus // self.spec.num_sockets, 1)
+        last_socket = self.spec.num_sockets - 1
         for members in self._node_gpus:
             for rank, device in enumerate(members):
                 self._local_rank[device] = rank
-                self.gpus[device].socket = rank // gpus_per_socket
+                # An overloaded node's extra GPUs (uneven placements) pile
+                # onto the last socket — ranks never invent sockets the
+                # node spec does not have.
+                self.gpus[device].socket = min(rank // gpus_per_socket,
+                                               last_socket)
 
     @property
     def placement(self) -> np.ndarray:

@@ -44,16 +44,28 @@ def node_of_partition(partition_id: int, gpus_per_node: int) -> int:
 
 
 def partition_nodes(num_partitions: int, num_nodes: int,
-                    placement: Optional[np.ndarray] = None) -> np.ndarray:
+                    placement: Optional[np.ndarray] = None,
+                    max_imbalance: Optional[int] = 0) -> np.ndarray:
     """Partition→node map: explicit ``placement`` or contiguous node blocks.
 
     ``num_partitions`` must be divisible by ``num_nodes`` (every node runs
-    the same number of GPUs). Returns an int array of length
+    the same number of GPU slots). Returns an int array of length
     ``num_partitions`` with entry p = node of partition p: the validated
-    copy of ``placement`` when one is given (it must assign every
-    partition exactly once and keep nodes exactly balanced at
-    ``num_partitions / num_nodes`` GPUs each), else the contiguous-block
+    copy of ``placement`` when one is given, else the contiguous-block
     default ``p // gpus_per_node``.
+
+    An explicit placement must assign every partition exactly once, name
+    only nodes in ``[0, num_nodes)``, and leave no node empty. With
+    ``max_imbalance == 0`` (the default) nodes must be exactly balanced
+    at ``num_partitions / num_nodes`` partitions each; a positive
+    ``max_imbalance`` admits *uneven* placements whose per-node counts
+    stay within ``gpus_per_node ± max_imbalance`` — the representation
+    the memory-bounded placement search skews when a node's host memory
+    can absorb extra partitions. ``max_imbalance=None`` drops the count
+    bound entirely (any non-empty per-node counts) — the *analysis*
+    contract: halo volumes are well defined for every placement a
+    platform could ever have installed, so the analyses never reject
+    what an installer admitted.
     """
     if num_nodes < 1 or num_partitions < 1:
         raise PartitionError(
@@ -64,6 +76,10 @@ def partition_nodes(num_partitions: int, num_nodes: int,
         raise PartitionError(
             f"{num_partitions} partitions do not divide evenly over "
             f"{num_nodes} nodes"
+        )
+    if max_imbalance is not None and max_imbalance < 0:
+        raise PartitionError(
+            f"max_imbalance must be >= 0, got {max_imbalance}"
         )
     gpus_per_node = num_partitions // num_nodes
     if placement is None:
@@ -80,10 +96,26 @@ def partition_nodes(num_partitions: int, num_nodes: int,
             f"placement names nodes outside [0, {num_nodes})"
         )
     counts = np.bincount(placement, minlength=num_nodes)
-    if (counts != gpus_per_node).any():
+    if (counts == 0).any():
+        empty = np.flatnonzero(counts == 0).tolist()
         raise PartitionError(
-            f"placement is unbalanced: nodes host {counts.tolist()} "
-            f"partitions, need exactly {gpus_per_node} each"
+            f"placement leaves node(s) {empty} without any partition "
+            f"(per-node counts {counts.tolist()}) — stale placement from "
+            f"a relabeled partition?"
+        )
+    if max_imbalance is None:
+        pass  # analysis mode: any non-empty counts are acceptable
+    elif max_imbalance == 0:
+        if (counts != gpus_per_node).any():
+            raise PartitionError(
+                f"placement is unbalanced: nodes host {counts.tolist()} "
+                f"partitions, need exactly {gpus_per_node} each"
+            )
+    elif (np.abs(counts - gpus_per_node) > max_imbalance).any():
+        raise PartitionError(
+            f"placement exceeds max_imbalance={max_imbalance}: nodes host "
+            f"{counts.tolist()} partitions, need {gpus_per_node} ± "
+            f"{max_imbalance} each"
         )
     return placement.copy()
 
@@ -105,10 +137,10 @@ def halo_volumes(partition: TwoLevelPartition, num_nodes: int,
 
     ``placement`` overrides the contiguous-block partition→node map (see
     :func:`partition_nodes`), so the same analysis prices any assignment
-    the placement search proposes.
+    the placement search proposes — balanced or uneven.
     """
     node_map = partition_nodes(partition.num_partitions, num_nodes,
-                               placement)
+                               placement, max_imbalance=None)
     assignment = partition.assignment
     m = partition.num_partitions
     volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
@@ -153,10 +185,10 @@ def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
     shrink.
 
     ``placement`` overrides the contiguous-block partition→node map,
-    exactly as in :func:`halo_volumes`.
+    exactly as in :func:`halo_volumes` (uneven placements included).
     """
     node_map = partition_nodes(partition.num_partitions, num_nodes,
-                               placement)
+                               placement, max_imbalance=None)
     assignment = partition.assignment
     volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
     for i in range(partition.num_partitions):

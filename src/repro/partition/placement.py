@@ -31,31 +31,42 @@ The search itself is classic graph partitioning on the symmetrized
 weight matrix ``S = W + Wᵀ``:
 
 1. **Seed** — the contiguous-block map (never worse than it: the block
-   placement is always a candidate).
-2. **Greedy pairwise swaps** — repeatedly apply the swap of two
-   partitions on different nodes with the largest positive cut
-   reduction ``gain(a∈A, b∈B) = [E_a(B) − E_a(A)] + [E_b(A) − E_b(B)]
-   − 2·S[a,b]`` (``E_p(X)`` = rows partition p exchanges with node X's
-   partitions), until no improving swap exists. Swaps preserve the
-   exact ``m/N``-per-node balance by construction.
+   placement is always a candidate), or any caller-supplied assignment,
+   including an uneven one.
+2. **Greedy improvement** — repeatedly apply the best improving step:
+   either the swap of two partitions on different nodes with the
+   largest positive cut reduction ``gain(a∈A, b∈B) = [E_a(B) − E_a(A)]
+   + [E_b(A) − E_b(B)] − 2·S[a,b]`` (``E_p(X)`` = rows partition p
+   exchanges with node X's partitions), or — when ``max_imbalance > 0``
+   — the single-partition *move* ``gain(p: A→B) = E_p(B) − E_p(A)``
+   that skews node loads. Swaps preserve per-node counts; moves must
+   keep every count within ``m/N ± max_imbalance`` (and no node empty),
+   and when ``node_budgets`` are given, any step must leave every
+   node's placement-pinned host bytes within its budget (the
+   ``core/memory_model`` admission rule: a skewed node has to actually
+   fit the checkpoints its extra partitions pin).
 3. **KL/FM-style refinement** — to escape local minima, a
-   Kernighan-Lin pass performs the *best available* swap even when its
-   gain is negative, locks both endpoints, and repeats until fewer than
-   two free partitions remain on distinct nodes; the pass then keeps
-   the prefix of swaps with the maximum cumulative gain (reverting the
-   rest) and, if that gain is positive, goes back to step 2.
+   Kernighan-Lin pass performs the *best available admissible* swap
+   even when its gain is negative, locks both endpoints, and repeats
+   until fewer than two free partitions remain on distinct nodes; the
+   pass then keeps the prefix of swaps with the maximum cumulative gain
+   (reverting the rest) and, if that gain is positive, goes back to
+   step 2. The pass operates on whatever (possibly unequal) per-node
+   rows the greedy phase produced — swaps never change counts, so the
+   imbalance invariant is preserved for free.
 
 All weights are integer row counts, so gains are exact and the search is
-deterministic (ties break on the lowest partition ids). With one node
-the placement is trivially all-zeros and every cost equals the block
-cost — the ``nodes=1`` float-identity contract.
+deterministic (ties break on the lowest partition ids; equal-gain
+swap-vs-move ties prefer the balance-preserving swap). With one node the
+placement is trivially all-zeros and every cost equals the block cost —
+the ``nodes=1`` float-identity contract.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,9 +82,13 @@ __all__ = ["PlacementResult", "search_placement", "partition_halo_matrix",
            "partition_load_matrix", "placement_net_rows",
            "permute_partitions", "PLACEMENT_POLICIES"]
 
-#: how partitions map to cluster nodes: the contiguous-``block`` default
-#: or the ``search``ed assignment of :func:`search_placement`
-PLACEMENT_POLICIES = ("block", "search")
+#: how partitions map to cluster nodes: the contiguous-``block`` default,
+#: the ``search``ed assignment of :func:`search_placement`, or the
+#: ``joint`` placement↔schedule iteration of
+#: :func:`repro.comm.joint.joint_placement`
+PLACEMENT_POLICIES = ("block", "search", "joint")
+
+_SENTINEL = np.iinfo(np.int64).min
 
 
 # ----------------------------------------------------------------------
@@ -149,7 +164,7 @@ def placement_net_rows(partition: TwoLevelPartition, num_nodes: int,
     ``_net_rows`` objective, for an arbitrary partition→node map.
     """
     node_map = partition_nodes(partition.num_partitions, num_nodes,
-                               placement)
+                               placement, max_imbalance=None)
     weights = (partition_halo_matrix(partition)
                + 2 * partition_load_matrix(partition))
     return _cross_rows(weights, node_map)
@@ -181,6 +196,10 @@ class PlacementResult:
     refinement_passes: int = 0
     #: search wall time (preprocessing overhead, Table 9 style)
     seconds: float = 0.0
+    #: improving single-partition moves applied (uneven placements only)
+    moves: int = 0
+    #: the balance slack the search ran with (0 = exact m/N)
+    max_imbalance: int = 0
 
     @property
     def rows_saved(self) -> int:
@@ -190,6 +209,12 @@ class PlacementResult:
     @property
     def improved(self) -> bool:
         return self.rows_search < self.rows_block
+
+    @property
+    def node_counts(self) -> List[int]:
+        """Partitions per node under the searched placement."""
+        return np.bincount(self.placement,
+                           minlength=self.num_nodes).tolist()
 
 
 def _node_exchange(weights_sym: np.ndarray,
@@ -214,22 +239,117 @@ def _swap_gains(weights_sym: np.ndarray, placement: np.ndarray,
     toward = exchange[:, placement]  # toward[a, b] = E_a(node of b)
     gains = (toward + toward.T - internal[:, None] - internal[None, :]
              - 2 * weights_sym)
-    gains[placement[:, None] == placement[None, :]] = np.iinfo(np.int64).min
+    gains[placement[:, None] == placement[None, :]] = _SENTINEL
+    return gains
+
+
+def _move_gains(weights_sym: np.ndarray, placement: np.ndarray,
+                num_nodes: int) -> np.ndarray:
+    """Cut reduction of moving each partition to each other node.
+
+    ``G[p, X] = E_p(X) − E_p(home(p))`` — the rows p exchanges with its
+    destination become intra-node while the rows toward its old home
+    start crossing the network. The home column gets a sentinel.
+    """
+    exchange = _node_exchange(weights_sym, placement, num_nodes)
+    internal = exchange[np.arange(len(placement)), placement]
+    gains = exchange - internal[:, None]
+    gains[np.arange(len(placement)), placement] = _SENTINEL
     return gains
 
 
 def _best_swap(gains: np.ndarray,
-               free: Optional[np.ndarray] = None
+               free: Optional[np.ndarray] = None,
+               allowed: Optional[np.ndarray] = None
                ) -> Tuple[int, int, int]:
-    """Highest-gain (a, b) pair, lowest ids first on ties."""
+    """Highest-gain admissible (a, b) pair, lowest ids first on ties."""
     masked = gains
-    if free is not None:
+    if free is not None or allowed is not None:
         masked = gains.copy()
-        masked[~free, :] = np.iinfo(np.int64).min
-        masked[:, ~free] = np.iinfo(np.int64).min
+        if free is not None:
+            masked[~free, :] = _SENTINEL
+            masked[:, ~free] = _SENTINEL
+        if allowed is not None:
+            masked[~allowed] = _SENTINEL
     flat = int(np.argmax(masked))
     a, b = divmod(flat, masked.shape[1])
     return a, b, int(masked[a, b])
+
+
+class _Admission:
+    """Balance + host-memory admission state for uneven placements.
+
+    Tracks per-node partition counts and placement-pinned host bytes as
+    the search mutates the assignment, and answers which swaps/moves the
+    configured ``max_imbalance`` and per-node byte budgets admit. With
+    no budgets the byte masks are all-true and only the count bounds
+    constrain moves; swaps never change counts, so they are only
+    byte-constrained (partitions pin different amounts).
+    """
+
+    def __init__(self, placement: np.ndarray, num_nodes: int,
+                 max_imbalance: int,
+                 host_bytes: Optional[np.ndarray],
+                 node_budgets: Optional[Sequence[Optional[float]]]):
+        self.num_nodes = num_nodes
+        self.balanced = len(placement) // num_nodes
+        self.max_imbalance = max_imbalance
+        self.counts = np.bincount(placement, minlength=num_nodes)
+        self.host_bytes = host_bytes
+        self.budgets = node_budgets
+        self.loads = None
+        if host_bytes is not None and node_budgets is not None:
+            self.loads = np.bincount(
+                placement, weights=host_bytes, minlength=num_nodes
+            ).astype(np.int64)
+
+    def _budget_headroom(self) -> Optional[np.ndarray]:
+        """Remaining bytes per node (None when unconstrained)."""
+        if self.loads is None:
+            return None
+        return np.array([
+            np.inf if budget is None else float(budget) - load
+            for budget, load in zip(self.budgets, self.loads.tolist())
+        ])
+
+    def swap_mask(self, placement: np.ndarray) -> Optional[np.ndarray]:
+        """(m, m) bool: swaps that keep every node inside its budget."""
+        headroom = self._budget_headroom()
+        if headroom is None:
+            return None
+        # Swapping a and b shifts bytes[b] − bytes[a] onto a's node (and
+        # the negation onto b's); counts are untouched.
+        delta = self.host_bytes[None, :] - self.host_bytes[:, None]
+        return ((delta <= headroom[placement][:, None])
+                & (-delta <= headroom[placement][None, :]))
+
+    def move_mask(self, placement: np.ndarray) -> np.ndarray:
+        """(m, N) bool: moves inside both count bounds and budgets."""
+        low = max(1, self.balanced - self.max_imbalance)
+        high = self.balanced + self.max_imbalance
+        receivable = self.counts + 1 <= high          # per target node
+        from_ok = self.counts[placement] - 1 >= low   # per partition
+        mask = receivable[None, :] & from_ok[:, None]
+        headroom = self._budget_headroom()
+        if headroom is not None:
+            mask &= self.host_bytes[:, None] <= headroom[None, :]
+        return mask
+
+    def apply_swap(self, placement: np.ndarray, a: int, b: int) -> None:
+        if self.loads is not None:
+            delta = int(self.host_bytes[b] - self.host_bytes[a])
+            self.loads[placement[a]] += delta
+            self.loads[placement[b]] -= delta
+        placement[a], placement[b] = placement[b], placement[a]
+
+    def apply_move(self, placement: np.ndarray, p: int, node: int) -> None:
+        source = placement[p]
+        self.counts[source] -= 1
+        self.counts[node] += 1
+        if self.loads is not None:
+            self.loads[source] -= int(self.host_bytes[p])
+            self.loads[node] += int(self.host_bytes[p])
+        placement[p] = node
 
 
 def search_placement(partition: TwoLevelPartition, num_nodes: int,
@@ -238,20 +358,35 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
                      allreduce_bytes: float = 0.0,
                      allreduce_algorithm: str = "ring",
                      max_refinements: int = 4,
-                     seed_placement: Optional[np.ndarray] = None
+                     seed_placement: Optional[np.ndarray] = None,
+                     max_imbalance: int = 0,
+                     node_budgets: Optional[Sequence[Optional[float]]] = None,
+                     partition_host_bytes: Optional[np.ndarray] = None
                      ) -> PlacementResult:
     """Search partition→node assignments minimizing cross-node halo rows.
 
     Seeds with ``seed_placement`` (the contiguous-block map by default —
     pass a platform's active assignment to refine it instead of
-    restarting from scratch), improves it with greedy pairwise swaps,
-    then runs up to ``max_refinements`` Kernighan-Lin passes
+    restarting from scratch), improves it with greedy pairwise swaps and
+    — when ``max_imbalance > 0`` — single-partition moves, then runs up
+    to ``max_refinements`` Kernighan-Lin passes
     (swap-lock-revert-to-best-prefix) to escape local minima; see the
-    module docstring for the objective and the gain formula. Balance is
-    exact throughout (swaps never move partition counts), and the result
+    module docstring for the objective and the gain formulas. The result
     is never worse than the seed: ``rows_block``/``cost_block`` report
     the *seed* placement's objective, so ``rows_search <= rows_block``
     holds for any seed.
+
+    With the default ``max_imbalance=0`` balance stays exact throughout
+    (only swaps run — bit-identical to the pre-uneven search). A
+    positive ``max_imbalance`` admits moves that skew per-node counts
+    within ``m/N ± max_imbalance`` (never emptying a node); when
+    ``node_budgets`` is also given (per-node remaining host bytes,
+    ``None`` entries unlimited), every step must additionally keep each
+    node's placement-pinned host bytes — ``partition_host_bytes[p]``
+    summed over its partitions, the
+    :func:`repro.core.memory_model.placement_host_bytes` counting —
+    inside its budget, and a seed the memory model cannot admit raises
+    :class:`~repro.errors.PartitionError` outright.
 
     When ``cluster_model`` is given, ``cost_block``/``cost_search``
     price the rows at its topology-aware rate via
@@ -261,7 +396,31 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
     """
     started = time.perf_counter()
     m = partition.num_partitions
-    block = partition_nodes(m, num_nodes, seed_placement)
+    block = partition_nodes(m, num_nodes, seed_placement,
+                            max_imbalance=max_imbalance)
+    host_bytes = None
+    if node_budgets is not None:
+        if len(node_budgets) != num_nodes:
+            raise PartitionError(
+                f"node_budgets must give one budget per node, got "
+                f"{len(node_budgets)} for {num_nodes} nodes"
+            )
+        host_bytes = (np.zeros(m, dtype=np.int64)
+                      if partition_host_bytes is None
+                      else np.asarray(partition_host_bytes, dtype=np.int64))
+        if host_bytes.shape != (m,):
+            raise PartitionError(
+                f"partition_host_bytes must give one size per partition, "
+                f"got shape {host_bytes.shape} for {m} partitions"
+            )
+        # The memory model is the admission authority: a seed it cannot
+        # admit is an error, not a silent starting point. (Deferred
+        # import — repro.core pulls this module in via the trainer.)
+        from repro.core.memory_model import admits_placement
+        if not admits_placement(block, host_bytes, node_budgets):
+            raise PartitionError(
+                "seed placement does not fit the per-node host budgets"
+            )
     weights = (partition_halo_matrix(partition)
                + 2 * partition_load_matrix(partition))
     weights_sym = weights + weights.T
@@ -269,16 +428,27 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
 
     placement = block.copy()
     swaps = 0
+    moves = 0
     refinements = 0
     if num_nodes > 1 and m > num_nodes:
-        swaps += _greedy_swaps(weights_sym, placement, num_nodes)
+        admission = _Admission(placement, num_nodes, max_imbalance,
+                               host_bytes, node_budgets)
+        allow_moves = max_imbalance > 0
+        applied = _greedy_improve(weights_sym, placement, num_nodes,
+                                  admission, allow_moves)
+        swaps += applied[0]
+        moves += applied[1]
         for _ in range(max_refinements):
             refinements += 1
-            kept = _refinement_pass(weights_sym, placement, num_nodes)
+            kept = _refinement_pass(weights_sym, placement, num_nodes,
+                                    admission)
             if kept == 0:
                 break
             swaps += kept
-            swaps += _greedy_swaps(weights_sym, placement, num_nodes)
+            applied = _greedy_improve(weights_sym, placement, num_nodes,
+                                      admission, allow_moves)
+            swaps += applied[0]
+            moves += applied[1]
 
     rows_search = _cross_rows(weights, placement)
     cost_block = cost_search = None
@@ -297,34 +467,59 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
         cost_block=cost_block, cost_search=cost_search,
         swaps=swaps, refinement_passes=refinements,
         seconds=time.perf_counter() - started,
+        moves=moves, max_imbalance=max_imbalance,
     )
 
 
-def _greedy_swaps(weights_sym: np.ndarray, placement: np.ndarray,
-                  num_nodes: int) -> int:
-    """Apply best-improving pairwise swaps in place until none remains."""
-    applied = 0
-    limit = len(placement) ** 2  # safety cap; each swap strictly improves
-    while applied < limit:
-        a, b, gain = _best_swap(
-            _swap_gains(weights_sym, placement, num_nodes)
+def _greedy_improve(weights_sym: np.ndarray, placement: np.ndarray,
+                    num_nodes: int, admission: _Admission,
+                    allow_moves: bool) -> Tuple[int, int]:
+    """Apply best-improving admissible swaps/moves until none remains.
+
+    Mutates ``placement`` (and the admission state) in place and returns
+    ``(swaps, moves)`` applied. Each step strictly reduces the integer
+    cut, so the loop terminates. Equal-gain swap-vs-move ties prefer the
+    balance-preserving swap.
+    """
+    swaps = 0
+    moves = 0
+    while True:
+        a, b, swap_gain = _best_swap(
+            _swap_gains(weights_sym, placement, num_nodes),
+            allowed=admission.swap_mask(placement),
         )
-        if gain <= 0:
+        move_gain = _SENTINEL
+        if allow_moves:
+            p, node, move_gain = _best_swap(
+                _move_gains(weights_sym, placement, num_nodes),
+                allowed=admission.move_mask(placement),
+            )
+        if swap_gain <= 0 and move_gain <= 0:
             break
-        placement[a], placement[b] = placement[b], placement[a]
-        applied += 1
-    return applied
+        if swap_gain >= move_gain:
+            admission.apply_swap(placement, a, b)
+            swaps += 1
+        else:
+            admission.apply_move(placement, p, node)
+            moves += 1
+    return swaps, moves
 
 
 def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
-                     num_nodes: int) -> int:
+                     num_nodes: int, admission: _Admission) -> int:
     """One KL pass: swap-and-lock greedily, keep the best prefix.
 
     Mutates ``placement`` to the best prefix's state and returns the
     number of swaps kept (0 when no prefix beat the starting cut — the
-    pass then leaves the placement exactly as it found it).
+    pass then leaves the placement exactly as it found it). Swaps never
+    change per-node counts, so the pass preserves whatever (possibly
+    uneven) balance the greedy phase reached; under byte budgets every
+    trail step must itself be admissible, which keeps each prefix — in
+    particular the kept one — admissible too.
     """
     working = placement.copy()
+    tracker = _Admission(working, num_nodes, admission.max_imbalance,
+                         admission.host_bytes, admission.budgets)
     free = np.ones(len(placement), dtype=bool)
     cumulative = 0
     best_gain = 0
@@ -334,11 +529,12 @@ def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
         if len(np.unique(working[free])) < 2:
             break  # no two free partitions left on distinct nodes
         a, b, gain = _best_swap(
-            _swap_gains(weights_sym, working, num_nodes), free
+            _swap_gains(weights_sym, working, num_nodes), free,
+            allowed=tracker.swap_mask(working),
         )
-        if gain == np.iinfo(np.int64).min:
+        if gain == _SENTINEL:
             break
-        working[a], working[b] = working[b], working[a]
+        tracker.apply_swap(working, a, b)
         free[a] = free[b] = False
         trail.append((a, b))
         cumulative += gain
@@ -348,7 +544,7 @@ def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
     if best_prefix == 0:
         return 0
     for a, b in trail[:best_prefix]:
-        placement[a], placement[b] = placement[b], placement[a]
+        admission.apply_swap(placement, a, b)
     return best_prefix
 
 

@@ -82,6 +82,35 @@ class TestCompare:
         assert len(tool.compare({"smoke": {"rows": 0.0}},
                                 tolerance=0.15)) == 1
 
+    def test_zero_baseline_growth_has_no_ratio_and_a_clear_message(
+            self, results_dir, capsys):
+        """A zero baseline can never divide: the regression is reported
+        with ratio None and main() prints an explicit explanation
+        instead of crashing or rendering 'infx'."""
+        write_result(results_dir, "smoke", {"rows": 3.0})
+        regressions = tool.compare({"smoke": {"rows": 0.0}}, tolerance=0.15)
+        assert regressions == [("smoke", "rows", 0.0, 3.0, None)]
+        path = write_baseline(results_dir, {"smoke": {"rows": 0.0}})
+        assert tool.main(["--baseline", path]) == 1
+        err = capsys.readouterr().err
+        assert "zero baseline" in err
+        assert "inf" not in err
+
+    def test_non_numeric_baseline_fails_with_clear_message(
+            self, results_dir, capsys):
+        write_result(results_dir, "smoke", {"rows": 3.0})
+        for bad in (None, "fast", float("nan"), True):
+            with pytest.raises(ValueError, match="not a finite number"):
+                tool.compare({"smoke": {"rows": bad}}, tolerance=0.15)
+        path = write_baseline(results_dir, {"smoke": {"rows": None}})
+        assert tool.main(["--baseline", path]) == 1
+        assert "not a finite number" in capsys.readouterr().err
+
+    def test_non_numeric_result_fails_with_clear_message(self, results_dir):
+        write_result(results_dir, "smoke", {"rows": "oops"})
+        with pytest.raises(ValueError, match="not a finite number"):
+            tool.compare({"smoke": {"rows": 1.0}}, tolerance=0.15)
+
 
 class TestMain:
     def test_gate_passes_and_fails_by_exit_code(self, results_dir):
@@ -130,6 +159,28 @@ class TestMain:
     def test_update_without_results_fails(self, results_dir):
         path = str(results_dir / "baseline.json")
         assert tool.main(["--baseline", path, "--update"]) == 1
+
+    def test_update_warns_when_dropping_a_gated_bench(self, results_dir,
+                                                      capsys):
+        """A bench that stopped emitting JSON cannot fall out of the
+        baseline silently: --update keeps working but warns per drop."""
+        write_result(results_dir, "kept", {"rows": 1.0})
+        path = write_baseline(results_dir, {
+            "kept": {"rows": 1.0},
+            "vanished": {"makespan_seconds": 2.0},
+        })
+        assert tool.main(["--baseline", path, "--update"]) == 0
+        err = capsys.readouterr().err
+        assert "dropping 'vanished'" in err
+        refreshed = json.loads((results_dir / "baseline.json").read_text())
+        assert set(refreshed) == {"kept"}
+
+    def test_update_with_unchanged_set_warns_nothing(self, results_dir,
+                                                     capsys):
+        write_result(results_dir, "kept", {"rows": 1.0})
+        path = write_baseline(results_dir, {"kept": {"rows": 1.0}})
+        assert tool.main(["--baseline", path, "--update"]) == 0
+        assert "dropping" not in capsys.readouterr().err
 
     def test_repo_baseline_is_well_formed(self):
         """The committed baseline must exist and name real metrics (the

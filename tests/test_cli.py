@@ -39,6 +39,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--allreduce", "gossip"])
 
+    def test_placement_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--nodes", "2", "--placement", "joint",
+             "--max-imbalance", "1"]
+        )
+        assert args.placement == "joint"
+        assert args.max_imbalance == 1
+        defaults = build_parser().parse_args(["train"])
+        assert defaults.placement == "block"
+        assert defaults.max_imbalance == 0
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--placement", "random"])
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -95,3 +110,13 @@ class TestCommands:
         assert "2 node(s) x 2 GPUs" in out
         assert "per-node busy seconds" in out
         assert "node1" in out
+
+    def test_train_joint_placement(self, capsys):
+        assert main(["train", "--dataset", "it2004_sim", "--scale", "0.08",
+                     "--epochs", "1", "--nodes", "2", "--gpus", "4",
+                     "--placement", "joint", "--max-imbalance", "1",
+                     "--hidden-dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "placement search:" in out
+        assert "per-node counts" in out
+        assert "joint iteration:" in out

@@ -138,7 +138,7 @@ class TestHaloMatrices:
 
 class TestSearchPlacement:
     def test_policies_constant(self):
-        assert PLACEMENT_POLICIES == ("block", "search")
+        assert PLACEMENT_POLICIES == ("block", "search", "joint")
 
     def test_every_partition_assigned_exactly_once(self, skewed):
         result = search_placement(skewed, NODES)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -75,13 +76,31 @@ def compare(baseline: dict, tolerance: float) -> list:
     for bench, expected in sorted(baseline.items()):
         current = load_result(bench)
         for metric, base_value in sorted(expected.items()):
+            if not isinstance(base_value, (int, float)) \
+                    or isinstance(base_value, bool) \
+                    or not math.isfinite(base_value):
+                raise ValueError(
+                    f"baseline {bench}.{metric} is not a finite number "
+                    f"(got {base_value!r}) - fix the baseline, the gate "
+                    f"cannot compute a growth ratio against it"
+                )
             if metric not in current:
                 regressions.append((bench, metric, base_value, None, None))
                 continue
             value = current[metric]
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or not math.isfinite(value):
+                raise ValueError(
+                    f"result {bench}.{metric} is not a finite number "
+                    f"(got {value!r}) - did the benchmark emit valid JSON "
+                    f"metrics?"
+                )
             if base_value == 0:
+                # No ratio exists against a zero baseline: any growth is
+                # an explicit failure (never a ZeroDivisionError), and
+                # staying at zero passes.
                 grew = value > 0
-                ratio = float("inf") if grew else 1.0
+                ratio = None
             else:
                 ratio = value / base_value
                 grew = ratio > 1.0 + tolerance
@@ -103,7 +122,11 @@ def update_baseline(baseline_path: str) -> None:
     """Rewrite the baseline from every results file on disk.
 
     Discovery-based on purpose: a newly added smoke bench enters the
-    baseline on the next ``--update`` with no hand-seeding.
+    baseline on the next ``--update`` with no hand-seeding. The flip
+    side — a previously gated bench whose JSON was not produced by this
+    run silently falling out of the baseline — is loud instead: every
+    dropped bench prints a warning, so a bench that stopped emitting
+    JSON cannot un-gate itself unnoticed.
     """
     benches = discover_results()
     if not benches:
@@ -111,6 +134,16 @@ def update_baseline(baseline_path: str) -> None:
             f"no results/<bench>.json files under {RESULTS_DIR} - run the "
             f"smoke benchmarks first"
         )
+    if os.path.exists(baseline_path):
+        with open(baseline_path) as handle:
+            previous = json.load(handle)
+        for bench in sorted(set(previous) - set(benches)):
+            print(
+                f"warning: dropping '{bench}' from the baseline - no "
+                f"results/{bench}.json was produced; if the bench still "
+                f"exists, rerun it before --update",
+                file=sys.stderr,
+            )
     refreshed = {bench: load_result(bench) for bench in benches}
     with open(baseline_path, "w") as handle:
         json.dump(refreshed, handle, indent=2, sort_keys=True)
@@ -175,6 +208,13 @@ def main(argv=None) -> int:
         if value is None:
             print(
                 f"REGRESSION {bench}.{metric}: metric missing from results",
+                file=sys.stderr,
+            )
+        elif ratio is None:
+            print(
+                f"REGRESSION {bench}.{metric}: grew from a zero baseline "
+                f"to {value:.6g} (no growth ratio exists against 0; "
+                f"refresh the baseline with --update if intentional)",
                 file=sys.stderr,
             )
         else:
