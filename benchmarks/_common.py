@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
-__all__ = ["emit", "emit_json", "RESULTS_DIR", "BENCH_SCALE"]
+__all__ = ["emit", "emit_json", "timed_call", "RESULTS_DIR", "BENCH_SCALE"]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -35,13 +36,27 @@ def emit(name: str, text: str) -> None:
         handle.write(text + "\n")
 
 
+def timed_call(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` and return ``(result, wall_seconds)``.
+
+    The wall clock feeds the ``sim_wall_seconds`` metric each smoke
+    archives next to its simulated metrics — how long the simulator
+    itself took, gated with the looser ``--wall-tolerance`` headroom.
+    """
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
 def emit_json(name: str, metrics: dict) -> None:
     """Archive simulated metrics as results/<name>.json for CI.
 
-    ``metrics`` maps metric name → number. Every metric must be
-    *simulated* (deterministic across machines) and lower-is-better —
-    that is the contract ``tools/check_bench_regression.py`` enforces
-    against ``results/baseline.json``.
+    ``metrics`` maps metric name → number. Metrics are *simulated*
+    (deterministic across machines) and lower-is-better — the contract
+    ``tools/check_bench_regression.py`` enforces against
+    ``results/baseline.json``. The one exception is metrics ending in
+    ``wall_seconds`` (simulator wall clock), which the checker gates
+    with the separate, looser ``--wall-tolerance``.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")

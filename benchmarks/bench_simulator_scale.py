@@ -1,0 +1,168 @@
+"""Simulator scale — wall-clock cost of simulating thousand-GPU epochs.
+
+Every other benchmark reports *simulated* seconds; this one reports how
+long the simulator itself takes to produce them. The vectorized core
+(array-backed scheduler + batched task emission) is what makes placement
+and topology sweeps over O(1000) GPUs routine, and this benchmark is the
+demonstration and the regression gate for that property:
+
+* ``bench_simulator_scale_smoke`` runs a small multi-node pipelined epoch
+  twice — once through the vectorized ``submit_batch`` path and once with
+  the scheduler's scalar core forced — asserts the makespans and
+  cross-node byte flows are bit-identical, and archives the wall-clock
+  (``sim_wall_seconds``) for the CI gate.
+* ``python benchmarks/bench_simulator_scale.py --nodes 128 --gpus 8``
+  simulates a full 1024-GPU pipelined epoch end-to-end and prints the
+  phase-by-phase wall clock (partition, plan build, epoch); ``--profile``
+  wraps the epoch in cProfile and dumps the top-25 cumulative entries.
+
+Wall-clock metrics are machine-dependent, so the regression gate applies
+the separate ``--wall-tolerance`` headroom (2x by default) instead of the
+15% simulated-metric tolerance — loose enough for runner jitter, tight
+enough to catch the hot path going quadratic again.
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.autograd import SGD
+from repro.bench import render_table
+from repro.core import HongTuConfig, HongTuTrainer
+from repro.gnn import build_model
+from repro.graph import load_dataset
+from repro.hardware import A100_CLUSTER, A100_SERVER, ClusterPlatform
+from repro.runtime import EventScheduler
+
+from benchmarks._common import emit, emit_json
+
+DATASET = "it2004_sim"
+HIDDEN = 32
+NUM_CHUNKS = 2
+
+
+def run_scale_epoch(nodes, gpus_per_node, scale, hidden=HIDDEN,
+                    num_chunks=NUM_CHUNKS, overlap="pipeline", seed=0):
+    """Simulate one pipelined epoch on a nodes × gpus_per_node cluster.
+
+    Returns wall-clock phases (graph/partition+plan build inside trainer
+    construction vs the epoch itself), the simulated makespan, and the
+    number of scheduled tasks.
+    """
+    graph = load_dataset(DATASET, scale=scale, seed=2)
+    cluster = A100_CLUSTER.with_num_nodes(nodes).with_node(
+        A100_SERVER.with_num_gpus(gpus_per_node))
+    platform = ClusterPlatform(cluster)
+    model = build_model(
+        "gcn", [graph.feature_dim, hidden, graph.num_classes],
+        np.random.default_rng(7))
+    started = time.perf_counter()
+    trainer = HongTuTrainer(
+        graph, model, platform,
+        HongTuConfig(num_chunks=num_chunks, overlap=overlap, nodes=nodes,
+                     seed=seed),
+        optimizer=SGD(model.parameters(), lr=0.02),
+    )
+    build_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    result = trainer.train_epoch()
+    epoch_seconds = time.perf_counter() - started
+    return {
+        "num_gpus": nodes * gpus_per_node,
+        "build_wall_seconds": build_seconds,
+        "epoch_wall_seconds": epoch_seconds,
+        "sim_wall_seconds": build_seconds + epoch_seconds,
+        "makespan_seconds": result.epoch_seconds,
+        "num_tasks": result.timeline.scheduler.num_tasks,
+        "net_bytes": result.net_bytes,
+        "result": result,
+    }
+
+
+def build_table(measurements):
+    rows = [
+        [f"{m['num_gpus']} GPUs", f"{m['build_wall_seconds']:.2f}",
+         f"{m['epoch_wall_seconds']:.2f}", f"{m['num_tasks']}",
+         f"{m['makespan_seconds']:.6f}"]
+        for m in measurements
+    ]
+    return render_table(
+        ["Cluster", "build wall s", "epoch wall s", "tasks",
+         "simulated epoch s"],
+        rows,
+        title=f"Simulator scale ({DATASET}, GCN, pipelined): wall clock "
+              "to simulate one epoch",
+    )
+
+
+# ----------------------------------------------------------------------
+# CI smoke: small cluster + batched-vs-scalar bit-identity
+# ----------------------------------------------------------------------
+def run_smoke():
+    kwargs = dict(nodes=2, gpus_per_node=2, scale=0.5)
+    batched = run_scale_epoch(**kwargs)
+    try:
+        EventScheduler.vectorized = False
+        scalar = run_scale_epoch(**kwargs)
+    finally:
+        EventScheduler.vectorized = True
+    return batched, scalar
+
+
+def check_smoke(batched, scalar):
+    # The vectorized wave scheduler must be bit-identical to the scalar
+    # submit loop — same makespan, same per-flow network bytes, same
+    # task count (the acceptance contract of the SoA core).
+    assert batched["makespan_seconds"] == scalar["makespan_seconds"]
+    assert batched["num_tasks"] == scalar["num_tasks"]
+    assert batched["net_bytes"] == scalar["net_bytes"]
+    batched["result"].timeline.validate()
+
+
+def bench_simulator_scale_smoke(benchmark):
+    batched, scalar = benchmark.pedantic(run_smoke, rounds=1, iterations=1)
+    emit("simulator_scale_smoke", build_table([batched]))
+    emit_json("simulator_scale_smoke", {
+        "makespan_seconds": batched["makespan_seconds"],
+        "num_tasks": batched["num_tasks"],
+        "sim_wall_seconds": batched["sim_wall_seconds"],
+    })
+    check_smoke(batched, scalar)
+
+
+# ----------------------------------------------------------------------
+# CLI: thousand-GPU demonstration (+ --profile hot-path dump)
+# ----------------------------------------------------------------------
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Wall-clock cost of simulating a large-cluster epoch")
+    parser.add_argument("--nodes", type=int, default=128,
+                        help="cluster nodes (default 128)")
+    parser.add_argument("--gpus", type=int, default=8,
+                        help="GPUs per node (default 8)")
+    parser.add_argument("--scale", type=float, default=8.0,
+                        help=f"{DATASET} dataset scale (default 8.0)")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile and dump the "
+                             "top-25 cumulative entries")
+    args = parser.parse_args(argv)
+
+    def run():
+        return run_scale_epoch(args.nodes, args.gpus, args.scale)
+
+    if args.profile:
+        import cProfile
+        import pstats
+        profiler = cProfile.Profile()
+        measurement = profiler.runcall(run)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        measurement = run()
+    emit("simulator_scale", build_table([measurement]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

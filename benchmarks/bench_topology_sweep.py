@@ -43,7 +43,7 @@ from repro.hardware import (
 )
 from repro.partition import two_level_partition
 
-from benchmarks._common import BENCH_SCALE, emit, emit_json
+from benchmarks._common import BENCH_SCALE, emit, emit_json, timed_call
 
 DATASET = "reddit_sim"
 NODE_COUNTS = [2, 4]
@@ -191,13 +191,16 @@ def bench_topology_reorg_net(benchmark):
 # CI smoke: tiny graph, 2 nodes, all three topologies
 # ----------------------------------------------------------------------
 def bench_topology_smoke(benchmark):
-    results = benchmark.pedantic(
-        run_sweep, kwargs={"scale": 0.08, "node_counts": [2]},
+    results, wall = timed_call(
+        benchmark.pedantic, run_sweep,
+        kwargs={"scale": 0.08, "node_counts": [2]},
         rounds=1, iterations=1)
     emit("topology_smoke", build_sweep_table(results, node_counts=[2]))
-    emit_json("topology_smoke", {
+    metrics = {
         f"{name.replace(' ', '_')}_{overlap}_seconds": seconds
         for (nodes, name, overlap), seconds in results.items()
         if nodes == 2
-    })
+    }
+    metrics["sim_wall_seconds"] = wall
+    emit_json("topology_smoke", metrics)
     check_sweep(results, node_counts=[2])

@@ -112,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "memory admits the skew (only with "
                             "--placement search/joint)")
     train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--profile", action="store_true",
+                       help="wrap the first training epoch in cProfile "
+                            "and print the top-25 cumulative entries "
+                            "(simulator wall clock, not simulated time)")
 
     analyze = sub.add_parser("analyze",
                              help="communication-volume / cost analysis")
@@ -191,7 +195,10 @@ def cmd_train(args) -> int:
             )
             print(f"joint iteration: {steps}")
     for epoch in range(1, args.epochs + 1):
-        result = trainer.train_epoch()
+        if epoch == 1 and args.profile:
+            result = _profiled_epoch(trainer)
+        else:
+            result = trainer.train_epoch()
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "
               f"sim={format_seconds(result.epoch_seconds)}  "
               f"peakGPU={format_bytes(result.peak_gpu_bytes)}")
@@ -211,6 +218,23 @@ def cmd_train(args) -> int:
                   f"(net = {format_bytes(last.net_bytes)} halo+all-reduce)",
         ))
     return 0
+
+
+def _profiled_epoch(trainer):
+    """One epoch under cProfile; prints the top-25 cumulative entries.
+
+    Profiles the *simulator's* wall clock — where Python time goes while
+    producing the simulated timeline — the working tool behind the
+    vectorized scheduler/executor hot paths.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(trainer.train_epoch)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(25)
+    return result
 
 
 def cmd_analyze(args) -> int:

@@ -79,9 +79,7 @@ def measure_volumes(partition: TwoLevelPartition) -> DedupVolumes:
     for j in range(n):
         needed = [partition.chunks[i][j].neighbor_global for i in range(m)]
         v_ori += sum(len(s) for s in needed)
-        union = needed[0]
-        for extra in needed[1:]:
-            union = np.union1d(union, extra)
+        union = np.unique(np.concatenate(needed))
         v_p2p += len(union)
         union_sizes.append(len(union))
         if previous_union is None:

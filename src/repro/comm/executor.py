@@ -32,8 +32,19 @@ host loads of batch j+1 only wait for the staging buffer to drain (its
 consumers two batches back under double buffering), *not* for batch j's
 kernels — which is what lets the ``pipeline`` overlap policy hide PCIe
 time under compute. After each batch call, :attr:`last_tasks` holds the
-submitted tasks so the trainer can hang its compute/writeback tasks off
-them.
+submitted task-id arrays so the trainer can hang its compute/writeback
+tasks off them.
+
+Emission is *batched*: which rows each GPU loads, reuses, fetches and
+flushes — and how the traffic splits across node pairs — is fixed by the
+plan and the installed placement, so the per-batch row counts, segment
+classifications and halo coalescing are precomputed once
+(:meth:`DedupCommunicator._batch_static`) and every (layer, batch) call
+reduces to numpy cost expressions over all GPUs at once plus one
+``submit_batch`` wave per phase. Only the real numpy data movement still
+iterates per GPU (those fancy-indexed reads/scatter-adds *are* the
+numerics). All dependency plumbing is task-id arrays; no
+:class:`~repro.runtime.task.Task` objects are materialized on this path.
 
 On a :class:`~repro.hardware.platform.ClusterPlatform` the same plan spans
 several nodes and three kinds of traffic additionally cross the network,
@@ -63,12 +74,14 @@ Routing is topology-aware (the platform's
 rides its own per-pair link (the original behavior, float-identical); on
 ``spine`` messages additionally hold the shared
 :data:`~repro.runtime.task.SPINE_RESOURCE` for their excess core-transit
-time, so disjoint node pairs contend on the oversubscribed core; on
-``rail`` each pair's traffic splits by the *owning GPU's* rail
-(``local_rank % num_rails``, placement-aware) into per-rail messages at
-per-rail bandwidth. Node membership itself comes from the platform's
-``node_of`` — an explicit GPU→node placement array, so an arbitrary
-partition→node assignment routes correctly with no changes here.
+time, so disjoint node pairs contend on the oversubscribed core (spine
+waves therefore schedule through the scheduler's scalar core — the
+batched-emission contract); on ``rail`` each pair's traffic splits by the
+*owning GPU's* rail (``local_rank % num_rails``, placement-aware) into
+per-rail messages at per-rail bandwidth. Node membership itself comes
+from the platform's ``node_of`` — an explicit GPU→node placement array,
+so an arbitrary partition→node assignment routes correctly with no
+changes here.
 
 The framework is numerically exact regardless of clock type: data moves
 eagerly in program order, so summing atomic pushes and host accumulation
@@ -78,6 +91,7 @@ addition order).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -87,18 +101,78 @@ from repro.errors import CommunicationPlanError
 from repro.hardware.clock import EventTimeline
 from repro.hardware.platform import MultiGPUPlatform
 from repro.runtime.buffers import TransitionBuffers
-from repro.runtime.task import SPINE_RESOURCE, Task, net_link
+from repro.runtime.scheduler import task_ids
+from repro.runtime.task import SPINE_RESOURCE, net_link
 
 __all__ = ["DedupCommunicator"]
 
+_NO_IDS = np.empty(0, dtype=np.int64)
 
-def _as_tasks(entry) -> List[Task]:
-    """Normalize a deps_by_device entry (None | Task | iterable) to a list."""
+
+def _entry_ids(entry) -> Optional[np.ndarray]:
+    """Normalize one deps_by_device entry to an id array (or None)."""
     if entry is None:
-        return []
-    if isinstance(entry, Task):
-        return [entry]
-    return list(entry)
+        return None
+    if isinstance(entry, np.ndarray):
+        return entry
+    return task_ids(entry)
+
+
+def _per_device_ids(deps_by_device, num_gpus: int
+                    ) -> Optional[List[Optional[np.ndarray]]]:
+    """Normalize a deps_by_device argument to per-GPU id arrays.
+
+    Accepts None, an ``(m,)`` id array (one producer per GPU — the
+    trainer's compute wave), or a sequence of per-GPU entries (each a
+    Task, an iterable of Tasks/ids, an id array, or None).
+    """
+    if deps_by_device is None:
+        return None
+    if isinstance(deps_by_device, np.ndarray):
+        return [deps_by_device[i:i + 1] for i in range(num_gpus)]
+    return [_entry_ids(entry) for entry in deps_by_device]
+
+
+@dataclass
+class _HaloSplit:
+    """Coalesced cross-node traffic of one phase, precomputed.
+
+    One entry per ``(src_node, dst_node, rail)`` link with traffic, keys
+    sorted (the submission order of the old per-pair loop). ``rows`` are
+    vertex-row counts — bytes follow per call as ``rows * row_bytes``.
+    """
+
+    keys: List[Tuple[int, int, int]]
+    rows: np.ndarray
+    #: scheduler link device id per key
+    devices: np.ndarray
+    #: per reader GPU, the key indices feeding it (deduped, key order)
+    by_reader: List[List[int]]
+    #: per key, the contributing GPUs (deduped, contribution order)
+    key_gpus: List[List[int]]
+
+    def __bool__(self) -> bool:
+        return bool(self.keys)
+
+
+@dataclass
+class _BatchStatic:
+    """Placement/plan-derived constants of one batch, computed once."""
+
+    loaded_rows: np.ndarray
+    reused_rows: np.ndarray
+    load_halo: _HaloSplit
+    #: flattened fetch segments, (plan, segment) order, split by class
+    local_gpu: np.ndarray
+    local_rows: np.ndarray
+    d2d_gpu: np.ndarray
+    d2d_rows: np.ndarray
+    fetch_halo: _HaloSplit
+    push_halo: _HaloSplit
+    flush_rows: np.ndarray
+    flush_vertices: List[np.ndarray] = field(default_factory=list)
+    flush_positions: List[np.ndarray] = field(default_factory=list)
+    flush_halo: _HaloSplit = None
 
 
 class DedupCommunicator:
@@ -138,12 +212,12 @@ class DedupCommunicator:
         #: measured side of the halo analyses in ``partition/nodes.py``
         #: (tested to match ``halo_volumes`` exactly).
         self.net_bytes_by_flow: Dict[str, Dict[Tuple[int, int], int]] = {}
-        #: tasks submitted by the most recent batch call (timeline clocks
-        #: only): forward fills "load"/"reuse"/"assemble", backward fills
-        #: "scatter"/"flush"/"cpu"
-        self.last_tasks: Dict[str, List[Task]] = {}
-        # Per-sweep dependency history (previous batches' tasks).
-        self._history: List[Dict[str, List[Task]]] = []
+        #: task-id arrays submitted by the most recent batch call
+        #: (timeline clocks only): forward fills "load"/"reuse"/
+        #: "assemble", backward fills "scatter"/"flush"/"cpu"
+        self.last_tasks: Dict[str, np.ndarray] = {}
+        # Per-sweep dependency history (previous batches' task ids).
+        self._history: List[Dict[str, np.ndarray]] = []
         # ---- cluster topology (degenerate on a single node) --------------
         self._num_nodes: int = getattr(platform, "num_nodes", 1)
         self._node_of_gpu: List[int] = [
@@ -167,9 +241,15 @@ class DedupCommunicator:
                 node_map[plan.partition.assignment]
         else:
             self._vertex_node = None
-        # Per-gpu input tasks of the latest forward batch (net tasks have
-        # link device ids, so a device filter cannot recover them).
-        self._last_inputs_by_gpu: List[List[Task]] = []
+        # Per-gpu input task ids of the latest forward batch (net tasks
+        # have link device ids, so a device filter cannot recover them).
+        self._last_inputs_by_gpu: List[np.ndarray] = []
+        self._last_timeline: Optional[EventTimeline] = None
+        # Per-batch static emission structure (row counts, segment
+        # classes, halo coalescing) — plan and placement are fixed for
+        # the communicator's lifetime, so this is computed once per
+        # batch and reused by every layer sweep and epoch.
+        self._static: Dict[int, _BatchStatic] = {}
 
     # ------------------------------------------------------------------
     # sweep lifecycle
@@ -220,109 +300,227 @@ class DedupCommunicator:
         """Halo-accumulation key: directed node pair + the GPU's rail."""
         return (src_node, dst_node, self._rail_of(gpu))
 
-    def _halo_split(self, vertices: np.ndarray, gpu: int, row_bytes: int,
-                    halo_bytes: Dict[Tuple[int, int, int], int],
-                    halo_gpus: Dict[Tuple[int, int, int], List[int]],
-                    toward_owner: bool = False) -> int:
-        """Accumulate ``vertices``' remotely-owned rows into per-link sums.
+    def _build_halo(self, contributions) -> _HaloSplit:
+        """Coalesce ``(key, gpu, rows)`` contributions into a split."""
+        rows: Dict[Tuple[int, int, int], int] = {}
+        gpus: Dict[Tuple[int, int, int], List[int]] = {}
+        for key, gpu, count in contributions:
+            rows[key] = rows.get(key, 0) + count
+            gpus.setdefault(key, []).append(gpu)
+        keys = sorted(rows)
+        by_reader: List[List[int]] = [[] for _ in range(self.plan.num_gpus)]
+        key_gpus: List[List[int]] = []
+        for index, key in enumerate(keys):
+            deduped = list(dict.fromkeys(gpus[key]))
+            key_gpus.append(deduped)
+            for gpu in deduped:
+                by_reader[gpu].append(index)
+        devices = np.array(
+            [net_link(src, dst, self._num_nodes, rail, self._num_rails)
+             for src, dst, rail in keys],
+            dtype=np.int64,
+        )
+        return _HaloSplit(
+            keys=keys,
+            rows=np.array([rows[key] for key in keys], dtype=np.int64),
+            devices=devices,
+            by_reader=by_reader,
+            key_gpus=key_gpus,
+        )
 
-        Splits the rows GPU ``gpu`` touches by owner node: rows owned by a
-        different node add ``row_bytes`` each to the link between the two
-        nodes (on the GPU's rail) and register the GPU on it. The link
-        direction is owner→gpu for inbound traffic (loads), or gpu→owner
-        with ``toward_owner`` for outbound traffic (gradient flushes).
-        Returns the number of remote rows (0 on a single node, where no
-        split is ever computed).
+    def _vertex_halo(self, vertex_lists, toward_owner: bool) -> _HaloSplit:
+        """Split per-GPU vertex sets by owner node into link traffic.
+
+        Rows owned by a different node add to the link between the two
+        nodes (on the GPU's rail). The link direction is owner→gpu for
+        inbound traffic (loads), or gpu→owner with ``toward_owner`` for
+        outbound traffic (gradient flushes).
         """
-        if self._vertex_node is None or len(vertices) == 0:
-            return 0
-        gpu_node = self._node_of_gpu[gpu]
-        owner_nodes = self._vertex_node[vertices]
-        remote = owner_nodes != gpu_node
-        if not remote.any():
-            return 0
-        counts = np.bincount(owner_nodes[remote], minlength=self._num_nodes)
-        for owner_node in np.flatnonzero(counts):
-            key = self._link_key(gpu_node, int(owner_node), gpu) \
-                if toward_owner \
-                else self._link_key(int(owner_node), gpu_node, gpu)
-            halo_bytes[key] = halo_bytes.get(key, 0) \
-                + int(counts[owner_node]) * row_bytes
-            halo_gpus.setdefault(key, []).append(gpu)
-        return int(remote.sum())
+        contributions = []
+        if self._vertex_node is not None:
+            for gpu, vertices in enumerate(vertex_lists):
+                if len(vertices) == 0:
+                    continue
+                gpu_node = self._node_of_gpu[gpu]
+                owner_nodes = self._vertex_node[vertices]
+                remote = owner_nodes != gpu_node
+                if not remote.any():
+                    continue
+                counts = np.bincount(owner_nodes[remote],
+                                     minlength=self._num_nodes)
+                for owner_node in np.flatnonzero(counts):
+                    key = self._link_key(gpu_node, int(owner_node), gpu) \
+                        if toward_owner \
+                        else self._link_key(int(owner_node), gpu_node, gpu)
+                    contributions.append(
+                        (key, gpu, int(counts[owner_node]))
+                    )
+        return self._build_halo(contributions)
 
-    def _charge_flow(self, flow: str,
-                     halo_bytes: Dict[Tuple[int, int, int], int]) -> None:
+    # ------------------------------------------------------------------
+    # per-batch static emission structure
+    # ------------------------------------------------------------------
+    def _batch_static(self, batch: int) -> _BatchStatic:
+        cached = self._static.get(batch)
+        if cached is not None:
+            return cached
+        plans = self.plan.plans[batch]
+        loaded_rows = np.array([plan.num_loaded for plan in plans],
+                               dtype=np.int64)
+        reused_rows = np.array([plan.num_reused for plan in plans],
+                               dtype=np.int64)
+        load_halo = self._vertex_halo(
+            [plan.load_vertices for plan in plans], toward_owner=False,
+        )
+        # Classify fetch segments in (plan, segment) order: intra-GPU
+        # reads, same-node P2P, and cross-node halo (forward fetch key
+        # owner→reader; the backward push mirrors it reader→owner).
+        local_gpu: List[int] = []
+        local_rows: List[int] = []
+        d2d_gpu: List[int] = []
+        d2d_rows: List[int] = []
+        fetch_contrib = []
+        push_contrib = []
+        for plan in plans:
+            reader_node = self._node_of_gpu[plan.gpu]
+            for segment in plan.fetch_segments:
+                count = segment.num_vertices
+                if segment.source_gpu == plan.gpu:
+                    local_gpu.append(plan.gpu)
+                    local_rows.append(count)
+                elif self._node_of_gpu[segment.source_gpu] != reader_node:
+                    owner_node = self._node_of_gpu[segment.source_gpu]
+                    fetch_contrib.append((
+                        self._link_key(owner_node, reader_node, plan.gpu),
+                        plan.gpu, count,
+                    ))
+                    push_contrib.append((
+                        self._link_key(reader_node, owner_node, plan.gpu),
+                        plan.gpu, count,
+                    ))
+                else:
+                    d2d_gpu.append(plan.gpu)
+                    d2d_rows.append(count)
+        # Flush split: gradients of rows not reused by the next batch
+        # (everything on the last batch) leave the GPU; remotely-owned
+        # rows additionally cross the network toward their owner node.
+        flush_vertices: List[np.ndarray] = []
+        flush_positions: List[np.ndarray] = []
+        is_last = batch == self.plan.num_batches - 1
+        for plan in plans:
+            if is_last:
+                flush_mask = np.ones(len(plan.transition), dtype=bool)
+            else:
+                next_plan = self.plan.plans[batch + 1][plan.gpu]
+                kept = next_plan.transition[next_plan.reuse_mask]
+                flush_mask = ~np.isin(plan.transition, kept,
+                                      assume_unique=True)
+            flush_vertices.append(plan.transition[flush_mask])
+            flush_positions.append(plan.positions[flush_mask])
+        static = _BatchStatic(
+            loaded_rows=loaded_rows,
+            reused_rows=reused_rows,
+            load_halo=load_halo,
+            local_gpu=np.array(local_gpu, dtype=np.int64),
+            local_rows=np.array(local_rows, dtype=np.int64),
+            d2d_gpu=np.array(d2d_gpu, dtype=np.int64),
+            d2d_rows=np.array(d2d_rows, dtype=np.int64),
+            fetch_halo=self._build_halo(fetch_contrib),
+            push_halo=self._build_halo(push_contrib),
+            flush_rows=np.array([len(v) for v in flush_vertices],
+                                dtype=np.int64),
+            flush_vertices=flush_vertices,
+            flush_positions=flush_positions,
+            flush_halo=self._vertex_halo(flush_vertices, toward_owner=True),
+        )
+        self._static[batch] = static
+        return static
+
+    def _segment_seconds(self, static: _BatchStatic, row_bytes: int
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-GPU (d2d, local) assemble seconds, summed in segment order.
+
+        ``np.add.at`` accumulates in array order — the same per-GPU float
+        addition order as the original per-segment loop, so the sums are
+        bit-identical to the scalar path.
+        """
+        m = self.plan.num_gpus
+        d2d_seconds = np.zeros(m)
+        local_seconds = np.zeros(m)
+        if len(static.d2d_gpu):
+            np.add.at(d2d_seconds, static.d2d_gpu,
+                      self.platform.d2d_seconds(static.d2d_rows * row_bytes))
+        if len(static.local_gpu):
+            np.add.at(local_seconds, static.local_gpu,
+                      self.platform.reuse_seconds(
+                          static.local_rows * row_bytes))
+        return d2d_seconds, local_seconds
+
+    def _charge_flow(self, flow: str, halo: _HaloSplit,
+                     nbytes: np.ndarray) -> None:
         """Accumulate per-pair byte detail for ``flow`` (rails merged)."""
         detail = self.net_bytes_by_flow.setdefault(flow, {})
-        for (src, dst, _rail), nbytes in halo_bytes.items():
-            detail[(src, dst)] = detail.get((src, dst), 0) + nbytes
+        for (src, dst, _rail), count in zip(halo.keys, nbytes.tolist()):
+            detail[(src, dst)] = detail.get((src, dst), 0) + count
 
-    def _submit_halo_phase(self, timeline: Optional[EventTimeline], clock,
-                           halo_bytes: Dict[Tuple[int, int, int], int],
-                           deps_by_pair=None, deps: Sequence[Task] = (),
-                           flow: str = "", label: str = ""
-                           ) -> Dict[Tuple[int, int, int], Task]:
+    def _submit_halo_batch(self, timeline: Optional[EventTimeline], clock,
+                           halo: _HaloSplit, row_bytes: int,
+                           deps: Optional[np.ndarray] = None,
+                           producers_by_key: Optional[Sequence] = None,
+                           flow: str = "", label: str = "") -> np.ndarray:
         """One coalesced ``net`` task per directed link with traffic.
 
-        Keys of ``halo_bytes`` are ``(src_node, dst_node, rail)`` — one
-        message per directed node pair on flat/spine fabrics (rail 0),
-        one per pair per rail on rail fabrics. ``deps`` gate every
-        message; ``deps_by_pair`` (key → task list) adds per-link
-        producers. Spine messages additionally hold the shared
+        Returns the submitted task ids aligned with ``halo.keys`` (empty
+        when there is no cross-node traffic, so single-node runs never
+        reach the scheduler from here). ``deps`` gate every message;
+        ``producers_by_key[k]`` (an id array) adds per-link producers.
+        Spine messages additionally hold the shared
         :data:`~repro.runtime.task.SPINE_RESOURCE` for their excess
-        core-transit time, so disjoint pairs contend. Charges
-        :attr:`bytes_moved` (and the per-flow detail) and returns
-        key → submitted task (empty when there is no cross-node traffic,
-        so single-node runs never reach the scheduler from here).
+        core-transit time — those waves schedule through the scalar core
+        (stateful contention), every other topology vectorizes. Charges
+        :attr:`bytes_moved` and the per-flow detail.
         """
-        if not halo_bytes:
-            return {}
-        pairs = sorted(halo_bytes)
-        seconds = [self.platform.net_seconds(halo_bytes[pair])
-                   for pair in pairs]
-        self.bytes_moved["net"] += sum(halo_bytes.values())
+        if not halo:
+            return _NO_IDS
+        nbytes = halo.rows * row_bytes
+        seconds = self.platform.net_seconds(nbytes)
+        self.bytes_moved["net"] += int(nbytes.sum())
         if flow:
-            self._charge_flow(flow, halo_bytes)
+            self._charge_flow(flow, halo, nbytes)
         if timeline is None:
-            clock.add_parallel_phase("net", seconds)
-            return {}
-        devices = [net_link(src, dst, self._num_nodes, rail, self._num_rails)
-                   for src, dst, rail in pairs]
-        extras = None
-        if deps_by_pair is not None:
-            extras = [deps_by_pair.get(pair, []) for pair in pairs]
-        shared = []
-        for pair in pairs:
-            hold = self.platform.spine_hold_seconds(halo_bytes[pair])
-            shared.append([(SPINE_RESOURCE, hold)] if hold > 0 else [])
-        tasks = timeline.submit_phase(
-            "net", seconds, devices=devices, deps=list(deps),
-            deps_by_device=extras, shared_by_device=shared, label=label,
+            clock.add_parallel_phase("net", seconds.tolist())
+            return _NO_IDS
+        shared = None
+        holds = self.platform.spine_hold_seconds(nbytes)
+        if np.any(np.asarray(holds) > 0):
+            shared = [
+                [(SPINE_RESOURCE, float(hold))] if hold > 0 else []
+                for hold in np.broadcast_to(holds, (len(halo.keys),))
+            ]
+        return timeline.submit_batch(
+            "net", seconds, devices=halo.devices, deps=deps,
+            deps_by_device=producers_by_key, shared_by_device=shared,
+            label=label,
         )
-        return dict(zip(pairs, tasks))
 
     @staticmethod
-    def _tasks_by_reader(pair_tasks: Dict[Tuple[int, int, int], Task],
-                         halo_gpus: Dict[Tuple[int, int, int], List[int]],
-                         num_gpus: int) -> List[List[Task]]:
-        """Invert pair → task into per-reader-GPU dependency lists."""
-        by_gpu: List[List[Task]] = [[] for _ in range(num_gpus)]
-        for pair, task in pair_tasks.items():
-            for gpu in halo_gpus.get(pair, []):
-                if task not in by_gpu[gpu]:
-                    by_gpu[gpu].append(task)
-        return by_gpu
+    def _ids_by_reader(halo: _HaloSplit, ids: np.ndarray,
+                       num_gpus: int) -> List[np.ndarray]:
+        """Invert key → task id into per-reader-GPU dependency arrays."""
+        return [
+            ids[halo.by_reader[gpu]] if halo.by_reader[gpu] else _NO_IDS
+            for gpu in range(num_gpus)
+        ]
 
     # ------------------------------------------------------------------
     # dependency bookkeeping helpers
     # ------------------------------------------------------------------
-    def _batch_tasks(self, batch: int, key: str) -> List[Task]:
+    def _batch_tasks(self, batch: int, key: str) -> np.ndarray:
         if 0 <= batch < len(self._history):
-            return self._history[batch].get(key, [])
-        return []
+            return self._history[batch].get(key, _NO_IDS)
+        return _NO_IDS
 
-    def _staging_conflicts(self, batch: int) -> List[Task]:
+    def _staging_conflicts(self, batch: int) -> np.ndarray:
         """Tasks that must drain before batch ``batch`` overwrites its buffer.
 
         The staged slots of batch j live in the parity-(j mod copies) buffer:
@@ -332,173 +530,166 @@ class DedupCommunicator:
         """
         buffers = self._require_sweep()
         if buffers.double_buffer:
-            return (self._batch_tasks(batch - 2, "assemble")
-                    + self._batch_tasks(batch - 1, "reuse"))
-        return (self._batch_tasks(batch - 1, "assemble")
-                + self._batch_tasks(batch - 1, "reuse"))
+            return np.concatenate([
+                self._batch_tasks(batch - 2, "assemble"),
+                self._batch_tasks(batch - 1, "reuse"),
+            ])
+        return np.concatenate([
+            self._batch_tasks(batch - 1, "assemble"),
+            self._batch_tasks(batch - 1, "reuse"),
+        ])
 
     # ------------------------------------------------------------------
     # forward: Algorithm 2
     # ------------------------------------------------------------------
     def load_batch_forward(self, batch: int, host_values: np.ndarray,
-                           clock, extra_deps: Sequence[Task] = ()
-                           ) -> List[np.ndarray]:
+                           clock, extra_deps=()) -> List[np.ndarray]:
         """Assemble h_{N_ij} for every GPU of ``batch`` from host memory.
 
         Returns one (len(needed_i), dim) array per GPU, ordered like each
         plan's ``needed`` set. ``extra_deps`` gate the batch's host loads
-        (e.g. on the previous layer's writebacks).
+        (e.g. on the previous layer's writebacks) — Tasks or an id array.
         """
         buffers = self._require_sweep()
         plans = self.plan.plans[batch]
+        m = len(plans)
         row_bytes = self._dim * self.bytes_per_scalar
         timeline = clock if isinstance(clock, EventTimeline) else None
+        static = self._batch_static(batch)
+        extra_ids = _entry_ids(extra_deps)
+        if extra_ids is None:
+            extra_ids = _NO_IDS
 
         # Phase 1: host -> transition buffers (reuse in place first). Rows
         # owned by a remote node's partitions must cross the network before
         # they can cross this node's PCIe (empty under dedup_inter: every
         # staged row is owner-local).
-        h2d_seconds = []
-        reuse_seconds = []
-        halo_bytes: Dict[Tuple[int, int, int], int] = {}
-        halo_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         for plan in plans:
-            load_vertices = plan.load_vertices
-            buffers[plan.gpu][plan.load_positions] = host_values[load_vertices]
-            loaded_bytes = len(load_vertices) * row_bytes
-            reused_bytes = plan.num_reused * row_bytes
-            self.bytes_moved["h2d"] += loaded_bytes
-            self.bytes_moved["ru"] += reused_bytes
-            h2d_seconds.append(self.platform.h2d_seconds(loaded_bytes))
-            reuse_seconds.append(self.platform.reuse_seconds(reused_bytes))
-            self._halo_split(load_vertices, plan.gpu, row_bytes,
-                             halo_bytes, halo_gpus)
+            buffers[plan.gpu][plan.load_positions] = \
+                host_values[plan.load_vertices]
+        loaded_bytes = static.loaded_rows * row_bytes
+        reused_bytes = static.reused_rows * row_bytes
+        self.bytes_moved["h2d"] += int(loaded_bytes.sum())
+        self.bytes_moved["ru"] += int(reused_bytes.sum())
+        h2d_seconds = self.platform.h2d_seconds(loaded_bytes)
+        reuse_seconds = self.platform.reuse_seconds(reused_bytes)
 
-        load_tasks: List[Task] = []
-        reuse_tasks: List[Task] = []
-        halo_load_tasks = self._submit_halo_phase(
-            timeline, clock, halo_bytes, deps=list(extra_deps),
+        load_ids = _NO_IDS
+        reuse_ids = _NO_IDS
+        halo_load_ids = self._submit_halo_batch(
+            timeline, clock, static.load_halo, row_bytes, deps=extra_ids,
             flow="halo_load", label=f"halo_load[b{batch}]",
         )
         if timeline is not None:
             conflicts = self._staging_conflicts(batch)
             halo_deps = None
-            if halo_load_tasks:
-                halo_deps = self._tasks_by_reader(
-                    halo_load_tasks, halo_gpus, len(plans)
+            if len(halo_load_ids):
+                halo_deps = self._ids_by_reader(
+                    static.load_halo, halo_load_ids, m
                 )
-            load_tasks = timeline.submit_phase(
-                "h2d", h2d_seconds, deps=list(extra_deps) + conflicts,
+            load_ids = timeline.submit_batch(
+                "h2d", h2d_seconds,
+                deps=np.concatenate([extra_ids, conflicts]),
                 deps_by_device=halo_deps, label=f"load[b{batch}]",
             )
+            previous_load = self._batch_tasks(batch - 1, "load")
+            previous_reuse = self._batch_tasks(batch - 1, "reuse")
             previous_sources = [
-                list(self._batch_tasks(batch - 1, "load")[i:i + 1])
-                + list(self._batch_tasks(batch - 1, "reuse")[i:i + 1])
-                for i in range(len(plans))
+                np.concatenate([previous_load[i:i + 1],
+                                previous_reuse[i:i + 1]])
+                for i in range(m)
             ]
             # Reuse copies write this batch's staging slots too, so they
             # carry the same buffer-drain conflicts as the loads.
-            reuse_tasks = timeline.submit_phase(
+            reuse_ids = timeline.submit_batch(
                 "gpu", reuse_seconds, deps=conflicts,
                 deps_by_device=previous_sources,
                 label=f"reuse[b{batch}]",
             )
         else:
-            clock.add_parallel_phase("h2d", h2d_seconds)
-            clock.add_parallel_phase("gpu", reuse_seconds)
+            clock.add_parallel_phase("h2d", h2d_seconds.tolist())
+            clock.add_parallel_phase("gpu", reuse_seconds.tolist())
 
         # Phase 2: assemble local inputs from (possibly remote) buffers.
         # Same-node remote reads ride NVLink (d2d); reads from a buffer
         # staged on another node are the halo exchange and ride a network
         # link instead.
         outputs: List[np.ndarray] = []
-        d2d_seconds = [0.0] * len(plans)
-        local_seconds = [0.0] * len(plans)
-        fetch_bytes: Dict[Tuple[int, int, int], int] = {}
-        fetch_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         for plan in plans:
             local = np.empty((len(plan.needed), self._dim),
                              dtype=host_values.dtype)
-            reader_node = self._node_of_gpu[plan.gpu]
             for segment in plan.fetch_segments:
                 local[segment.local_rows] = (
                     buffers[segment.source_gpu][segment.source_positions]
                 )
-                segment_bytes = segment.num_vertices * row_bytes
-                if segment.source_gpu == plan.gpu:
-                    local_seconds[plan.gpu] += self.platform.reuse_seconds(
-                        segment_bytes
-                    )
-                    self.bytes_moved["ru"] += segment_bytes
-                elif self._node_of_gpu[segment.source_gpu] != reader_node:
-                    key = self._link_key(
-                        self._node_of_gpu[segment.source_gpu],
-                        reader_node, plan.gpu,
-                    )
-                    fetch_bytes[key] = fetch_bytes.get(key, 0) \
-                        + segment_bytes
-                    fetch_gpus.setdefault(key, []).append(plan.gpu)
-                else:
-                    d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
-                        segment_bytes
-                    )
-                    self.bytes_moved["d2d"] += segment_bytes
             outputs.append(local)
+        d2d_seconds, local_seconds = self._segment_seconds(static, row_bytes)
+        self.bytes_moved["d2d"] += int(static.d2d_rows.sum()) * row_bytes
+        self.bytes_moved["ru"] += int(static.local_rows.sum()) * row_bytes
 
-        assemble_tasks: List[Task] = []
         if timeline is not None:
-            staged = load_tasks + reuse_tasks
-            remote_tasks = timeline.submit_phase(
+            staged = np.concatenate([load_ids, reuse_ids])
+            remote_ids = timeline.submit_batch(
                 "d2d", d2d_seconds, deps=staged, label=f"fetch[b{batch}]",
             )
-            halo_fetch_tasks = self._submit_halo_phase(
-                timeline, clock, fetch_bytes, deps=staged,
+            halo_fetch_ids = self._submit_halo_batch(
+                timeline, clock, static.fetch_halo, row_bytes, deps=staged,
                 flow="halo_fetch", label=f"halo_fetch[b{batch}]",
             )
-            net_by_reader = self._tasks_by_reader(
-                halo_fetch_tasks, fetch_gpus, len(plans)
+            net_by_reader = self._ids_by_reader(
+                static.fetch_halo, halo_fetch_ids, m
             )
             local_sources = [
-                [task for task in staged if task.device == i]
-                for i in range(len(plans))
+                np.concatenate([load_ids[i:i + 1], reuse_ids[i:i + 1]])
+                for i in range(m)
             ]
-            local_tasks = timeline.submit_phase(
+            local_ids = timeline.submit_batch(
                 "gpu", local_seconds, deps_by_device=local_sources,
                 label=f"gather[b{batch}]",
             )
-            assemble_tasks = (remote_tasks
-                              + list(halo_fetch_tasks.values())
-                              + local_tasks)
+            assemble_ids = np.concatenate(
+                [remote_ids, halo_fetch_ids, local_ids]
+            )
             self._last_inputs_by_gpu = [
-                [task for task in remote_tasks + local_tasks
-                 if task.device == i] + net_by_reader[i]
-                for i in range(len(plans))
+                np.concatenate([remote_ids[i:i + 1], local_ids[i:i + 1],
+                                net_by_reader[i]])
+                for i in range(m)
             ]
+            self._last_timeline = timeline
             while len(self._history) <= batch:
                 self._history.append({})
             self._history[batch] = {
-                "load": load_tasks, "reuse": reuse_tasks,
-                "assemble": assemble_tasks,
+                "load": load_ids, "reuse": reuse_ids,
+                "assemble": assemble_ids,
             }
             self.last_tasks = dict(self._history[batch])
         else:
-            self._submit_halo_phase(timeline, clock, fetch_bytes,
-                                    flow="halo_fetch")
-            clock.add_parallel_phase("d2d", d2d_seconds)
-            clock.add_parallel_phase("gpu", local_seconds)
+            self._submit_halo_batch(timeline, clock, static.fetch_halo,
+                                    row_bytes, flow="halo_fetch")
+            clock.add_parallel_phase("d2d", d2d_seconds.tolist())
+            clock.add_parallel_phase("gpu", local_seconds.tolist())
         return outputs
 
-    def batch_input_tasks(self, gpu: int) -> List[Task]:
-        """Tasks of the latest batch that produce GPU ``gpu``'s chunk input.
+    def batch_input_dep_ids(self) -> List[np.ndarray]:
+        """Per-GPU id arrays of the latest batch's input-producing tasks.
 
-        Includes the halo-exchange network tasks feeding the GPU, which a
-        plain device filter over the assemble phase could not find (their
-        device ids name network links, not GPUs).
+        Includes the halo-exchange network tasks feeding each GPU, which
+        a plain device filter over the assemble phase could not find
+        (their device ids name network links, not GPUs). Suitable as a
+        ``deps_by_device`` argument directly.
         """
         if self._last_inputs_by_gpu:
-            return list(self._last_inputs_by_gpu[gpu])
-        return [task for task in self.last_tasks.get("assemble", [])
-                if task.device == gpu]
+            return list(self._last_inputs_by_gpu)
+        assemble = self.last_tasks.get("assemble", _NO_IDS)
+        return [assemble for _ in range(self.plan.num_gpus)]
+
+    def batch_input_tasks(self, gpu: int) -> list:
+        """Materialized Tasks of :meth:`batch_input_dep_ids` (compat)."""
+        if self._last_timeline is None:
+            return []
+        scheduler = self._last_timeline.scheduler
+        return [scheduler.tasks[int(i)]
+                for i in self.batch_input_dep_ids()[gpu]]
 
     # ------------------------------------------------------------------
     # backward: Algorithm 3
@@ -507,20 +698,23 @@ class DedupCommunicator:
                                   neighbor_grads: List[np.ndarray],
                                   host_grads: np.ndarray,
                                   clock,
-                                  deps_by_device: Optional[Sequence] = None
-                                  ) -> None:
+                                  deps_by_device=None) -> None:
         """Push per-GPU neighbor gradients back toward the host ∇h buffer.
 
         ``neighbor_grads[i]`` is GPU i's (len(needed_i), dim) gradient of its
         chunk's input rows. Gradients accumulate in transition buffers across
         batches; rows not reused by the next batch are flushed to
-        ``host_grads`` (modified in place). ``deps_by_device[i]`` are the
-        tasks that produced GPU i's gradients (the backward kernels).
+        ``host_grads`` (modified in place). ``deps_by_device`` names the
+        tasks that produced each GPU's gradients (the backward kernels) —
+        an ``(m,)`` id array or per-GPU entries.
         """
         buffers = self._require_sweep()
         plans = self.plan.plans[batch]
+        m = len(plans)
         row_bytes = self._dim * self.bytes_per_scalar
         timeline = clock if isinstance(clock, EventTimeline) else None
+        static = self._batch_static(batch)
+        producer_ids = _per_device_ids(deps_by_device, m)
 
         # Zero the slots newly staged this batch (their gradient starts now).
         for plan in plans:
@@ -529,144 +723,112 @@ class DedupCommunicator:
         # Phase 1: scatter gradients into owners' buffers (atomicAdd_system).
         # Pushes into a buffer staged on another node cross the network
         # (the backward direction of the halo exchange).
-        d2d_seconds = [0.0] * len(plans)
-        local_seconds = [0.0] * len(plans)
-        push_bytes: Dict[Tuple[int, int, int], int] = {}
-        push_gpus: Dict[Tuple[int, int, int], List[int]] = {}
         for plan, grads in zip(plans, neighbor_grads):
             if grads.shape != (len(plan.needed), self._dim):
                 raise CommunicationPlanError(
                     f"gradient shape {grads.shape} does not match needed set "
                     f"({len(plan.needed)}, {self._dim})"
                 )
-            reader_node = self._node_of_gpu[plan.gpu]
             for segment in plan.fetch_segments:
                 np.add.at(
                     buffers[segment.source_gpu],
                     segment.source_positions,
                     grads[segment.local_rows],
                 )
-                segment_bytes = segment.num_vertices * row_bytes
-                if segment.source_gpu == plan.gpu:
-                    local_seconds[plan.gpu] += self.platform.reuse_seconds(
-                        segment_bytes
-                    )
-                    self.bytes_moved["ru"] += segment_bytes
-                elif self._node_of_gpu[segment.source_gpu] != reader_node:
-                    key = self._link_key(
-                        reader_node,
-                        self._node_of_gpu[segment.source_gpu], plan.gpu,
-                    )
-                    push_bytes[key] = push_bytes.get(key, 0) \
-                        + segment_bytes
-                    push_gpus.setdefault(key, []).append(plan.gpu)
-                else:
-                    d2d_seconds[plan.gpu] += self.platform.d2d_seconds(
-                        segment_bytes
-                    )
-                    self.bytes_moved["d2d"] += segment_bytes
+        d2d_seconds, local_seconds = self._segment_seconds(static, row_bytes)
+        self.bytes_moved["d2d"] += int(static.d2d_rows.sum()) * row_bytes
+        self.bytes_moved["ru"] += int(static.local_rows.sum()) * row_bytes
 
-        scatter_tasks: List[Task] = []
+        scatter_ids = _NO_IDS
         if timeline is not None:
             # Buffers must be drained by the previous batch's flush before
             # this batch's atomic adds land on the same slots.
             prior = self._batch_tasks(batch - 1, "flush")
-            scatter_tasks = timeline.submit_phase(
+            scatter_ids = timeline.submit_batch(
                 "d2d", d2d_seconds, deps=prior,
-                deps_by_device=deps_by_device, label=f"scatter[b{batch}]",
+                deps_by_device=producer_ids, label=f"scatter[b{batch}]",
             )
-            if push_bytes:
+            if static.push_halo:
                 # A halo push leaves once the kernels of every pushing GPU
                 # on the source node have produced their gradients.
-                producers_by_pair = {}
-                for pair, gpus in push_gpus.items():
-                    producers: List[Task] = list(prior)
-                    if deps_by_device is not None:
-                        for gpu in gpus:
-                            producers.extend(_as_tasks(deps_by_device[gpu]))
-                    producers_by_pair[pair] = producers
-                halo_push_tasks = self._submit_halo_phase(
-                    timeline, clock, push_bytes,
-                    deps_by_pair=producers_by_pair,
+                producers_by_key = None
+                if producer_ids is not None:
+                    producers_by_key = [
+                        np.concatenate([
+                            producer_ids[gpu] for gpu in gpus
+                            if producer_ids[gpu] is not None
+                        ] or [_NO_IDS])
+                        for gpus in static.push_halo.key_gpus
+                    ]
+                halo_push_ids = self._submit_halo_batch(
+                    timeline, clock, static.push_halo, row_bytes,
+                    deps=prior, producers_by_key=producers_by_key,
                     flow="halo_push", label=f"halo_push[b{batch}]",
                 )
-                scatter_tasks += list(halo_push_tasks.values())
-            scatter_tasks += timeline.submit_phase(
+                scatter_ids = np.concatenate([scatter_ids, halo_push_ids])
+            push_local_ids = timeline.submit_batch(
                 "gpu", local_seconds, deps=prior,
-                deps_by_device=deps_by_device, label=f"push[b{batch}]",
+                deps_by_device=producer_ids, label=f"push[b{batch}]",
             )
+            scatter_ids = np.concatenate([scatter_ids, push_local_ids])
         else:
-            self._submit_halo_phase(timeline, clock, push_bytes,
-                                    flow="halo_push")
-            clock.add_parallel_phase("d2d", d2d_seconds)
-            clock.add_parallel_phase("gpu", local_seconds)
+            self._submit_halo_batch(timeline, clock, static.push_halo,
+                                    row_bytes, flow="halo_push")
+            clock.add_parallel_phase("d2d", d2d_seconds.tolist())
+            clock.add_parallel_phase("gpu", local_seconds.tolist())
 
         # Phase 2: flush gradients not reused by the next batch. Gradients
         # of remotely-owned vertices must additionally cross the network to
         # reach the owner node's ∇h buffer (empty under dedup_inter, where
         # every staged vertex is owner-local).
-        d2h_seconds = []
-        cpu_seconds = []
-        flush_net_bytes: Dict[Tuple[int, int, int], int] = {}
-        flush_net_gpus: Dict[Tuple[int, int, int], List[int]] = {}
-        is_last = batch == self.plan.num_batches - 1
-        for plan in plans:
-            if is_last:
-                flush_mask = np.ones(len(plan.transition), dtype=bool)
-            else:
-                next_plan = self.plan.plans[batch + 1][plan.gpu]
-                kept = next_plan.transition[next_plan.reuse_mask]
-                flush_mask = ~np.isin(plan.transition, kept, assume_unique=True)
-            flush_vertices = plan.transition[flush_mask]
-            flush_positions = plan.positions[flush_mask]
-            np.add.at(host_grads, flush_vertices,
-                      buffers[plan.gpu][flush_positions])
-            flush_bytes = len(flush_vertices) * row_bytes
-            self.bytes_moved["d2h"] += flush_bytes
-            d2h_seconds.append(self.platform.h2d_seconds(flush_bytes))
-            cpu_seconds.append(self.platform.cpu_accumulate_seconds(flush_bytes))
-            self._halo_split(flush_vertices, plan.gpu, row_bytes,
-                             flush_net_bytes, flush_net_gpus,
-                             toward_owner=True)
+        for plan, vertices, positions in zip(
+                plans, static.flush_vertices, static.flush_positions):
+            np.add.at(host_grads, vertices, buffers[plan.gpu][positions])
+        flush_bytes = static.flush_rows * row_bytes
+        self.bytes_moved["d2h"] += int(flush_bytes.sum())
+        d2h_seconds = self.platform.h2d_seconds(flush_bytes)
+        cpu_seconds = self.platform.cpu_accumulate_seconds(flush_bytes)
 
         if timeline is not None:
-            flush_tasks = timeline.submit_phase(
-                "d2h", d2h_seconds, deps=scatter_tasks,
+            flush_ids = timeline.submit_batch(
+                "d2h", d2h_seconds, deps=scatter_ids,
                 label=f"flush[b{batch}]",
             )
             # Remote-owned gradients ship after leaving the GPU; the
             # accumulate below then also waits for their delivery, so the
             # host ∇h is complete when the batch's cpu tasks end.
-            halo_flush_tasks = self._submit_halo_phase(
-                timeline, clock, flush_net_bytes,
-                deps_by_pair={
-                    pair: [flush_tasks[gpu] for gpu in gpus]
-                    for pair, gpus in flush_net_gpus.items()
-                },
+            halo_flush_ids = self._submit_halo_batch(
+                timeline, clock, static.flush_halo, row_bytes,
+                producers_by_key=[
+                    flush_ids[gpus]
+                    for gpus in static.flush_halo.key_gpus
+                ],
                 flow="halo_flush", label=f"halo_flush[b{batch}]",
             )
-            net_by_gpu = self._tasks_by_reader(
-                halo_flush_tasks, flush_net_gpus, len(plans)
-            )
-            cpu_deps = flush_tasks
-            if halo_flush_tasks:
+            if len(halo_flush_ids):
+                net_by_gpu = self._ids_by_reader(
+                    static.flush_halo, halo_flush_ids, m
+                )
                 cpu_deps = [
-                    [flush_tasks[i]] + net_by_gpu[i]
-                    for i in range(len(plans))
+                    np.concatenate([flush_ids[i:i + 1], net_by_gpu[i]])
+                    for i in range(m)
                 ]
-            cpu_tasks = timeline.submit_phase(
+            else:
+                cpu_deps = [flush_ids[i:i + 1] for i in range(m)]
+            cpu_ids = timeline.submit_batch(
                 "cpu", cpu_seconds, deps_by_device=cpu_deps,
                 label=f"accumulate[b{batch}]",
             )
+            self._last_timeline = timeline
             while len(self._history) <= batch:
                 self._history.append({})
             self._history[batch] = {
-                "scatter": scatter_tasks, "flush": flush_tasks,
-                "cpu": cpu_tasks,
+                "scatter": scatter_ids, "flush": flush_ids,
+                "cpu": cpu_ids,
             }
             self.last_tasks = dict(self._history[batch])
         else:
-            self._submit_halo_phase(timeline, clock, flush_net_bytes,
-                                    flow="halo_flush")
-            clock.add_parallel_phase("d2h", d2h_seconds)
-            clock.add_parallel_phase("cpu", cpu_seconds)
+            self._submit_halo_batch(timeline, clock, static.flush_halo,
+                                    row_bytes, flow="halo_flush")
+            clock.add_parallel_phase("d2h", d2h_seconds.tolist())
+            clock.add_parallel_phase("cpu", cpu_seconds.tolist())

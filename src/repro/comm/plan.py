@@ -153,9 +153,7 @@ def build_comm_plan(partition: TwoLevelPartition,
         needed_sets = [partition.chunks[i][j].neighbor_global for i in range(m)]
 
         if dedup_inter:
-            union = needed_sets[0]
-            for extra in needed_sets[1:]:
-                union = np.union1d(union, extra)
+            union = np.unique(np.concatenate(needed_sets))
             owners = assignment[union]
             transitions = [union[owners == i] for i in range(m)]
         else:
@@ -184,11 +182,11 @@ def build_comm_plan(partition: TwoLevelPartition,
             previous_transition[i] = transition
 
         # Fetch segments: for each reader GPU, split its needed set by the
-        # owner GPU staging each vertex this batch.
-        transition_lookup = [
-            dict(zip(plan.transition.tolist(), plan.positions.tolist()))
-            for plan in batch_plans
-        ]
+        # owner GPU staging each vertex this batch. Rather than probing
+        # all m candidate owners per reader (quadratic in m), group the
+        # needed set by owner with one stable sort; transition sets are
+        # sorted, so per-segment buffer positions resolve by binary
+        # search instead of dict lookups.
         for i in range(m):
             plan = batch_plans[i]
             needed = plan.needed
@@ -199,27 +197,32 @@ def build_comm_plan(partition: TwoLevelPartition,
             else:
                 owner_of_needed = np.full(len(needed), i, dtype=np.int64)
             # Interleaved order (Algorithm 2 line 6): start from i, wrap.
-            for step in range(m):
-                k = (i + step) % m
-                mask = owner_of_needed == k
-                if not mask.any():
-                    continue
-                vertices = needed[mask]
-                lookup = transition_lookup[k]
-                try:
-                    source_positions = np.fromiter(
-                        (lookup[v] for v in vertices.tolist()),
-                        dtype=np.int64, count=len(vertices),
-                    )
-                except KeyError as exc:
+            step_of = (owner_of_needed - i) % m
+            order = np.argsort(step_of, kind="stable")
+            sorted_steps = step_of[order]
+            boundaries = np.flatnonzero(np.diff(sorted_steps)) + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [len(order)]])
+            for start, end in zip(starts.tolist(), ends.tolist()):
+                rows = order[start:end]
+                k = int((sorted_steps[start] + i) % m)
+                vertices = needed[rows]
+                staged = batch_plans[k].transition
+                idx = np.searchsorted(staged, vertices)
+                found = idx < len(staged)
+                if len(staged):
+                    found &= staged[np.minimum(idx, len(staged) - 1)] \
+                        == vertices
+                if not found.all():
+                    missing = int(vertices[~found][0])
                     raise CommunicationPlanError(
-                        f"vertex {exc} needed by GPU {i} is not staged on "
-                        f"GPU {k} in batch {j}"
-                    ) from exc
+                        f"vertex {missing} needed by GPU {i} is not staged "
+                        f"on GPU {k} in batch {j}"
+                    )
                 plan.fetch_segments.append(FetchSegment(
                     source_gpu=k,
-                    source_positions=source_positions,
-                    local_rows=np.flatnonzero(mask).astype(np.int64),
+                    source_positions=batch_plans[k].positions[idx],
+                    local_rows=rows,
                 ))
         plans.append(batch_plans)
 

@@ -479,8 +479,7 @@ class HongTuTrainer:
                 inputs = self._comm_values.load_batch_forward(
                     j, self._h[l], timeline
                 )
-                input_deps = [self._comm_values.batch_input_tasks(i)
-                              for i in range(self.plan.num_gpus)]
+                input_deps = self._comm_values.batch_input_dep_ids()
                 compute_seconds = []
                 d2h_seconds = []
                 for i in range(self.plan.num_gpus):
@@ -516,12 +515,12 @@ class HongTuTrainer:
                         compute_seconds.append(
                             self.platform.gpu_compute_seconds(flops)
                         )
-                compute_tasks = timeline.submit_phase(
+                compute_ids = timeline.submit_batch(
                     "gpu", compute_seconds, deps_by_device=input_deps,
                     label=f"compute[l{l}b{j}]",
                 )
-                timeline.submit_phase(
-                    "d2h", d2h_seconds, deps_by_device=compute_tasks,
+                timeline.submit_batch(
+                    "d2h", d2h_seconds, deps_by_device=compute_ids,
                     label=f"writeback[l{l}b{j}]",
                 )
             self._comm_values.end_sweep()
@@ -620,16 +619,16 @@ class HongTuTrainer:
                                              block.num_edges))
             compute_seconds.append(self.platform.gpu_compute_seconds(flops))
 
-        load_tasks = timeline.submit_phase(
+        load_ids = timeline.submit_batch(
             "h2d", h2d_seconds, label=f"grad_load[l{l}b{j}]",
         )
-        compute_tasks = timeline.submit_phase(
-            "gpu", compute_seconds, deps_by_device=load_tasks,
+        compute_ids = timeline.submit_batch(
+            "gpu", compute_seconds, deps_by_device=load_ids,
             label=f"grad_compute[l{l}b{j}]",
         )
         self._comm_grads.accumulate_batch_backward(
             j, neighbor_grads, self._grad_h[l], timeline,
-            deps_by_device=compute_tasks,
+            deps_by_device=compute_ids,
         )
 
     def _backward_batch_recompute(self, l: int, j: int,
@@ -638,8 +637,7 @@ class HongTuTrainer:
         layer = self.model.layers[l]
         bps = self.config.bytes_per_scalar
         inputs = self._comm_values.load_batch_forward(j, self._h[l], timeline)
-        input_deps = [self._comm_values.batch_input_tasks(i)
-                      for i in range(self.plan.num_gpus)]
+        input_deps = self._comm_values.batch_input_dep_ids()
         neighbor_grads: List[np.ndarray] = []
         h2d_seconds, compute_seconds = [], []
 
@@ -672,20 +670,20 @@ class HongTuTrainer:
             )
             compute_seconds.append(self.platform.gpu_compute_seconds(flops))
 
-        load_tasks = timeline.submit_phase(
+        load_ids = timeline.submit_batch(
             "h2d", h2d_seconds, label=f"grad_load[l{l}b{j}]",
         )
         compute_deps = [
-            list(input_deps[i]) + [load_tasks[i]]
+            np.concatenate([input_deps[i], load_ids[i:i + 1]])
             for i in range(self.plan.num_gpus)
         ]
-        compute_tasks = timeline.submit_phase(
+        compute_ids = timeline.submit_batch(
             "gpu", compute_seconds, deps_by_device=compute_deps,
             label=f"grad_compute[l{l}b{j}]",
         )
         self._comm_grads.accumulate_batch_backward(
             j, neighbor_grads, self._grad_h[l], timeline,
-            deps_by_device=compute_tasks,
+            deps_by_device=compute_ids,
         )
 
     # ------------------------------------------------------------------
@@ -718,13 +716,15 @@ class HongTuTrainer:
                     volume = 2 * param_bytes * (len(members) - 1) \
                         / len(members)
                     intra_legs.append((members[0], volume))
-            intra_tasks = []
+            intra_ids = np.empty(0, dtype=np.int64)
             if intra_legs:
-                intra_tasks = timeline.submit_phase(
+                intra_ids = timeline.submit_batch(
                     "d2d",
-                    [self.platform.d2d_seconds(volume)
-                     for _, volume in intra_legs],
-                    devices=[device for device, _ in intra_legs],
+                    self.platform.d2d_seconds(
+                        np.array([volume for _, volume in intra_legs])
+                    ),
+                    devices=np.array([device for device, _ in intra_legs],
+                                     dtype=np.int64),
                     label="all_reduce_intra",
                 )
             cost = ClusterCostModel.from_cluster(self.platform.cluster)
@@ -736,12 +736,15 @@ class HongTuTrainer:
             # the collective's per-pair leg rides rail 0; spine pricing
             # already folds the core contention into ``seconds``).
             num_rails = self.platform.num_rails
-            timeline.submit_phase(
-                "net", [seconds] * nodes,
-                devices=[net_link(node, (node + 1) % nodes, nodes,
-                                  0, num_rails)
-                         for node in range(nodes)],
-                deps=intra_tasks,
+            timeline.submit_batch(
+                "net", np.full(nodes, seconds),
+                devices=np.array(
+                    [net_link(node, (node + 1) % nodes, nodes,
+                              0, num_rails)
+                     for node in range(nodes)],
+                    dtype=np.int64,
+                ),
+                deps=intra_ids,
                 label=f"all_reduce_{self.config.allreduce}",
             )
             # Total wire volume of an all-reduce (ring and tree alike):

@@ -35,7 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.runtime.scheduler import EventScheduler
+import numpy as np
+
+from repro.runtime.scheduler import EventScheduler, task_ids
 from repro.runtime.task import HOST_DEVICE, Task
 
 __all__ = ["TimeBreakdown", "EventTimeline", "CATEGORIES"]
@@ -167,6 +169,55 @@ class EventTimeline:
             self.scheduler.barrier()
         return tasks
 
+    def submit_batch(self, category: str,
+                     per_device_seconds: Sequence[float], *,
+                     channel: Optional[str] = None,
+                     devices: Optional[Sequence[int]] = None,
+                     deps=None,
+                     deps_by_device: Optional[Sequence] = None,
+                     shared_by_device: Optional[Sequence] = None,
+                     label: str = "") -> np.ndarray:
+        """Vectorized :meth:`submit_phase`: one wave, returns task ids.
+
+        Semantics match ``submit_phase`` exactly (same dep ordering, same
+        breakdown charge, same barrier behavior) but the whole wave is
+        scheduled in one array step and dependencies are task-id arrays,
+        so no ``Task`` objects are materialized on the hot path. ``deps``
+        and each ``deps_by_device[k]`` entry may be id arrays, Tasks, or
+        iterables of either (``None`` entries are fine).
+        """
+        seconds = np.asarray(per_device_seconds, dtype=np.float64)
+        if seconds.size == 0:
+            return np.empty(0, dtype=np.int64)
+        channel = channel or category
+        if devices is None:
+            devices = np.arange(len(seconds), dtype=np.int64)
+        group = self._group
+        self._group += 1
+        common = deps if isinstance(deps, np.ndarray) else task_ids(deps)
+        extras = None
+        if deps_by_device is not None:
+            if isinstance(deps_by_device, np.ndarray):
+                # An (m,) id array: one producer per device (e.g. the
+                # compute wave gating the writeback wave).
+                extras = [deps_by_device[i:i + 1]
+                          for i in range(len(seconds))]
+            else:
+                extras = [
+                    entry if entry is None or isinstance(entry, np.ndarray)
+                    else task_ids(entry)
+                    for entry in deps_by_device
+                ]
+        ids = self.scheduler.submit_batch(
+            channel, devices, seconds, common_deps=common,
+            extra_deps=extras, category=category, group=group,
+            label=label, shared_by_task=shared_by_device,
+        )
+        self.breakdown.add(category, float(seconds.max()))
+        if self.barrier_all:
+            self.scheduler.barrier()
+        return ids
+
     def add_parallel_phase(self, category: str,
                            per_device_seconds: Iterable[float]) -> None:
         """Legacy phase API (device index == position, channel == category)."""
@@ -221,7 +272,7 @@ class EventTimeline:
 
     def __repr__(self) -> str:
         return (
-            f"EventTimeline(tasks={len(self.scheduler.tasks)}, "
+            f"EventTimeline(tasks={self.scheduler.num_tasks}, "
             f"makespan={self.makespan:.4f}s, "
             f"serialized={self.breakdown.total:.4f}s)"
         )

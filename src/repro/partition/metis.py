@@ -259,19 +259,26 @@ def _refine(level: _Level, assignment: np.ndarray, num_parts: int,
             lo, hi = indptr[vertex], indptr[vertex + 1]
             neighbor_parts = assignment[indices[lo:hi]]
             edge_weights = weights[lo:hi]
-            # Connectivity to each adjacent part.
-            internal = edge_weights[neighbor_parts == own].sum()
-            best_gain, best_part = 0.0, own
-            for part in np.unique(neighbor_parts):
-                if part == own:
-                    continue
-                vertex_weight = level.vertex_weight[vertex]
-                if part_weight[part] + vertex_weight > limit:
-                    continue
-                external = edge_weights[neighbor_parts == part].sum()
-                gain = external - internal
-                if gain > best_gain:
-                    best_gain, best_part = gain, part
+            # Connectivity to each adjacent part in one weighted
+            # bincount (bin sums accumulate in index order — the same
+            # float additions as the per-part masked sums they replace).
+            connectivity = np.bincount(neighbor_parts,
+                                       weights=edge_weights)
+            internal = connectivity[own] if own < len(connectivity) else 0.0
+            vertex_weight = level.vertex_weight[vertex]
+            candidates = np.flatnonzero(connectivity)
+            candidates = candidates[
+                (candidates != own)
+                & (part_weight[candidates] + vertex_weight <= limit)
+            ]
+            best_part = own
+            if len(candidates):
+                external = connectivity[candidates]
+                # First argmax = lowest part id on ties, matching the
+                # ascending strict-greater scan this replaces.
+                winner = int(np.argmax(external))
+                if external[winner] - internal > 0.0:
+                    best_part = int(candidates[winner])
             if best_part != own:
                 part_weight[own] -= level.vertex_weight[vertex]
                 part_weight[best_part] += level.vertex_weight[vertex]

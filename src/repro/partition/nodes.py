@@ -143,20 +143,15 @@ def halo_volumes(partition: TwoLevelPartition, num_nodes: int,
                                placement, max_imbalance=None)
     assignment = partition.assignment
     m = partition.num_partitions
-    volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    owner_chunks = []
+    reader_nodes = []
     for j in range(partition.num_chunks):
         for i in range(m):
             needed = partition.chunks[i][j].neighbor_global
-            if len(needed) == 0:
-                continue
-            reader_node = node_map[i]
-            owner_nodes = node_map[assignment[needed]]
-            remote = owner_nodes != reader_node
-            if remote.any():
-                counts = np.bincount(owner_nodes[remote],
-                                     minlength=num_nodes)
-                volumes[:, reader_node] += counts
-    return volumes
+            if len(needed):
+                owner_chunks.append(node_map[assignment[needed]])
+                reader_nodes.append(int(node_map[i]))
+    return _node_pair_counts(owner_chunks, reader_nodes, num_nodes)
 
 
 def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
@@ -190,9 +185,9 @@ def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
     node_map = partition_nodes(partition.num_partitions, num_nodes,
                                placement, max_imbalance=None)
     assignment = partition.assignment
-    volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    owner_chunks = []
+    reader_nodes = []
     for i in range(partition.num_partitions):
-        reader_node = node_map[i]
         previous = np.empty(0, dtype=np.int64)
         for j in range(partition.num_chunks):
             needed = partition.chunks[i][j].neighbor_global
@@ -200,11 +195,31 @@ def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
                 loaded = needed[~np.isin(needed, previous,
                                          assume_unique=True)]
                 if len(loaded):
-                    owner_nodes = node_map[assignment[loaded]]
-                    remote = owner_nodes != reader_node
-                    if remote.any():
-                        counts = np.bincount(owner_nodes[remote],
-                                             minlength=num_nodes)
-                        volumes[:, reader_node] += counts
+                    owner_chunks.append(node_map[assignment[loaded]])
+                    reader_nodes.append(int(node_map[i]))
             previous = needed
+    return _node_pair_counts(owner_chunks, reader_nodes, num_nodes)
+
+
+def _node_pair_counts(owner_chunks, reader_nodes, num_nodes: int
+                      ) -> np.ndarray:
+    """(owner_node, reader_node) counts via one flat bincount.
+
+    ``owner_chunks[c]`` holds the owner node of every row of contribution
+    c, all read by node ``reader_nodes[c]``. Counting the full pair grid
+    and zeroing the diagonal equals the old remote-only accumulation —
+    local rows only ever land on the diagonal.
+    """
+    volumes = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    if not owner_chunks:
+        return volumes
+    owners = np.concatenate(owner_chunks)
+    readers = np.repeat(
+        np.array(reader_nodes, dtype=np.int64),
+        np.array([len(chunk) for chunk in owner_chunks], dtype=np.int64),
+    )
+    volumes = np.bincount(
+        owners * num_nodes + readers, minlength=num_nodes * num_nodes,
+    ).reshape(num_nodes, num_nodes).astype(np.int64)
+    np.fill_diagonal(volumes, 0)
     return volumes

@@ -108,16 +108,15 @@ def partition_halo_matrix(partition: TwoLevelPartition) -> np.ndarray:
     """
     m = partition.num_partitions
     assignment = partition.assignment
-    matrix = np.zeros((m, m), dtype=np.int64)
+    owner_chunks: List[np.ndarray] = []
+    reader_lengths = np.zeros(m, dtype=np.int64)
     for i in range(m):
         for j in range(partition.num_chunks):
             needed = partition.chunks[i][j].neighbor_global
-            if len(needed) == 0:
-                continue
-            counts = np.bincount(assignment[needed], minlength=m)
-            matrix[:, i] += counts
-    np.fill_diagonal(matrix, 0)
-    return matrix
+            if len(needed):
+                owner_chunks.append(assignment[needed])
+                reader_lengths[i] += len(needed)
+    return _pair_counts(owner_chunks, reader_lengths, m)
 
 
 def partition_load_matrix(partition: TwoLevelPartition) -> np.ndarray:
@@ -133,7 +132,8 @@ def partition_load_matrix(partition: TwoLevelPartition) -> np.ndarray:
     """
     m = partition.num_partitions
     assignment = partition.assignment
-    matrix = np.zeros((m, m), dtype=np.int64)
+    owner_chunks: List[np.ndarray] = []
+    reader_lengths = np.zeros(m, dtype=np.int64)
     for i in range(m):
         previous = np.empty(0, dtype=np.int64)
         for j in range(partition.num_chunks):
@@ -142,9 +142,28 @@ def partition_load_matrix(partition: TwoLevelPartition) -> np.ndarray:
                 loaded = needed[~np.isin(needed, previous,
                                          assume_unique=True)]
                 if len(loaded):
-                    counts = np.bincount(assignment[loaded], minlength=m)
-                    matrix[:, i] += counts
+                    owner_chunks.append(assignment[loaded])
+                    reader_lengths[i] += len(loaded)
             previous = needed
+    return _pair_counts(owner_chunks, reader_lengths, m)
+
+
+def _pair_counts(owner_chunks: List[np.ndarray],
+                 reader_lengths: np.ndarray, m: int) -> np.ndarray:
+    """(owner, reader) row counts via one flat bincount, zero diagonal.
+
+    ``owner_chunks`` hold the owner partition of every counted row in
+    reader order (all of reader 0's rows first, then reader 1's, ...);
+    ``reader_lengths[i]`` is reader i's total. One bincount over the
+    flattened pair index replaces the per-(reader, chunk) bincounts —
+    the O(m²)-allocations term of the old loop.
+    """
+    if not owner_chunks:
+        return np.zeros((m, m), dtype=np.int64)
+    owners = np.concatenate(owner_chunks)
+    readers = np.repeat(np.arange(m, dtype=np.int64), reader_lengths)
+    matrix = np.bincount(owners * m + readers,
+                         minlength=m * m).reshape(m, m).astype(np.int64)
     np.fill_diagonal(matrix, 0)
     return matrix
 
@@ -227,14 +246,17 @@ def _node_exchange(weights_sym: np.ndarray,
 
 
 def _swap_gains(weights_sym: np.ndarray, placement: np.ndarray,
-                num_nodes: int) -> np.ndarray:
+                num_nodes: int,
+                exchange: Optional[np.ndarray] = None) -> np.ndarray:
     """Cut reduction of swapping each partition pair's nodes.
 
     ``G[a, b] = [E_a(B) − E_a(A)] + [E_b(A) − E_b(B)] − 2·S[a, b]`` for
     a on node A, b on node B; pairs on the same node get a sentinel so
-    they are never selected.
+    they are never selected. The search loops pass an incrementally
+    maintained ``exchange`` so the m×N matmul is not redone per step.
     """
-    exchange = _node_exchange(weights_sym, placement, num_nodes)
+    if exchange is None:
+        exchange = _node_exchange(weights_sym, placement, num_nodes)
     internal = exchange[np.arange(len(placement)), placement]
     toward = exchange[:, placement]  # toward[a, b] = E_a(node of b)
     gains = (toward + toward.T - internal[:, None] - internal[None, :]
@@ -244,14 +266,16 @@ def _swap_gains(weights_sym: np.ndarray, placement: np.ndarray,
 
 
 def _move_gains(weights_sym: np.ndarray, placement: np.ndarray,
-                num_nodes: int) -> np.ndarray:
+                num_nodes: int,
+                exchange: Optional[np.ndarray] = None) -> np.ndarray:
     """Cut reduction of moving each partition to each other node.
 
     ``G[p, X] = E_p(X) − E_p(home(p))`` — the rows p exchanges with its
     destination become intra-node while the rows toward its old home
     start crossing the network. The home column gets a sentinel.
     """
-    exchange = _node_exchange(weights_sym, placement, num_nodes)
+    if exchange is None:
+        exchange = _node_exchange(weights_sym, placement, num_nodes)
     internal = exchange[np.arange(len(placement)), placement]
     gains = exchange - internal[:, None]
     gains[np.arange(len(placement)), placement] = _SENTINEL
@@ -483,26 +507,45 @@ def _greedy_improve(weights_sym: np.ndarray, placement: np.ndarray,
     """
     swaps = 0
     moves = 0
+    exchange = _node_exchange(weights_sym, placement, num_nodes)
     while True:
         a, b, swap_gain = _best_swap(
-            _swap_gains(weights_sym, placement, num_nodes),
+            _swap_gains(weights_sym, placement, num_nodes, exchange),
             allowed=admission.swap_mask(placement),
         )
         move_gain = _SENTINEL
         if allow_moves:
             p, node, move_gain = _best_swap(
-                _move_gains(weights_sym, placement, num_nodes),
+                _move_gains(weights_sym, placement, num_nodes, exchange),
                 allowed=admission.move_mask(placement),
             )
         if swap_gain <= 0 and move_gain <= 0:
             break
         if swap_gain >= move_gain:
+            _exchange_swap(exchange, weights_sym, placement, a, b)
             admission.apply_swap(placement, a, b)
             swaps += 1
         else:
+            _exchange_move(exchange, weights_sym, placement, p, node)
             admission.apply_move(placement, p, node)
             moves += 1
     return swaps, moves
+
+
+def _exchange_swap(exchange: np.ndarray, weights_sym: np.ndarray,
+                   placement: np.ndarray, a: int, b: int) -> None:
+    """Update E in place for the pending swap of a and b (exact ints)."""
+    node_a, node_b = placement[a], placement[b]
+    delta = weights_sym[:, b] - weights_sym[:, a]
+    exchange[:, node_a] += delta
+    exchange[:, node_b] -= delta
+
+
+def _exchange_move(exchange: np.ndarray, weights_sym: np.ndarray,
+                   placement: np.ndarray, p: int, node: int) -> None:
+    """Update E in place for the pending move of p to ``node``."""
+    exchange[:, placement[p]] -= weights_sym[:, p]
+    exchange[:, node] += weights_sym[:, p]
 
 
 def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
@@ -525,15 +568,17 @@ def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
     best_gain = 0
     best_prefix = 0
     trail: List[Tuple[int, int]] = []
+    exchange = _node_exchange(weights_sym, working, num_nodes)
     while True:
         if len(np.unique(working[free])) < 2:
             break  # no two free partitions left on distinct nodes
         a, b, gain = _best_swap(
-            _swap_gains(weights_sym, working, num_nodes), free,
+            _swap_gains(weights_sym, working, num_nodes, exchange), free,
             allowed=tracker.swap_mask(working),
         )
         if gain == _SENTINEL:
             break
+        _exchange_swap(exchange, weights_sym, working, a, b)
         tracker.apply_swap(working, a, b)
         free[a] = free[b] = False
         trail.append((a, b))

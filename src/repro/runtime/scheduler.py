@@ -1,8 +1,7 @@
 """Discrete-event scheduler over per-device channels.
 
-The scheduler assigns start/end times (simulated seconds) to
-:class:`~repro.runtime.task.Task` objects as they are submitted. A task
-starts at the latest of
+The scheduler assigns start/end times (simulated seconds) to submitted
+units of work. A task starts at the latest of
 
 * the end of the previous task on its ``(device, channel)`` resource
   (hardware queues execute in order),
@@ -27,16 +26,66 @@ epoch time off the critical path. Cluster scale-out adds ``net``-channel
 tasks on per-link resources (:func:`~repro.runtime.task.net_link`) to the
 same DAG, so halo traffic competes/overlaps with PCIe and kernels under
 exactly the same rules.
+
+Storage is structure-of-arrays: start/end/seconds/device/channel live in
+growable numpy arrays, resource frontiers in dense per-channel arrays
+(split at the device-id sign boundary so GPU/host devices and encoded
+network links index without hashing), and dependency lists in a factored
+form — one shared *common* array per submitted phase plus flattened
+per-task extras — so a phase whose every task waits on the same producers
+stores those ids once, not once per task. :class:`~repro.runtime.task.Task`
+objects are materialized lazily (``tasks``, ``critical_path()``,
+reporting); the hot submission paths never build one.
+
+Two submission paths share the same per-task semantics:
+
+* :meth:`EventScheduler.submit` — the scalar reference path, one task per
+  call, unchanged contract (returns the ``Task``).
+* :meth:`EventScheduler.submit_batch` — a whole parallel wave in one
+  vectorized step. Falls back to the scalar core per task when the wave is
+  order-dependent: duplicate ``(device, channel)`` resources inside the
+  wave, or shared-resource holds (spine contention serializes through a
+  stateful frontier). The two paths are bit-identical — tested on
+  randomized DAGs in ``tests/test_runtime.py``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import SchedulerError
-from repro.runtime.task import CHANNELS, Task
+import numpy as np
 
-__all__ = ["EventScheduler"]
+from repro.errors import SchedulerError
+from repro.runtime.task import CHANNELS, NET_DEVICE_BASE, Task
+
+__all__ = ["EventScheduler", "task_ids"]
+
+_CHANNEL_INDEX = {channel: index for index, channel in enumerate(CHANNELS)}
+
+_NEG_INF = float("-inf")
+
+
+def task_ids(entries) -> np.ndarray:
+    """Normalize None | ndarray | iterable of (Task | int) to an id array."""
+    if entries is None:
+        return np.empty(0, dtype=np.int64)
+    if isinstance(entries, np.ndarray):
+        return entries.astype(np.int64, copy=False)
+    if isinstance(entries, Task):
+        return np.array([entries.task_id], dtype=np.int64)
+    return np.array(
+        [e.task_id if isinstance(e, Task) else int(e) for e in entries],
+        dtype=np.int64,
+    )
+
+
+def _grown(array: np.ndarray, need: int, fill=0) -> np.ndarray:
+    """``array`` if it already has ``need`` slots, else a doubled copy."""
+    if need <= len(array):
+        return array
+    out = np.full(max(need, 2 * len(array), 8), fill, dtype=array.dtype)
+    out[: len(array)] = array
+    return out
 
 
 class EventScheduler:
@@ -49,21 +98,191 @@ class EventScheduler:
     ``(device, channel)`` queue a task may occupy extra *shared resources*
     (e.g. an oversubscribed spine core) for part of its duration — the
     topology-contention substrate.
+
+    ``vectorized`` (class default True) selects the array path of
+    :meth:`submit_batch`; tests flip it to force the scalar core and
+    assert bit identity.
     """
 
+    vectorized = True
+
     def __init__(self) -> None:
-        self.tasks: List[Task] = []
-        self._free: Dict[Hashable, float] = {}
+        self._n = 0
+        cap = 64
+        self._start = np.zeros(cap)
+        self._end = np.zeros(cap)
+        self._seconds = np.zeros(cap)
+        self._device = np.zeros(cap, dtype=np.int64)
+        self._channel_idx = np.zeros(cap, dtype=np.int64)
+        self._blocked = np.full(cap, -1, dtype=np.int64)
+        self._phase_of = np.zeros(cap, dtype=np.int64)
+        # One record per submit/submit_batch call:
+        # (category, group, label, common dep-id array or None).
+        self._phases: List[tuple] = []
+        # Per-task extra deps, flattened (offsets are len n+1).
+        self._extra_flat = np.zeros(cap, dtype=np.int64)
+        self._extra_off = np.zeros(cap + 1, dtype=np.int64)
+        self._extra_len = 0
+        # Resource frontiers: per channel, dense arrays split at the
+        # device-id sign boundary. Devices >= HOST_DEVICE index at
+        # device+1; network links (<= NET_DEVICE_BASE) at BASE-device.
+        self._free_pos = [np.zeros(0) for _ in CHANNELS]
+        self._free_neg = [np.zeros(0) for _ in CHANNELS]
+        self._last_pos = [np.full(0, -1, dtype=np.int64) for _ in CHANNELS]
+        self._last_neg = [np.full(0, -1, dtype=np.int64) for _ in CHANNELS]
+        # Busy-seconds accumulators, maintained at submit time so the
+        # busy queries are O(1) reads instead of full-list scans.
+        self._busy_pos = [np.zeros(0) for _ in CHANNELS]
+        self._busy_neg = [np.zeros(0) for _ in CHANNELS]
+        self._busy_channel = np.zeros(len(CHANNELS))
+        # Shared resources (spine core) stay dict-keyed: few keys, and
+        # their frontier updates are inherently order-dependent.
+        self._free_shared: Dict[Hashable, float] = {}
+        self._last_shared: Dict[Hashable, int] = {}
         self._barrier_time = 0.0
-        self._by_id: Dict[int, Task] = {}
         self._max_end = 0.0  # running makespan; keeps barrier() O(1)
-        # Last task scheduled on each resource, so resource-contention
-        # blockers are attributable (critical_path crosses them).
-        self._last_on: Dict[Hashable, int] = {}
+        self._max_id = -1    # argmax-end task id (first max wins)
+        self._task_cache: Dict[int, Task] = {}
+        self._tasks_view: List[Task] = []
+
+    # ------------------------------------------------------------------
+    # lazy Task materialization
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Tasks submitted so far (no materialization)."""
+        return self._n
+
+    @property
+    def tasks(self) -> List[Task]:
+        """All submitted tasks, materialized lazily and cached."""
+        view = self._tasks_view
+        while len(view) < self._n:
+            view.append(self._task(len(view)))
+        return view
+
+    def _task(self, task_id: int) -> Task:
+        cached = self._task_cache.get(task_id)
+        if cached is not None:
+            return cached
+        category, group, label, common = self._phases[
+            int(self._phase_of[task_id])
+        ]
+        deps: Tuple[int, ...] = ()
+        if common is not None and len(common):
+            deps = tuple(common.tolist())
+        lo, hi = self._extra_off[task_id], self._extra_off[task_id + 1]
+        if hi > lo:
+            deps = deps + tuple(self._extra_flat[lo:hi].tolist())
+        blocked = int(self._blocked[task_id])
+        channel = CHANNELS[int(self._channel_idx[task_id])]
+        task = Task(
+            task_id=task_id,
+            channel=channel,
+            device=int(self._device[task_id]),
+            seconds=float(self._seconds[task_id]),
+            start=float(self._start[task_id]),
+            end=float(self._end[task_id]),
+            category=category or channel,
+            group=group,
+            label=label,
+            deps=deps,
+            blocked_by=None if blocked < 0 else blocked,
+        )
+        self._task_cache[task_id] = task
+        return task
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
+    def _reserve(self, need: int) -> None:
+        self._start = _grown(self._start, need, 0.0)
+        self._end = _grown(self._end, need, 0.0)
+        self._seconds = _grown(self._seconds, need, 0.0)
+        self._device = _grown(self._device, need)
+        self._channel_idx = _grown(self._channel_idx, need)
+        self._blocked = _grown(self._blocked, need, -1)
+        self._phase_of = _grown(self._phase_of, need)
+        self._extra_off = _grown(self._extra_off, need + 1)
+
+    def _frontier_slot(self, ch: int, device: int
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """(free, last, busy) arrays + index for one resource, grown."""
+        if device >= -1:
+            index = device + 1
+            self._free_pos[ch] = _grown(self._free_pos[ch], index + 1, 0.0)
+            self._last_pos[ch] = _grown(self._last_pos[ch], index + 1, -1)
+            self._busy_pos[ch] = _grown(self._busy_pos[ch], index + 1, 0.0)
+            return (self._free_pos[ch], self._last_pos[ch],
+                    self._busy_pos[ch], index)
+        index = NET_DEVICE_BASE - device
+        self._free_neg[ch] = _grown(self._free_neg[ch], index + 1, 0.0)
+        self._last_neg[ch] = _grown(self._last_neg[ch], index + 1, -1)
+        self._busy_neg[ch] = _grown(self._busy_neg[ch], index + 1, 0.0)
+        return (self._free_neg[ch], self._last_neg[ch],
+                self._busy_neg[ch], index)
+
+    def _submit_one(self, ch: int, device: int, seconds: float,
+                    common: Optional[np.ndarray],
+                    extras: Optional[np.ndarray],
+                    shared: Sequence[Tuple[Hashable, float]],
+                    phase: int) -> int:
+        """Scalar core: schedule one task against the array state."""
+        free_arr, last_arr, busy_arr, index = self._frontier_slot(ch, device)
+        start = self._barrier_time
+        blocked = -1
+        resource_free = free_arr[index]
+        if resource_free > start:
+            start = resource_free
+            blocked = last_arr[index]
+        for key, _hold in shared:
+            shared_free = self._free_shared.get(key, 0.0)
+            if shared_free > start:
+                start = shared_free
+                blocked = self._last_shared.get(key, -1)
+        for dep_list in (common, extras):
+            if dep_list is None:
+                continue
+            for dep in dep_list:
+                dep_end = self._end[dep]
+                if dep_end > start:
+                    start = dep_end
+                    blocked = dep
+        task_id = self._n
+        self._reserve(task_id + 1)
+        end = start + seconds
+        self._start[task_id] = start
+        self._end[task_id] = end
+        self._seconds[task_id] = seconds
+        self._device[task_id] = device
+        self._channel_idx[task_id] = ch
+        self._blocked[task_id] = blocked
+        self._phase_of[task_id] = phase
+        extra_len = 0 if extras is None else len(extras)
+        if extra_len:
+            self._extra_flat = _grown(self._extra_flat,
+                                      self._extra_len + extra_len)
+            self._extra_flat[self._extra_len:self._extra_len + extra_len] = \
+                extras
+            self._extra_len += extra_len
+        self._extra_off[task_id + 1] = self._extra_len
+        free_arr[index] = end
+        last_arr[index] = task_id
+        busy_arr[index] += seconds
+        self._busy_channel[ch] += seconds
+        for key, hold in shared:
+            if hold <= 0:
+                continue  # zero holds never occupy the resource
+            hold_end = start + hold
+            if hold_end > self._free_shared.get(key, 0.0):
+                self._free_shared[key] = hold_end
+                self._last_shared[key] = task_id
+        if self._max_id < 0 or end > self._max_end:
+            self._max_end = end
+            self._max_id = task_id
+        self._n = task_id + 1
+        return task_id
+
     def submit(self, channel: str, device: int, seconds: float,
                deps: Iterable[Task] = (), category: str = "",
                group: int = -1, label: str = "",
@@ -80,57 +299,213 @@ class EventScheduler:
         spine core is held only for the excess transit time). A zero hold
         never advances the resource and so never delays anyone. Must be
         called in a topological order of the dependency DAG (program
-        order suffices).
+        order suffices). ``deps`` may be Tasks or task ids.
         """
         if channel not in CHANNELS:
             raise SchedulerError(f"unknown channel {channel!r}")
         if seconds < 0:
             raise SchedulerError(f"negative task duration: {seconds}")
-        resource = (device, channel)
-        start = self._barrier_time
-        blocked_by: Optional[int] = None
-        resource_free = self._free.get(resource, 0.0)
-        if resource_free > start:
-            start = resource_free
-            blocked_by = self._last_on.get(resource)
-        for key, _hold in shared:
-            shared_free = self._free.get(key, 0.0)
-            if shared_free > start:
-                start = shared_free
-                blocked_by = self._last_on.get(key)
-        dep_ids = []
-        for dep in deps:
-            dep_ids.append(dep.task_id)
-            if dep.end > start:
-                start = dep.end
-                blocked_by = dep.task_id
-        task = Task(
-            task_id=len(self.tasks),
-            channel=channel,
-            device=device,
-            seconds=seconds,
-            start=start,
-            end=start + seconds,
-            category=category or channel,
-            group=group,
-            label=label,
-            deps=tuple(dep_ids),
-            blocked_by=blocked_by,
+        common = task_ids(deps)
+        phase = len(self._phases)
+        self._phases.append((category, group, label,
+                             common if len(common) else None))
+        task_id = self._submit_one(
+            _CHANNEL_INDEX[channel], device, float(seconds),
+            common if len(common) else None, None, shared, phase,
         )
-        self.tasks.append(task)
-        self._by_id[task.task_id] = task
-        self._free[resource] = task.end
-        self._last_on[resource] = task.task_id
-        for key, hold in shared:
-            if hold <= 0:
-                continue  # zero holds never occupy the resource
-            hold_end = start + hold
-            if hold_end > self._free.get(key, 0.0):
-                self._free[key] = hold_end
-                self._last_on[key] = task.task_id
-        if task.end > self._max_end:
-            self._max_end = task.end
-        return task
+        return self._task(task_id)
+
+    def submit_batch(self, channel: str, devices: np.ndarray,
+                     seconds: np.ndarray,
+                     common_deps: Optional[np.ndarray] = None,
+                     extra_deps: Optional[Sequence] = None,
+                     category: str = "", group: int = -1, label: str = "",
+                     shared_by_task: Optional[Sequence] = None
+                     ) -> np.ndarray:
+        """Schedule one parallel wave of tasks; returns their id array.
+
+        ``devices[t]``/``seconds[t]`` describe task ``t``; ``common_deps``
+        (an id array) gate every task of the wave, ``extra_deps[t]`` (an
+        id array or None) additionally gate task ``t``. Dependency ids
+        must reference previously submitted tasks — a wave's tasks are
+        mutually independent. ``shared_by_task[t]`` lists ``(resource,
+        hold)`` pairs task ``t`` occupies.
+
+        The wave is computed vectorized when its tasks are order-free:
+        distinct devices and no shared holds. Duplicate devices or any
+        shared hold serialize through stateful frontiers, so those waves
+        run the scalar core per task — in either case the assigned times
+        are identical to submitting the tasks one by one.
+        """
+        if channel not in CHANNELS:
+            raise SchedulerError(f"unknown channel {channel!r}")
+        ch = _CHANNEL_INDEX[channel]
+        devices = np.asarray(devices, dtype=np.int64)
+        seconds = np.asarray(seconds, dtype=np.float64)
+        k = len(seconds)
+        if len(devices) != k:
+            raise SchedulerError(
+                f"devices/seconds length mismatch: {len(devices)} vs {k}"
+            )
+        if k == 0:
+            return np.empty(0, dtype=np.int64)
+        if np.any(seconds < 0):
+            raise SchedulerError(
+                f"negative task duration: {seconds.min()}"
+            )
+        common = None
+        if common_deps is not None:
+            common = np.asarray(common_deps, dtype=np.int64)
+            if len(common) == 0:
+                common = None
+            elif common.max() >= self._n:
+                raise SchedulerError(
+                    "batch dependency references an unsubmitted task"
+                )
+        extras: Optional[List[Optional[np.ndarray]]] = None
+        if extra_deps is not None:
+            extras = [
+                None if e is None or len(e) == 0
+                else np.asarray(e, dtype=np.int64)
+                for e in extra_deps
+            ]
+            if not any(e is not None for e in extras):
+                extras = None
+        phase = len(self._phases)
+        self._phases.append((category, group, label, common))
+
+        has_shared = shared_by_task is not None and any(
+            len(s) > 0 for s in shared_by_task
+        )
+        order_free = (not has_shared
+                      and len(np.unique(devices)) == k
+                      and self.vectorized)
+        if not order_free:
+            ids = np.empty(k, dtype=np.int64)
+            for t in range(k):
+                shared = () if shared_by_task is None else shared_by_task[t]
+                ids[t] = self._submit_one(
+                    ch, int(devices[t]), float(seconds[t]), common,
+                    None if extras is None else extras[t], shared, phase,
+                )
+            return ids
+
+        # ---- vectorized wave ----------------------------------------
+        n0 = self._n
+        starts = np.full(k, self._barrier_time)
+        blocked = np.full(k, -1, dtype=np.int64)
+
+        pos = devices >= -1
+        neg = ~pos
+        idx_pos = devices[pos] + 1
+        idx_neg = NET_DEVICE_BASE - devices[neg]
+        if idx_pos.size:
+            need = int(idx_pos.max()) + 1
+            self._free_pos[ch] = _grown(self._free_pos[ch], need, 0.0)
+            self._last_pos[ch] = _grown(self._last_pos[ch], need, -1)
+            self._busy_pos[ch] = _grown(self._busy_pos[ch], need, 0.0)
+        if idx_neg.size:
+            need = int(idx_neg.max()) + 1
+            self._free_neg[ch] = _grown(self._free_neg[ch], need, 0.0)
+            self._last_neg[ch] = _grown(self._last_neg[ch], need, -1)
+            self._busy_neg[ch] = _grown(self._busy_neg[ch], need, 0.0)
+        free = np.empty(k)
+        last = np.empty(k, dtype=np.int64)
+        free[pos] = self._free_pos[ch][idx_pos]
+        free[neg] = self._free_neg[ch][idx_neg]
+        last[pos] = self._last_pos[ch][idx_pos]
+        last[neg] = self._last_neg[ch][idx_neg]
+        hit = free > starts
+        starts[hit] = free[hit]
+        blocked[hit] = last[hit]
+
+        # Dependencies: the binding dep is the *first* dep (common before
+        # extras, in list order) whose end equals the running maximum and
+        # strictly exceeds the resource-constrained start — exactly the
+        # scalar loop's strictly-greater update rule.
+        dep_max = np.full(k, _NEG_INF)
+        dep_id = np.full(k, -1, dtype=np.int64)
+        if common is not None:
+            common_ends = self._end[common]
+            c_arg = int(np.argmax(common_ends))  # first max
+            dep_max[:] = common_ends[c_arg]
+            dep_id[:] = common[c_arg]
+        if extras is not None:
+            lens = np.fromiter(
+                (0 if e is None else len(e) for e in extras),
+                dtype=np.int64, count=k,
+            )
+            flat = np.concatenate([e for e in extras if e is not None])
+            if flat.max() >= n0:
+                raise SchedulerError(
+                    "batch dependency references an unsubmitted task"
+                )
+            offsets = np.zeros(k + 1, dtype=np.int64)
+            np.cumsum(lens, out=offsets[1:])
+            nz = lens > 0
+            seg_starts = offsets[:-1][nz]
+            flat_ends = self._end[flat]
+            seg_max = np.maximum.reduceat(flat_ends, seg_starts)
+            # First index achieving each segment's max (tie → earliest).
+            seg_max_rep = np.repeat(seg_max, lens[nz])
+            candidate = np.where(
+                flat_ends == seg_max_rep, np.arange(len(flat)), len(flat)
+            )
+            seg_first = np.minimum.reduceat(candidate, seg_starts)
+            e_max = np.full(k, _NEG_INF)
+            e_id = np.full(k, -1, dtype=np.int64)
+            e_max[nz] = seg_max
+            e_id[nz] = flat[seg_first]
+            beats = e_max > dep_max  # ties keep the earlier common dep
+            dep_max[beats] = e_max[beats]
+            dep_id[beats] = e_id[beats]
+        else:
+            flat = None
+            lens = None
+        gated = dep_max > starts
+        starts[gated] = dep_max[gated]
+        blocked[gated] = dep_id[gated]
+
+        ends = starts + seconds
+
+        # ---- store ---------------------------------------------------
+        self._reserve(n0 + k)
+        sl = slice(n0, n0 + k)
+        self._start[sl] = starts
+        self._end[sl] = ends
+        self._seconds[sl] = seconds
+        self._device[sl] = devices
+        self._channel_idx[sl] = ch
+        self._blocked[sl] = blocked
+        self._phase_of[sl] = phase
+        if flat is not None:
+            self._extra_flat = _grown(self._extra_flat,
+                                      self._extra_len + len(flat))
+            self._extra_flat[self._extra_len:self._extra_len + len(flat)] = \
+                flat
+            np.cumsum(lens, out=self._extra_off[n0 + 1:n0 + k + 1])
+            self._extra_off[n0 + 1:n0 + k + 1] += self._extra_len
+            self._extra_len += len(flat)
+        else:
+            self._extra_off[n0 + 1:n0 + k + 1] = self._extra_len
+        ids = np.arange(n0, n0 + k, dtype=np.int64)
+        self._free_pos[ch][idx_pos] = ends[pos]
+        self._free_neg[ch][idx_neg] = ends[neg]
+        self._last_pos[ch][idx_pos] = ids[pos]
+        self._last_neg[ch][idx_neg] = ids[neg]
+        self._busy_pos[ch][idx_pos] += seconds[pos]
+        self._busy_neg[ch][idx_neg] += seconds[neg]
+        self._busy_channel[ch] += seconds.sum()
+        b_arg = int(np.argmax(ends))  # first max within the wave
+        if self._max_id < 0 or ends[b_arg] > self._max_end:
+            self._max_end = float(ends[b_arg])
+            self._max_id = n0 + b_arg
+        self._n = n0 + k
+        return ids
+
+    def ends_of(self, ids: np.ndarray) -> np.ndarray:
+        """End times of the given task ids (reporting/test helper)."""
+        return self._end[np.asarray(ids, dtype=np.int64)].copy()
 
     def barrier(self) -> float:
         """Global synchronization: later tasks start at/after the makespan.
@@ -149,6 +524,8 @@ class EventScheduler:
     @property
     def makespan(self) -> float:
         """End of the latest task (the simulated wall-clock epoch time)."""
+        if self._max_id < 0:
+            return self._barrier_time
         return max(self._barrier_time, self._max_end)
 
     def busy_seconds(self, channel: Optional[str] = None,
@@ -157,24 +534,36 @@ class EventScheduler:
 
         Busy seconds are occupancy, not wall time: tasks on different
         resources overlap, so per-resource busy time lower-bounds any
-        schedule's makespan (tested in ``tests/test_runtime.py``).
+        schedule's makespan (tested in ``tests/test_runtime.py``). Reads
+        the per-resource accumulators maintained at submit time — O(1)
+        per resource, never a scan of the task list.
         """
-        return sum(
-            task.seconds for task in self.tasks
-            if (channel is None or task.channel == channel)
-            and (device is None or task.device == device)
-        )
+        if channel is not None and channel not in CHANNELS:
+            return 0.0
+        channels = ([_CHANNEL_INDEX[channel]] if channel is not None
+                    else range(len(CHANNELS)))
+        if device is None:
+            return float(sum(self._busy_channel[ch] for ch in channels))
+        total = 0.0
+        for ch in channels:
+            if device >= -1:
+                index = device + 1
+                busy = self._busy_pos[ch]
+            else:
+                index = NET_DEVICE_BASE - device
+                busy = self._busy_neg[ch]
+            if index < len(busy):
+                total += float(busy[index])
+        return total
 
     def busy_by_channel(self) -> Dict[str, float]:
-        """Busy seconds per channel, summed over devices."""
-        out = {channel: 0.0 for channel in CHANNELS}
-        for task in self.tasks:
-            out[task.channel] += task.seconds
-        return out
+        """Busy seconds per channel, summed over devices (O(1) reads)."""
+        return {channel: float(self._busy_channel[ch])
+                for ch, channel in enumerate(CHANNELS)}
 
     def devices(self) -> List[int]:
         """Sorted ids of every device that received at least one task."""
-        return sorted({task.device for task in self.tasks})
+        return np.unique(self._device[:self._n]).tolist()
 
     def critical_path(self) -> List[Task]:
         """Chain of tasks ending at the makespan, following start-time blockers.
@@ -184,15 +573,17 @@ class EventScheduler:
         ``(device, channel)`` queue, or the last holder of a shared
         resource (spine contention). The walk therefore crosses
         resource-contention gaps, not just dependency edges; only barriers
-        and time-zero starts terminate it.
+        and time-zero starts terminate it. The chain head is the argmax-
+        end task, tracked incrementally at submit time (first max wins,
+        matching a scan in submission order).
         """
-        if not self.tasks:
+        if self._n == 0:
             return []
-        current = max(self.tasks, key=lambda task: task.end)
-        chain = [current]
-        while current.blocked_by is not None:
-            current = self._by_id[current.blocked_by]
-            chain.append(current)
+        current = self._max_id
+        chain = [self._task(current)]
+        while self._blocked[current] >= 0:
+            current = int(self._blocked[current])
+            chain.append(self._task(current))
         chain.reverse()
         return chain
 
@@ -200,27 +591,78 @@ class EventScheduler:
     # invariants
     # ------------------------------------------------------------------
     def validate(self, eps: float = 1e-9) -> None:
-        """Check channel exclusivity and dependency ordering; raise on bugs."""
-        by_resource: Dict[Tuple[int, str], List[Task]] = {}
-        for task in self.tasks:
-            by_resource.setdefault((task.device, task.channel), []).append(task)
-        for resource, tasks in by_resource.items():
-            ordered = sorted(tasks, key=lambda task: (task.start, task.end))
-            for before, after in zip(ordered, ordered[1:]):
-                if after.start < before.end - eps:
-                    raise AssertionError(
-                        f"channel overlap on {resource}: {before} vs {after}"
-                    )
-        for task in self.tasks:
-            for dep_id in task.deps:
-                dep = self._by_id[dep_id]
-                if task.start < dep.end - eps:
-                    raise AssertionError(
-                        f"dependency violated: {task} starts before {dep} ends"
-                    )
+        """Check channel exclusivity and dependency ordering; raise on bugs.
+
+        Runs vectorized over the array state: resource exclusivity via a
+        single lexsort over (resource, start, end), per-task extra deps
+        via one flattened comparison, and per-phase common deps as
+        ``min(member starts) >= max(dep ends) - eps`` (equivalent to the
+        per-task check, since common deps gate every member).
+        """
+        n = self._n
+        if n == 0:
+            return
+        # Materialized views must agree with the authoritative arrays —
+        # a mutated Task snapshot is corruption, not a reschedule.
+        for task_id, task in self._task_cache.items():
+            if (task.start != self._start[task_id]
+                    or task.end != self._end[task_id]
+                    or task.seconds != self._seconds[task_id]):
+                raise AssertionError(
+                    f"materialized task diverged from scheduler state: "
+                    f"{task}"
+                )
+        start = self._start[:n]
+        end = self._end[:n]
+        # Resource exclusivity: group tasks by (device, channel) and check
+        # consecutive intervals in (start, end) order never overlap.
+        key = self._device[:n] * len(CHANNELS) + self._channel_idx[:n]
+        order = np.lexsort((end, start, key))
+        same = key[order][1:] == key[order][:-1]
+        overlap = start[order][1:] < end[order][:-1] - eps
+        bad = same & overlap
+        if bad.any():
+            at = int(np.flatnonzero(bad)[0])
+            before = self._task(int(order[at]))
+            after = self._task(int(order[at + 1]))
+            raise AssertionError(
+                f"channel overlap on {(before.device, before.channel)}: "
+                f"{before} vs {after}"
+            )
+        # Per-task extra deps.
+        if self._extra_len:
+            flat = self._extra_flat[:self._extra_len]
+            owner = np.repeat(np.arange(n),
+                              np.diff(self._extra_off[:n + 1]))
+            bad_deps = start[owner] < end[flat] - eps
+            if bad_deps.any():
+                at = int(np.flatnonzero(bad_deps)[0])
+                raise AssertionError(
+                    f"dependency violated: {self._task(int(owner[at]))} "
+                    f"starts before {self._task(int(flat[at]))} ends"
+                )
+        # Per-phase common deps: every member must start at/after every
+        # common dep's end.
+        phase_order = np.argsort(self._phase_of[:n], kind="stable")
+        sorted_phases = self._phase_of[:n][phase_order]
+        for index, (_cat, _grp, _label, common) in enumerate(self._phases):
+            if common is None or len(common) == 0:
+                continue
+            lo = int(np.searchsorted(sorted_phases, index, side="left"))
+            hi = int(np.searchsorted(sorted_phases, index, side="right"))
+            if lo == hi:
+                continue
+            members = phase_order[lo:hi]
+            worst_dep = int(common[int(np.argmax(end[common]))])
+            min_member = int(members[int(np.argmin(start[members]))])
+            if start[min_member] < self._end[worst_dep] - eps:
+                raise AssertionError(
+                    f"dependency violated: {self._task(min_member)} "
+                    f"starts before {self._task(worst_dep)} ends"
+                )
 
     def __repr__(self) -> str:
         return (
-            f"EventScheduler(tasks={len(self.tasks)}, "
+            f"EventScheduler(tasks={self._n}, "
             f"makespan={self.makespan:.6f}s)"
         )

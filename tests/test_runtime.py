@@ -16,7 +16,13 @@ from repro.core import HongTuConfig, HongTuTrainer
 from repro.errors import ConfigurationError, ReproError, SchedulerError
 from repro.gnn import build_model
 from repro.graph import load_dataset
-from repro.hardware import A100_SERVER, EventTimeline, MultiGPUPlatform
+from repro.hardware import (
+    A100_CLUSTER,
+    A100_SERVER,
+    ClusterPlatform,
+    EventTimeline,
+    MultiGPUPlatform,
+)
 from repro.runtime import CHANNELS, EventScheduler, TransitionBuffers
 
 
@@ -155,6 +161,100 @@ class TestEventScheduler:
         for (channel, device), seconds in durations:
             free.submit(channel, device, seconds)
         assert free.makespan <= chained.makespan
+
+
+class TestVectorizedScheduler:
+    """The SoA core's acceptance contract: ``submit_batch`` assigns the
+    exact times the scalar submit loop would, wave by wave, on randomized
+    dependency DAGs — bit-identical starts/ends, makespans, busy
+    accounting, and critical paths."""
+
+    CHANNEL_NAMES = tuple(CHANNELS)
+
+    def _random_wave(self, rng, num_submitted):
+        channel = self.CHANNEL_NAMES[rng.integers(len(self.CHANNEL_NAMES))]
+        k = int(rng.integers(1, 7))
+        if rng.random() < 0.15:
+            # Duplicate devices: both cores serialize the wave through
+            # the scalar path — still one submit_batch call.
+            devices = rng.integers(0, 3, size=k)
+        else:
+            devices = rng.choice(16, size=k, replace=False)
+        devices = devices.astype(np.int64)
+        if channel == "net":
+            devices = -2 - devices  # net links live below NET_DEVICE_BASE
+        seconds = rng.integers(0, 8, size=k).astype(np.float64) / 4.0
+        common = None
+        if num_submitted and rng.random() < 0.6:
+            common = rng.choice(
+                num_submitted, size=min(3, num_submitted), replace=False
+            ).astype(np.int64)
+        extras = None
+        if num_submitted and rng.random() < 0.5:
+            extras = []
+            for _ in range(k):
+                count = int(rng.integers(0, 3))
+                picked = rng.choice(num_submitted,
+                                    size=min(count, num_submitted),
+                                    replace=False).astype(np.int64)
+                extras.append(picked if len(picked) else None)
+        shared = None
+        if rng.random() < 0.1:
+            # Shared-resource holds (the spine contract) force the
+            # scalar core; times must still match exactly.
+            shared = [[(("net", "spine"), float(seconds[t]) / 2.0)]
+                      for t in range(k)]
+        return channel, devices, seconds, common, extras, shared
+
+    def _build_pair(self, seed, waves=40):
+        rng = np.random.default_rng(seed)
+        fast = EventScheduler()
+        slow = EventScheduler()
+        slow.vectorized = False  # force the scalar core per task
+        for _ in range(waves):
+            if rng.random() < 0.1:
+                fast.barrier()
+                slow.barrier()
+            wave = self._random_wave(rng, fast.num_tasks)
+            channel, devices, seconds, common, extras, shared = wave
+            ids_fast = fast.submit_batch(
+                channel, devices, seconds, common_deps=common,
+                extra_deps=extras, shared_by_task=shared)
+            ids_slow = slow.submit_batch(
+                channel, devices, seconds, common_deps=common,
+                extra_deps=extras, shared_by_task=shared)
+            assert (ids_fast == ids_slow).all()
+        return fast, slow
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batch_times_match_scalar_on_random_dags(self, seed):
+        fast, slow = self._build_pair(seed)
+        assert fast.num_tasks == slow.num_tasks
+        for batched, scalar in zip(fast.tasks, slow.tasks):
+            assert batched.start == scalar.start      # bit-identical
+            assert batched.end == scalar.end
+            assert batched.channel == scalar.channel
+            assert batched.device == scalar.device
+        assert fast.makespan == slow.makespan
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_busy_accounting_matches_scalar(self, seed):
+        fast, slow = self._build_pair(seed)
+        assert fast.busy_by_channel() == slow.busy_by_channel()
+        for channel in self.CHANNEL_NAMES:
+            assert fast.busy_seconds(channel=channel) == \
+                slow.busy_seconds(channel=channel)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_critical_path_matches_scalar(self, seed):
+        fast, slow = self._build_pair(seed)
+        assert [task.task_id for task in fast.critical_path()] == \
+            [task.task_id for task in slow.critical_path()]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validate_passes_on_array_backed_state(self, seed):
+        fast, _slow = self._build_pair(seed)
+        fast.validate()
 
 
 class TestEventTimeline:
@@ -359,3 +459,48 @@ class TestDirectionalTraffic:
         assert barrier.h2d_bytes == pipeline.h2d_bytes
         assert barrier.d2h_bytes == pipeline.d2h_bytes
         assert barrier.d2d_bytes == pipeline.d2d_bytes
+
+
+class TestBatchedEmissionEquivalence:
+    """End-to-end acceptance of the batched-emission pipeline: a full
+    cluster epoch produced through ``submit_batch`` waves must be
+    bit-identical — makespan, losses, and per-flow network byte detail —
+    to the same epoch replayed through the scalar submit core."""
+
+    def _cluster_epoch(self, graph, overlap):
+        nodes = 2
+        platform = ClusterPlatform(A100_CLUSTER.with_num_nodes(nodes),
+                                   gpus_per_node=2)
+        model = build_model(
+            "gcn", [graph.feature_dim, 12, graph.num_classes],
+            np.random.default_rng(5))
+        trainer = HongTuTrainer(
+            graph, model, platform,
+            HongTuConfig(num_chunks=2, overlap=overlap, nodes=nodes,
+                         seed=0),
+            optimizer=SGD(model.parameters(), lr=0.02),
+        )
+        result = trainer.train_epoch()
+        flows = {
+            "values": dict(trainer._comm_values.net_bytes_by_flow),
+            "grads": dict(trainer._comm_grads.net_bytes_by_flow),
+        }
+        return result, flows
+
+    @pytest.mark.parametrize("overlap", ["barrier", "pipeline"])
+    def test_cluster_epoch_bit_identical_to_scalar_core(self, graph,
+                                                        overlap):
+        batched, batched_flows = self._cluster_epoch(graph, overlap)
+        try:
+            EventScheduler.vectorized = False
+            scalar, scalar_flows = self._cluster_epoch(graph, overlap)
+        finally:
+            EventScheduler.vectorized = True
+        assert batched.epoch_seconds == scalar.epoch_seconds
+        assert batched.loss == scalar.loss
+        assert batched.net_bytes == scalar.net_bytes
+        assert batched_flows == scalar_flows
+        assert batched.timeline.scheduler.num_tasks == \
+            scalar.timeline.scheduler.num_tasks
+        batched.timeline.validate()
+        scalar.timeline.validate()
