@@ -14,6 +14,7 @@ Public API quick map::
     repro.runtime     # event-timeline engine: tasks, scheduler, buffers
     repro.hardware    # simulated multi-GPU platform (memory + time)
     repro.core        # HongTuTrainer (Algorithm 1), memory model
+    repro.serving     # request-driven inference serving on the timeline
     repro.baselines   # DGL-like, Sancus-like, DistGNN-sim, DistDGL-like
     repro.bench       # benchmark harness utilities
 

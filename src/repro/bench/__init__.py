@@ -5,6 +5,7 @@ from repro.bench.reporting import (
     render_table,
     render_timeline,
     render_node_utilization,
+    render_latency_report,
     format_seconds,
     format_bytes,
     banner,
@@ -23,7 +24,7 @@ from repro.bench.workloads import (
 __all__ = [
     "RunOutcome", "run_or_oom", "speedup_vs",
     "render_table", "render_timeline", "render_node_utilization",
-    "format_seconds", "format_bytes", "banner",
+    "render_latency_report", "format_seconds", "format_bytes", "banner",
     "SMALL_GRAPHS", "LARGE_GRAPHS", "ALL_GRAPHS", "PAPER_CHUNKS",
     "bench_graph", "bench_model", "capacity_limited_platform",
     "hidden_dim_for",

@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 __all__ = ["render_table", "render_timeline", "render_node_utilization",
-           "format_seconds", "format_bytes", "banner"]
+           "render_latency_report", "format_seconds", "format_bytes",
+           "banner"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -58,6 +59,35 @@ def format_bytes(nbytes: float) -> str:
 def banner(text: str) -> str:
     bar = "=" * max(len(text), 8)
     return f"{bar}\n{text}\n{bar}"
+
+
+def render_latency_report(result, title: Optional[str] = None) -> str:
+    """Latency-percentile + goodput table of one serving run.
+
+    Renders a :class:`~repro.serving.result.ServeResult` next to the
+    makespan the training-side reports use: the percentile rows are the
+    serving SLO view (nearest-rank, NaN-free even for empty horizons),
+    goodput counts only requests that met the SLO, and the cache-hit
+    rate shows how much of the traffic the checkpointed activations
+    absorbed.
+    """
+    rows = [
+        ["requests", f"{result.num_requests:,}"],
+        ["arrival process", result.arrival_kind],
+        ["batch policy", result.policy],
+        ["p50 latency", format_seconds(result.p50)],
+        ["p95 latency", format_seconds(result.p95)],
+        ["p99 latency", format_seconds(result.p99)],
+        ["mean latency", format_seconds(result.mean_latency)],
+        ["throughput", f"{result.throughput:,.1f} req/s"],
+        [f"goodput (SLO {format_seconds(result.slo)})",
+         f"{result.goodput:,.1f} req/s"],
+        ["makespan", format_seconds(result.makespan)],
+        ["mean batch size", f"{result.mean_batch_size:.2f}"],
+        ["cache hit rate", f"{result.cache_hit_rate:.0%}"],
+        ["halo bytes", format_bytes(result.net_bytes)],
+    ]
+    return render_table(["metric", "value"], rows, title=title)
 
 
 def render_timeline(timeline, title: Optional[str] = None,

@@ -4,6 +4,9 @@ Commands
 --------
 ``train``    — train a GNN with HongTu on a stand-in dataset and report
                loss/accuracy plus the simulated cost profile.
+``serve``    — drive request traffic (Poisson or bursty arrivals, with an
+               admission/batching policy) against the partitioned graph
+               and report p50/p95/p99 latency and goodput.
 ``analyze``  — partition a dataset and print the communication-volume and
                Eq. 4 cost analysis for each communication mode.
 ``memory``   — print the Table 1-style working-set estimate for a dataset
@@ -22,6 +25,7 @@ import numpy as np
 from repro.bench.reporting import (
     format_bytes,
     format_seconds,
+    render_latency_report,
     render_node_utilization,
     render_table,
     render_timeline,
@@ -42,6 +46,12 @@ from repro.hardware import (
     NetworkTopology,
 )
 from repro.partition import two_level_partition
+from repro.serving import (
+    ARRIVAL_KINDS,
+    BATCH_POLICIES,
+    build_arrivals,
+    build_policy,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -116,6 +126,61 @@ def build_parser() -> argparse.ArgumentParser:
                        help="wrap the first training epoch in cProfile "
                             "and print the top-25 cumulative entries "
                             "(simulator wall clock, not simulated time)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve request traffic against the partitioned graph",
+    )
+    _add_dataset_args(serve)
+    serve.add_argument("--arch", choices=sorted(MODEL_REGISTRY),
+                       default="gcn")
+    serve.add_argument("--hidden-dim", type=int, default=64)
+    serve.add_argument("--layers", type=int, default=2)
+    serve.add_argument("--chunks", type=int, default=4,
+                       help="chunks per GPU (request columns to route to)")
+    serve.add_argument("--gpus", type=int, default=4)
+    serve.add_argument("--comm-mode", default="hongtu",
+                       choices=["baseline", "p2p", "ru", "hongtu"])
+    serve.add_argument("--nodes", type=int, default=1,
+                       help="simulated cluster nodes; > 1 serves --gpus "
+                            "GPUs per node with halo fetches on the "
+                            "network")
+    serve.add_argument("--topology", default="flat",
+                       choices=["flat", "spine", "rail"],
+                       help="cluster network topology (only with "
+                            "--nodes > 1)")
+    serve.add_argument("--oversubscription", type=float, default=1.0,
+                       help="spine core oversubscription factor >= 1 "
+                            "(only with --topology spine)")
+    serve.add_argument("--train-epochs", type=int, default=0,
+                       help="hybrid-policy training epochs to run first; "
+                            "their aggregate checkpoints pre-warm the "
+                            "serving embedding cache")
+    serve.add_argument("--arrival", default="poisson",
+                       choices=list(ARRIVAL_KINDS),
+                       help="request arrival process")
+    serve.add_argument("--rate", type=float, default=100.0,
+                       help="offered load in requests/second (equal "
+                            "across arrival kinds)")
+    serve.add_argument("--duration", type=float, default=1.0,
+                       help="arrival horizon in simulated seconds")
+    serve.add_argument("--burst-size", type=int, default=8,
+                       help="requests per burst epoch (only with "
+                            "--arrival bursty)")
+    serve.add_argument("--batch-policy", default="immediate",
+                       choices=list(BATCH_POLICIES),
+                       help="admission policy: immediate = one request "
+                            "per batch, size = groups of --batch-size, "
+                            "deadline = --batch-timeout windows")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="K of the size-K batching policy")
+    serve.add_argument("--batch-timeout", type=float, default=0.005,
+                       help="window of the deadline batching policy "
+                            "(seconds; bounds per-request admission "
+                            "delay)")
+    serve.add_argument("--slo", type=float, default=0.1,
+                       help="latency SLO in seconds (goodput counts "
+                            "requests at or under it)")
 
     analyze = sub.add_parser("analyze",
                              help="communication-volume / cost analysis")
@@ -237,6 +302,50 @@ def _profiled_epoch(trainer):
     return result
 
 
+def cmd_serve(args) -> int:
+    if args.nodes == 1 and args.topology != "flat":
+        print(f"--topology {args.topology} needs --nodes > 1 "
+              "(a single server has no cluster network)", file=sys.stderr)
+        return 2
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed + 42)
+    dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
+            + [graph.num_classes])
+    model = build_model(args.arch, dims, np.random.default_rng(args.seed))
+    if args.nodes > 1:
+        topology = NetworkTopology(kind=args.topology,
+                                   oversubscription=args.oversubscription)
+        cluster = A100_CLUSTER.with_num_nodes(args.nodes) \
+            .with_topology(topology)
+        platform = ClusterPlatform(cluster, gpus_per_node=args.gpus)
+    else:
+        platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
+    config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
+                          intermediate_policy="hybrid",
+                          overlap="pipeline", nodes=args.nodes,
+                          topology=args.topology,
+                          oversubscription=args.oversubscription,
+                          seed=args.seed)
+    trainer = HongTuTrainer(graph, model, platform, config)
+    for _ in range(args.train_epochs):
+        trainer.train_epoch()
+    engine = trainer.serving_engine()
+    arrivals = build_arrivals(args.arrival, args.rate, args.duration,
+                              seed=args.seed, burst_size=args.burst_size)
+    policy = build_policy(args.batch_policy, batch_size=args.batch_size,
+                          batch_timeout=args.batch_timeout)
+    wiring = "" if args.nodes == 1 else f", {args.topology} network"
+    print(f"serving {args.arch} {dims} on {graph} "
+          f"({args.nodes} node(s) x {args.gpus} GPUs x {args.chunks} "
+          f"chunks{wiring}; {engine.warm_pairs} warm cache pair(s))")
+    result = engine.serve(arrivals, policy, slo=args.slo)
+    print(render_latency_report(
+        result,
+        title=f"{arrivals!r} under {policy.describe()} "
+              f"(seed {args.seed})",
+    ))
+    return 0
+
+
 def cmd_analyze(args) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed + 42)
     partition = two_level_partition(graph, args.gpus, args.chunks,
@@ -320,6 +429,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "train": cmd_train,
+        "serve": cmd_serve,
         "analyze": cmd_analyze,
         "memory": cmd_memory,
         "datasets": cmd_datasets,

@@ -513,6 +513,60 @@ class DedupCommunicator:
         ]
 
     # ------------------------------------------------------------------
+    # serving surface (request-driven forward passes)
+    # ------------------------------------------------------------------
+    def transition_rows(self, batch: int) -> np.ndarray:
+        """Per-GPU staged transition rows of ``batch`` (loaded + reused).
+
+        A serving request arrives with no previous column resident, so
+        its staging load covers the *full* transition set — the epoch
+        path's reuse rows are loaded too. Used by the serving engine to
+        price the cold-miss h2d wave.
+        """
+        static = self._batch_static(batch)
+        return static.loaded_rows + static.reused_rows
+
+    def assemble_seconds(self, batch: int, row_bytes: int
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-GPU (same-node P2P, intra-GPU gather) assemble seconds.
+
+        The serving-side view of :meth:`_segment_seconds`: how long each
+        GPU spends reading ``batch``'s staged rows over NVLink and from
+        its own buffer, at ``row_bytes`` per vertex row. Cross-node
+        segments are excluded — they are the halo fetch, emitted
+        separately by :meth:`submit_serving_halo`.
+        """
+        return self._segment_seconds(self._batch_static(batch), row_bytes)
+
+    def submit_serving_halo(self, timeline: EventTimeline, batch: int,
+                            row_bytes: int, kind: str = "fetch",
+                            deps: Optional[np.ndarray] = None,
+                            label: str = "") -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Emit ``batch``'s coalesced cross-node halo tasks for serving.
+
+        ``kind`` selects the flow: ``"load"`` ships remotely-owned host
+        rows to the staging node before its PCIe load (empty under full
+        dedup, where every staged row is owner-local); ``"fetch"`` is
+        the forward halo exchange — reads of transition buffers staged
+        on another node. Returns ``(task ids, per-reader-GPU dependency
+        arrays)`` — the same contract the epoch path wires compute waves
+        with — and charges the shared per-flow byte ledger. Single-node
+        platforms return empty ids and never touch the scheduler.
+        """
+        if kind not in ("load", "fetch"):
+            raise CommunicationPlanError(
+                f"unknown serving halo kind {kind!r}; "
+                f"expected 'load' or 'fetch'"
+            )
+        static = self._batch_static(batch)
+        halo = static.load_halo if kind == "load" else static.fetch_halo
+        ids = self._submit_halo_batch(
+            timeline, timeline, halo, row_bytes, deps=deps,
+            flow=f"halo_{kind}", label=label,
+        )
+        return ids, self._ids_by_reader(halo, ids, self.plan.num_gpus)
+
+    # ------------------------------------------------------------------
     # dependency bookkeeping helpers
     # ------------------------------------------------------------------
     def _batch_tasks(self, batch: int, key: str) -> np.ndarray:

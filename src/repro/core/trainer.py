@@ -463,6 +463,34 @@ class HongTuTrainer:
                 )
         return metrics
 
+    def checkpointed_columns(self) -> set:
+        """(layer, batch) pairs whose aggregate checkpoints are complete.
+
+        A pair counts only when *every* GPU's chunk of that batch column
+        has a host-resident checkpoint — the serving engine's embedding
+        cache treats exactly these pairs as warm (a partial column still
+        needs the staging front for its missing chunks). Empty until a
+        training epoch has run under the hybrid policy.
+        """
+        m = self.plan.num_gpus
+        columns = set()
+        for l in range(len(self.model.layers)):
+            for j in range(self.plan.num_batches):
+                if all((l, i, j) in self._checkpoints for i in range(m)):
+                    columns.add((l, j))
+        return columns
+
+    def serving_engine(self):
+        """A :class:`~repro.serving.engine.ServingEngine` over this trainer.
+
+        The engine reuses this trainer's plan, partition, platform and
+        config, and pre-warms its embedding cache from the aggregate
+        checkpoints of any hybrid-policy epochs already trained.
+        """
+        from repro.serving.engine import ServingEngine
+
+        return ServingEngine(self)
+
     # ------------------------------------------------------------------
     # forward pass (Algorithm 1, lines 4-9)
     # ------------------------------------------------------------------

@@ -53,3 +53,7 @@ class ConfigurationError(ReproError):
 
 class SchedulerError(ReproError):
     """The event scheduler received an invalid task submission."""
+
+
+class ServingError(ReproError):
+    """An inference-serving component was configured with invalid options."""

@@ -1,0 +1,48 @@
+"""Request-driven inference serving on the simulated event timeline.
+
+The serving subsystem turns the repo's epoch simulator into a
+request-level one: arrival processes generate query traffic, admission
+policies coalesce it into batches, and the engine emits each batch's
+forward pass as a task DAG on the same :class:`EventTimeline` the
+trainer schedules epochs on — so serving latency, halo traffic, and
+cache behavior are all measured with the identical cost model and
+scheduler the training-side results use. See ``docs/ARCHITECTURE.md``
+for the arrival → admission → batch → timeline contract.
+"""
+
+from repro.serving.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    build_arrivals,
+)
+from repro.serving.engine import ServingEngine
+from repro.serving.policies import (
+    BATCH_POLICIES,
+    AdmissionPolicy,
+    AdmittedBatch,
+    DeadlineBatchingPolicy,
+    ImmediatePolicy,
+    SizeBatchingPolicy,
+    build_policy,
+)
+from repro.serving.result import ServeResult, latency_percentile
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "build_arrivals",
+    "BATCH_POLICIES",
+    "AdmissionPolicy",
+    "AdmittedBatch",
+    "ImmediatePolicy",
+    "SizeBatchingPolicy",
+    "DeadlineBatchingPolicy",
+    "build_policy",
+    "ServeResult",
+    "latency_percentile",
+    "ServingEngine",
+]

@@ -1,0 +1,315 @@
+"""The serving engine: request batches become timeline task DAGs.
+
+:class:`ServingEngine` drives request-driven inference against a trained
+(or freshly constructed) :class:`~repro.core.trainer.HongTuTrainer`'s
+partitioned graph. The contract, end to end:
+
+1. **Arrival** — an :class:`~repro.serving.arrivals.ArrivalProcess`
+   generates request timestamps; a seeded RNG maps each request to a
+   partition column (chunk batch index), modeling which slice of the
+   graph the query touches.
+2. **Admission** — an :class:`~repro.serving.policies.AdmissionPolicy`
+   coalesces requests into dispatched batches. The admission horizon is
+   itself simulated: a chain of host tasks on the timeline's
+   ``("cpu", HOST_DEVICE)`` queue advances the clock to each batch's
+   dispatch instant, so no forward-pass task can start before its batch
+   was admitted (the scheduler enforces it as an ordinary dependency).
+3. **Forward pass** — per admitted batch, per *unique* column, one
+   layer-by-layer task DAG goes through
+   :meth:`~repro.hardware.clock.EventTimeline.submit_batch`, shaped
+   exactly like the trainer's forward sweep: host→GPU staging loads,
+   same-node P2P fetches, cross-node halo-fetch ``net`` tasks (emitted
+   through the executor's coalescing machinery, charged to the same
+   per-flow byte ledger), intra-GPU gathers, compute kernels, and
+   host writebacks.
+4. **Embedding cache** — serving charges cache *hits* against
+   checkpointed activations: a ``(layer, column)`` pair whose aggregate
+   checkpoints are host-resident (taken during hybrid-policy training,
+   or materialized by a previous cold serve of the same column) skips
+   the entire data-movement front — cold miss = halo fetch + staging
+   load, warm hit = free — and only the compute + writeback chain runs.
+
+Per-request latency is the completion of its column DAG (max end over
+the final layer's writeback tasks) minus its arrival time; the
+percentile/goodput views live on :class:`~repro.serving.result.ServeResult`.
+
+Determinism: every second charged is a pure function of (plan, platform,
+config) and every random draw comes from seeded generators, so identical
+``(seed, config)`` reproduce bit-identical latencies — including under
+``EventScheduler.vectorized = False``, since both scheduler paths assign
+identical times (the batched-emission contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.comm.executor import DedupCommunicator
+from repro.errors import ServingError
+from repro.hardware.clock import EventTimeline
+from repro.runtime.task import HOST_DEVICE
+from repro.serving.arrivals import ArrivalProcess
+from repro.serving.policies import AdmissionPolicy
+from repro.serving.result import ServeResult
+
+__all__ = ["ServingEngine"]
+
+_NO_IDS = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class _ColumnLayerCosts:
+    """Per-GPU second arrays of one (layer, column) forward step."""
+
+    row_bytes: int
+    #: h2d staging of the full transition set (a serving request has no
+    #: previous column resident, so reuse rows are loaded too)
+    load_seconds: np.ndarray
+    #: same-node remote reads of staged rows (NVLink)
+    d2d_seconds: np.ndarray
+    #: intra-GPU gathers of locally staged rows
+    gather_seconds: np.ndarray
+    #: forward kernels per chunk
+    compute_seconds: np.ndarray
+    #: h^{l+1} writeback to the host
+    writeback_seconds: np.ndarray
+
+
+class ServingEngine:
+    """Serves request traffic against a trainer's partitioned graph.
+
+    Parameters
+    ----------
+    trainer:
+        A constructed :class:`~repro.core.trainer.HongTuTrainer`. Its
+        plan, partition, platform, model and config are the serving
+        substrate; its aggregate checkpoints (if any training epochs ran
+        under the hybrid policy) pre-warm the embedding cache.
+    """
+
+    def __init__(self, trainer):
+        self.trainer = trainer
+        self.plan = trainer.plan
+        self.partition = trainer.partition
+        self.platform = trainer.platform
+        self.model = trainer.model
+        self.config = trainer.config
+        #: dedicated communicator: serving traffic charges its own byte
+        #: ledger, never the trainer's training counters
+        self.communicator = DedupCommunicator(
+            self.plan, self.platform, self.config.bytes_per_scalar
+        )
+        self._costs: Dict[Tuple[int, int], _ColumnLayerCosts] = {}
+        #: warm (layer, column) pairs — data movement is free for these
+        self._cache: Set[Tuple[int, int]] = set()
+        self.warm_from_checkpoints()
+
+    # ------------------------------------------------------------------
+    # embedding cache
+    # ------------------------------------------------------------------
+    def warm_from_checkpoints(self) -> int:
+        """Pre-warm the cache from the trainer's aggregate checkpoints.
+
+        A ``(layer, column)`` pair is warm only when *every* GPU's chunk
+        of that column has a host-resident checkpoint (a partially
+        checkpointed column would still need the staging front for the
+        missing chunks). Returns the number of warm pairs.
+        """
+        columns = getattr(self.trainer, "checkpointed_columns", None)
+        if columns is not None:
+            self._cache.update(columns())
+        return len(self._cache)
+
+    @property
+    def warm_pairs(self) -> int:
+        """Currently warm (layer, column) pairs."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop every warm pair (every future serve is a cold miss)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # cost profiles
+    # ------------------------------------------------------------------
+    def _layer_costs(self, l: int, j: int) -> _ColumnLayerCosts:
+        cached = self._costs.get((l, j))
+        if cached is not None:
+            return cached
+        layer = self.model.layers[l]
+        bps = self.config.bytes_per_scalar
+        row_bytes = self.model.dims[l] * bps
+        comm = self.communicator
+        load_rows = comm.transition_rows(j)
+        d2d_seconds, gather_seconds = comm.assemble_seconds(j, row_bytes)
+        compute_seconds = []
+        writeback_seconds = []
+        for i in range(self.plan.num_gpus):
+            block = self.partition.chunks[i][j].block
+            flops = layer.forward_flops(
+                block.num_src, block.num_dst, block.num_edges
+            )
+            compute_seconds.append(self.platform.gpu_compute_seconds(flops))
+            out_bytes = block.num_dst * layer.out_dim * bps
+            writeback_seconds.append(self.platform.h2d_seconds(out_bytes))
+        costs = _ColumnLayerCosts(
+            row_bytes=row_bytes,
+            load_seconds=self.platform.h2d_seconds(load_rows * row_bytes),
+            d2d_seconds=d2d_seconds,
+            gather_seconds=gather_seconds,
+            compute_seconds=np.asarray(compute_seconds, dtype=np.float64),
+            writeback_seconds=np.asarray(writeback_seconds,
+                                         dtype=np.float64),
+        )
+        self._costs[(l, j)] = costs
+        return costs
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _emit_column(self, timeline: EventTimeline, j: int,
+                     admit_ids: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        """Emit one column's forward-pass DAG; returns (final ids, hits,
+        misses).
+
+        Layer ``l``'s tasks chain after layer ``l-1``'s writebacks (its
+        input rows are the previous layer's host output) and after the
+        admission task. Cold layers run the full staging front; warm
+        layers jump straight to compute.
+        """
+        m = self.plan.num_gpus
+        comm = self.communicator
+        prev = admit_ids
+        hits = 0
+        misses = 0
+        for l in range(len(self.model.layers)):
+            costs = self._layer_costs(l, j)
+            if (l, j) in self._cache:
+                hits += 1
+                compute_ids = timeline.submit_batch(
+                    "gpu", costs.compute_seconds, deps=prev,
+                    label=f"serve_compute[l{l}c{j}]",
+                )
+            else:
+                misses += 1
+                halo_load_ids, load_by_reader = comm.submit_serving_halo(
+                    timeline, j, costs.row_bytes, kind="load", deps=prev,
+                    label=f"serve_halo_load[l{l}c{j}]",
+                )
+                load_ids = timeline.submit_batch(
+                    "h2d", costs.load_seconds, deps=prev,
+                    deps_by_device=(load_by_reader if len(halo_load_ids)
+                                    else None),
+                    label=f"serve_load[l{l}c{j}]",
+                )
+                fetch_ids = timeline.submit_batch(
+                    "d2d", costs.d2d_seconds, deps=load_ids,
+                    label=f"serve_fetch[l{l}c{j}]",
+                )
+                halo_fetch_ids, net_by_reader = comm.submit_serving_halo(
+                    timeline, j, costs.row_bytes, kind="fetch",
+                    deps=load_ids, label=f"serve_halo_fetch[l{l}c{j}]",
+                )
+                gather_ids = timeline.submit_batch(
+                    "gpu", costs.gather_seconds, deps_by_device=load_ids,
+                    label=f"serve_gather[l{l}c{j}]",
+                )
+                compute_deps = [
+                    np.concatenate([fetch_ids[i:i + 1],
+                                    gather_ids[i:i + 1],
+                                    net_by_reader[i]])
+                    for i in range(m)
+                ]
+                compute_ids = timeline.submit_batch(
+                    "gpu", costs.compute_seconds,
+                    deps_by_device=compute_deps,
+                    label=f"serve_compute[l{l}c{j}]",
+                )
+                # The cold pass materialized this pair's activations on
+                # the host — the next serve of the column is a warm hit.
+                self._cache.add((l, j))
+            writeback_ids = timeline.submit_batch(
+                "d2h", costs.writeback_seconds,
+                deps_by_device=compute_ids,
+                label=f"serve_writeback[l{l}c{j}]",
+            )
+            prev = writeback_ids
+        return prev, hits, misses
+
+    # ------------------------------------------------------------------
+    # the serving loop
+    # ------------------------------------------------------------------
+    def serve(self, arrivals: ArrivalProcess, policy: AdmissionPolicy,
+              slo: float = 0.1,
+              column_seed: Optional[int] = None) -> ServeResult:
+        """Run one serving horizon; returns the per-request record.
+
+        ``column_seed`` seeds the request→column assignment (defaults to
+        the arrival process's seed, so one seed pins the whole run).
+        """
+        if slo <= 0:
+            raise ServingError(f"slo must be > 0 seconds, got {slo}")
+        times = arrivals.generate()
+        n = len(times)
+        rng = np.random.default_rng(
+            arrivals.seed if column_seed is None else column_seed
+        )
+        columns = (rng.integers(self.plan.num_batches, size=n)
+                   if n else np.empty(0, dtype=np.int64))
+        batches = policy.admit(times)
+        timeline = EventTimeline(barrier_all=False)
+        scheduler = timeline.scheduler
+        net_before = self.communicator.bytes_moved["net"]
+
+        completions = np.zeros(n, dtype=np.float64)
+        batch_sizes = np.array([batch.size for batch in batches],
+                               dtype=np.int64)
+        hits = 0
+        misses = 0
+        admit_clock = 0.0
+        previous_admit = None
+        for b, batch in enumerate(batches):
+            # Advance the host admission clock to the dispatch instant:
+            # chained zero-gap-safe tasks on the host cpu queue, so the
+            # admit task of batch b *ends* exactly at its dispatch time.
+            dt = max(0.0, batch.dispatch_time - admit_clock)
+            admit_clock = max(admit_clock, batch.dispatch_time)
+            admit = scheduler.submit(
+                "cpu", HOST_DEVICE, dt,
+                deps=() if previous_admit is None else (previous_admit,),
+                category="cpu", label=f"admit[{b}]",
+            )
+            previous_admit = admit
+            admit_ids = np.array([admit.task_id], dtype=np.int64)
+            by_column: Dict[int, List[int]] = {}
+            for request in batch.requests:
+                by_column.setdefault(int(columns[request]),
+                                     []).append(request)
+            for j in sorted(by_column):
+                final_ids, h, miss = self._emit_column(
+                    timeline, j, admit_ids
+                )
+                hits += h
+                misses += miss
+                done = float(scheduler.ends_of(final_ids).max())
+                for request in by_column[j]:
+                    completions[request] = done
+        return ServeResult(
+            arrivals=times,
+            completions=completions,
+            latencies=completions - times,
+            columns=columns,
+            batch_sizes=batch_sizes,
+            cache_hits=hits,
+            cache_misses=misses,
+            makespan=timeline.makespan,
+            duration=arrivals.duration,
+            net_bytes=self.communicator.bytes_moved["net"] - net_before,
+            arrival_kind=arrivals.kind,
+            policy=policy.describe(),
+            slo=slo,
+            timeline=timeline,
+        )

@@ -54,6 +54,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--placement", "random"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.arrival == "poisson"
+        assert args.batch_policy == "immediate"
+        assert args.rate == 100.0
+        assert args.duration == 1.0
+        assert args.batch_size == 8
+        assert args.batch_timeout == 0.005
+        assert args.train_epochs == 0
+
+    def test_serve_rejects_unknown_arrival(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--arrival", "flash_crowd"])
+
+    def test_serve_rejects_unknown_batch_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--batch-policy", "oracle"])
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -110,6 +128,42 @@ class TestCommands:
         assert "2 node(s) x 2 GPUs" in out
         assert "per-node busy seconds" in out
         assert "node1" in out
+
+    def test_serve_reports_percentiles_and_goodput(self, capsys):
+        assert main(["serve", "--dataset", "products_sim", "--scale", "0.08",
+                     "--rate", "50", "--duration", "0.3",
+                     "--batch-policy", "deadline", "--chunks", "2",
+                     "--hidden-dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "p50 latency" in out
+        assert "p95 latency" in out
+        assert "p99 latency" in out
+        assert "goodput" in out
+        assert "cache hit rate" in out
+
+    def test_serve_is_deterministic_under_seed(self, capsys):
+        argv = ["serve", "--dataset", "products_sim", "--scale", "0.08",
+                "--rate", "50", "--duration", "0.3", "--arrival", "bursty",
+                "--batch-policy", "size", "--batch-size", "4",
+                "--chunks", "2", "--hidden-dim", "8", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_serve_with_warm_cache(self, capsys):
+        assert main(["serve", "--dataset", "products_sim", "--scale", "0.08",
+                     "--rate", "30", "--duration", "0.2",
+                     "--train-epochs", "1", "--chunks", "2",
+                     "--hidden-dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "warm cache pair(s)" in out
+        assert "0 warm cache pair(s)" not in out
+
+    def test_serve_topology_requires_nodes(self, capsys):
+        assert main(["serve", "--topology", "rail"]) == 2
+        assert "needs --nodes > 1" in capsys.readouterr().err
 
     def test_train_joint_placement(self, capsys):
         assert main(["train", "--dataset", "it2004_sim", "--scale", "0.08",
