@@ -48,7 +48,7 @@ def timed_call(fn, *args, **kwargs):
     return result, time.perf_counter() - started
 
 
-def emit_json(name: str, metrics: dict) -> None:
+def emit_json(name: str, metrics: dict, step: str = None) -> None:
     """Archive simulated metrics as results/<name>.json for CI.
 
     ``metrics`` maps metric name → number. Metrics are *simulated*
@@ -57,12 +57,18 @@ def emit_json(name: str, metrics: dict) -> None:
     ``results/baseline.json``. The one exception is metrics ending in
     ``wall_seconds`` (simulator wall clock), which the checker gates
     with the separate, looser ``--wall-tolerance``.
+
+    ``step`` names the CI job step that produced the result; the
+    regression checker echoes it next to any failing metric so the
+    offending step is identifiable straight from the gate's output.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
+    payload = {"bench": name,
+               "metrics": {key: float(value)
+                           for key, value in metrics.items()}}
+    if step is not None:
+        payload["step"] = step
     with open(path, "w") as handle:
-        json.dump({"bench": name,
-                   "metrics": {key: float(value)
-                               for key, value in metrics.items()}},
-                  handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -102,7 +102,8 @@ def bench_fig9_gcn(benchmark):
         for label, _mode in LADDER
     }
     metrics["sim_wall_seconds"] = wall
-    emit_json("fig9_breakdown_gcn", metrics)
+    emit_json("fig9_breakdown_gcn", metrics,
+              step="Benchmark smoke (Fig. 9 breakdown + overlap, JSON metrics)")
     _check_shapes(results)
 
 
@@ -151,7 +152,8 @@ def bench_fig9_overlap(benchmark):
         for overlap in ("barrier", "pipeline")
     }
     metrics["sim_wall_seconds"] = wall
-    emit_json("fig9_overlap", metrics)
+    emit_json("fig9_overlap", metrics,
+              step="Benchmark smoke (Fig. 9 breakdown + overlap, JSON metrics)")
     for dataset in DATASETS:
         barrier = results[(dataset, "barrier")]
         pipeline = results[(dataset, "pipeline")]

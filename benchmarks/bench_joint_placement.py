@@ -188,5 +188,6 @@ def bench_joint_placement_smoke(benchmark):
         rounds=1, iterations=1)
     emit("joint_placement_smoke", build_table(measured))
     emit_json("joint_placement_smoke",
-              {**_json_metrics(measured), "sim_wall_seconds": wall})
+              {**_json_metrics(measured), "sim_wall_seconds": wall},
+              step="Benchmark smoke (topology sweep + placement search + joint)")
     check_joint(measured)

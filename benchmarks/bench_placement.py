@@ -221,5 +221,6 @@ def bench_placement_smoke(benchmark):
         rounds=1, iterations=1)
     emit("placement_smoke", build_table(measured))
     emit_json("placement_smoke",
-              {**_json_metrics(measured), "sim_wall_seconds": wall})
+              {**_json_metrics(measured), "sim_wall_seconds": wall},
+              step="Benchmark smoke (topology sweep + placement search + joint)")
     check_placement(measured)

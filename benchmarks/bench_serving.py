@@ -116,7 +116,7 @@ def bench_serving_smoke(benchmark):
         "poisson_p99_seconds": poisson.p99,
         "bursty_p99_seconds": bursty.p99,
         "sim_wall_seconds": wall,
-    })
+    }, step="Benchmark smoke (serving, bursty vs Poisson tail latency)")
     check_smoke(poisson, bursty)
 
 

@@ -127,7 +127,7 @@ def bench_simulator_scale_smoke(benchmark):
         "makespan_seconds": batched["makespan_seconds"],
         "num_tasks": batched["num_tasks"],
         "sim_wall_seconds": batched["sim_wall_seconds"],
-    })
+    }, step="Benchmark smoke (simulator scale, batched vs scalar identity)")
     check_smoke(batched, scalar)
 
 

@@ -202,5 +202,6 @@ def bench_topology_smoke(benchmark):
         if nodes == 2
     }
     metrics["sim_wall_seconds"] = wall
-    emit_json("topology_smoke", metrics)
+    emit_json("topology_smoke", metrics,
+              step="Benchmark smoke (topology sweep + placement search + joint)")
     check_sweep(results, node_counts=[2])

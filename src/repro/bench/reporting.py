@@ -180,10 +180,17 @@ def render_node_utilization(timeline, platform,
             busy[node][task.channel] += task.seconds
             devices[node][task.channel].add(task.device)
     makespan = timeline.makespan
+    # On a mixed-generation fleet, name each node's capability profile —
+    # the busy-seconds skew is unreadable without knowing which rows are
+    # the slow nodes.
+    hetero = getattr(platform, "heterogeneous", False)
+    node_specs = getattr(platform, "node_specs", None)
     flagged = False
     rows = []
     for node in range(num_nodes):
         cells = [f"node{node}"]
+        if hetero and node_specs is not None:
+            cells.append(node_specs[node].name)
         for column in columns:
             capacity = makespan * max(len(devices[node][column]), 1)
             overflow = busy[node][column] > capacity * (1.0 + 1e-9)
@@ -191,7 +198,9 @@ def render_node_utilization(timeline, platform,
             cells.append(format_seconds(busy[node][column])
                          + ("!" if overflow else ""))
         rows.append(cells)
-    table = render_table(["node"] + list(columns), rows, title=title)
+    header = ["node"] + (["spec"] if hetero and node_specs is not None
+                         else []) + list(columns)
+    table = render_table(header, rows, title=title)
     if flagged:
         table += ("\n! = busy exceeds makespan x devices for that "
                   "channel (clamped at 100% in the channel view) — "

@@ -41,6 +41,7 @@ from repro.graph import available_datasets, load_dataset
 from repro.hardware import (
     A100_CLUSTER,
     A100_SERVER,
+    NODE_SPECS,
     ClusterPlatform,
     MultiGPUPlatform,
     NetworkTopology,
@@ -87,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated cluster nodes; > 1 runs --gpus GPUs "
                             "on each node of an A100 cluster with halo "
                             "exchange + gradient all-reduce on the network")
+    _add_node_spec_arg(train)
     train.add_argument("--allreduce", default="ring",
                        choices=["ring", "tree"],
                        help="inter-node gradient all-reduce schedule "
@@ -145,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated cluster nodes; > 1 serves --gpus "
                             "GPUs per node with halo fetches on the "
                             "network")
+    _add_node_spec_arg(serve)
     serve.add_argument("--topology", default="flat",
                        choices=["flat", "spine", "rail"],
                        help="cluster network topology (only with "
@@ -181,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo", type=float, default=0.1,
                        help="latency SLO in seconds (goodput counts "
                             "requests at or under it)")
+    serve.add_argument("--cache-budget", type=float, default=None,
+                       metavar="BYTES",
+                       help="host-byte budget for the serving embedding "
+                            "cache (e.g. 2e9); warm pairs past it are "
+                            "evicted least-recently-used first. Default: "
+                            "unbounded")
 
     analyze = sub.add_parser("analyze",
                              help="communication-volume / cost analysis")
@@ -207,6 +216,73 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_node_spec_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--node-spec", action="append", default=None,
+                        metavar="NAME[:COUNT]",
+                        help="per-node capability profile, repeatable "
+                             f"(names: {', '.join(sorted(NODE_SPECS))}); "
+                             "e.g. --node-spec a100:2 --node-spec v100 "
+                             "builds a 3-node mixed-generation fleet. "
+                             "Counts must sum to --nodes. Default: "
+                             "--nodes identical A100 servers")
+
+
+def _resolve_node_specs(entries: List[str], nodes: int, gpus: int):
+    """``NAME[:COUNT]`` entries → one capability profile per node.
+
+    Exits with an argparse-style message (via ``SystemExit``) on unknown
+    names, malformed counts, or a total that disagrees with ``--nodes``;
+    deeper validation (positive rates etc.) lives in
+    :class:`~repro.hardware.spec.ClusterSpec`.
+    """
+    specs = []
+    for entry in entries:
+        name, _, count_text = entry.partition(":")
+        name = name.strip().lower()
+        if name not in NODE_SPECS:
+            raise SystemExit(
+                f"--node-spec: unknown profile {name!r}; choose from "
+                f"{', '.join(sorted(NODE_SPECS))}"
+            )
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            raise SystemExit(
+                f"--node-spec: count in {entry!r} must be an integer"
+            )
+        if count < 1:
+            raise SystemExit(
+                f"--node-spec: count in {entry!r} must be >= 1"
+            )
+        specs.extend([NODE_SPECS[name].with_num_gpus(gpus)] * count)
+    if len(specs) != nodes:
+        raise SystemExit(
+            f"--node-spec entries name {len(specs)} node(s) but "
+            f"--nodes={nodes}; make the counts sum to the node count"
+        )
+    return tuple(specs)
+
+
+def _build_platform(args):
+    """The simulated platform the train/serve commands share."""
+    if args.nodes > 1:
+        topology = NetworkTopology(kind=args.topology,
+                                   oversubscription=args.oversubscription)
+        cluster = A100_CLUSTER.with_num_nodes(args.nodes) \
+            .with_topology(topology)
+        node_spec_args = getattr(args, "node_spec", None)
+        if node_spec_args:
+            specs = _resolve_node_specs(node_spec_args, args.nodes,
+                                        args.gpus)
+            cluster = cluster.with_node_specs(specs)
+        return ClusterPlatform(cluster, gpus_per_node=args.gpus)
+    node_spec_args = getattr(args, "node_spec", None)
+    if node_spec_args:
+        specs = _resolve_node_specs(node_spec_args, 1, args.gpus)
+        return MultiGPUPlatform(specs[0], num_gpus=args.gpus)
+    return MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
+
+
 def cmd_train(args) -> int:
     if args.nodes == 1 and args.topology != "flat":
         print(f"--topology {args.topology} needs --nodes > 1 "
@@ -216,14 +292,7 @@ def cmd_train(args) -> int:
     dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
             + [graph.num_classes])
     model = build_model(args.arch, dims, np.random.default_rng(args.seed))
-    if args.nodes > 1:
-        topology = NetworkTopology(kind=args.topology,
-                                   oversubscription=args.oversubscription)
-        cluster = A100_CLUSTER.with_num_nodes(args.nodes) \
-            .with_topology(topology)
-        platform = ClusterPlatform(cluster, gpus_per_node=args.gpus)
-    else:
-        platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
+    platform = _build_platform(args)
     config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
                           intermediate_policy=args.policy,
                           overlap=args.overlap, nodes=args.nodes,
@@ -311,14 +380,7 @@ def cmd_serve(args) -> int:
     dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
             + [graph.num_classes])
     model = build_model(args.arch, dims, np.random.default_rng(args.seed))
-    if args.nodes > 1:
-        topology = NetworkTopology(kind=args.topology,
-                                   oversubscription=args.oversubscription)
-        cluster = A100_CLUSTER.with_num_nodes(args.nodes) \
-            .with_topology(topology)
-        platform = ClusterPlatform(cluster, gpus_per_node=args.gpus)
-    else:
-        platform = MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
+    platform = _build_platform(args)
     config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
                           intermediate_policy="hybrid",
                           overlap="pipeline", nodes=args.nodes,
@@ -328,7 +390,8 @@ def cmd_serve(args) -> int:
     trainer = HongTuTrainer(graph, model, platform, config)
     for _ in range(args.train_epochs):
         trainer.train_epoch()
-    engine = trainer.serving_engine()
+    budget = None if args.cache_budget is None else int(args.cache_budget)
+    engine = trainer.serving_engine(cache_budget_bytes=budget)
     arrivals = build_arrivals(args.arrival, args.rate, args.duration,
                               seed=args.seed, burst_size=args.burst_size)
     policy = build_policy(args.batch_policy, batch_size=args.batch_size,
@@ -343,6 +406,15 @@ def cmd_serve(args) -> int:
         title=f"{arrivals!r} under {policy.describe()} "
               f"(seed {args.seed})",
     ))
+    if budget is not None:
+        print(f"embedding cache: {format_bytes(engine.cache_bytes)} of "
+              f"{format_bytes(budget)} budget in use, "
+              f"{result.cache_evictions} eviction(s) this run")
+    if args.nodes > 1:
+        print(render_node_utilization(
+            result.timeline, platform,
+            title="per-node busy seconds",
+        ))
     return 0
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.comm.analysis import DedupVolumes, measure_volumes
 from repro.errors import ConfigurationError
@@ -92,6 +93,9 @@ class ClusterCostModel:
     bandwidth: float
     latency: float
     topology: NetworkTopology = FLAT_TOPOLOGY
+    #: per-node NIC byte rates of a heterogeneous fleet; ``None`` keeps
+    #: the homogeneous single-``bandwidth`` pricing bit-for-bit
+    node_bandwidths: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -102,22 +106,61 @@ class ClusterCostModel:
             raise ConfigurationError("bandwidth must be positive")
         if self.latency < 0:
             raise ConfigurationError("latency must be >= 0")
+        if self.node_bandwidths is None:
+            return
+        rates = tuple(self.node_bandwidths)
+        object.__setattr__(self, "node_bandwidths", rates)
+        if len(rates) != self.num_nodes:
+            raise ConfigurationError(
+                f"node_bandwidths lists {len(rates)} rate(s) for "
+                f"{self.num_nodes} node(s) - provide one NIC rate per "
+                f"node, or None for a homogeneous fabric"
+            )
+        for node, rate in enumerate(rates):
+            if rate <= 0:
+                raise ConfigurationError(
+                    f"node_bandwidths[{node}] must be positive, got "
+                    f"{rate!r} - a zero-rate NIC would stall every "
+                    f"collective forever"
+                )
 
     @staticmethod
     def from_cluster(cluster: ClusterSpec) -> "ClusterCostModel":
+        node_bandwidths = None
+        if cluster.heterogeneous:
+            node_bandwidths = tuple(
+                spec.nic_bandwidth if spec.nic_bandwidth is not None
+                else cluster.network_bandwidth
+                for spec in cluster.resolved_node_specs
+            )
         return ClusterCostModel(
             num_nodes=cluster.num_nodes,
             bandwidth=cluster.network_bandwidth,
             latency=cluster.network_latency,
             topology=cluster.topology,
+            node_bandwidths=node_bandwidths,
         )
+
+    def link_bandwidth(self, src: int, dst: int) -> float:
+        """Byte rate of the ``src → dst`` link: the slower endpoint's NIC."""
+        if self.node_bandwidths is None:
+            return self.bandwidth
+        return min(self.node_bandwidths[src], self.node_bandwidths[dst])
 
     @property
     def collective_bandwidth(self) -> float:
-        """Per-flow byte rate when every node's uplink is busy at once."""
+        """Per-flow byte rate when every node's uplink is busy at once.
+
+        On a heterogeneous fleet a synchronous collective is paced by
+        its *slowest member's* NIC — every ring/tree step waits for the
+        slow node's leg — so the per-flow rate is the fleet minimum
+        (identical profiles reduce to the homogeneous rate exactly).
+        """
+        bandwidth = self.bandwidth if self.node_bandwidths is None \
+            else min(self.node_bandwidths)
         if self.topology.kind == "spine":
-            return self.bandwidth / self.topology.oversubscription
-        return self.bandwidth
+            return bandwidth / self.topology.oversubscription
+        return bandwidth
 
     def ring_allreduce_seconds(self, nbytes: float) -> float:
         """Bandwidth-optimal ring all-reduce of an ``nbytes`` payload.
@@ -160,13 +203,19 @@ class ClusterCostModel:
             return self.ring_allreduce_seconds(nbytes)
         return self.tree_allreduce_seconds(nbytes)
 
-    def halo_exchange_seconds(self, nbytes: float) -> float:
+    def halo_exchange_seconds(self, nbytes: float,
+                              src: Optional[int] = None,
+                              dst: Optional[int] = None) -> float:
         """One point-to-point halo message of ``nbytes`` over one link.
 
         Zero-byte halos still pay the latency term if a message is sent;
         the executor simply emits no task for an empty halo, so a
-        zero-halo partition crosses the network exactly never.
+        zero-halo partition crosses the network exactly never. With
+        ``src``/``dst`` node ids the message is priced at that link's
+        rate (the slower endpoint's NIC on a heterogeneous fleet).
         """
+        if src is not None and dst is not None:
+            return self.latency + nbytes / self.link_bandwidth(src, dst)
         return self.latency + nbytes / self.bandwidth
 
     def halo_volume_seconds(self, nbytes: float) -> float:

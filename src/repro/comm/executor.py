@@ -150,6 +150,10 @@ class _HaloSplit:
     by_reader: List[List[int]]
     #: per key, the contributing GPUs (deduped, contribution order)
     key_gpus: List[List[int]]
+    #: per key, the link endpoints (node ids) — heterogeneous fleets
+    #: price each message at the slower endpoint's NIC rate
+    src_nodes: np.ndarray = None
+    dst_nodes: np.ndarray = None
 
     def __bool__(self) -> bool:
         return bool(self.keys)
@@ -223,6 +227,12 @@ class DedupCommunicator:
         self._node_of_gpu: List[int] = [
             platform.node_of(i) for i in range(plan.num_gpus)
         ]
+        # Per-GPU/per-node index arrays for heterogeneous cost pricing:
+        # wave arrays are in GPU order, so ``devices=_gpu_ids`` prices
+        # each element with its owning node's rates (ignored on
+        # homogeneous platforms).
+        self._gpu_ids = np.arange(plan.num_gpus, dtype=np.int64)
+        self._gpu_nodes = np.asarray(self._node_of_gpu, dtype=np.int64)
         # Network wiring: rail count resolves the per-pair link fan-out
         # (1 for flat/spine); a GPU's traffic rides the rail of its local
         # rank within its node — placement-aware, so moving a partition
@@ -326,6 +336,8 @@ class DedupCommunicator:
             devices=devices,
             by_reader=by_reader,
             key_gpus=key_gpus,
+            src_nodes=np.array([key[0] for key in keys], dtype=np.int64),
+            dst_nodes=np.array([key[1] for key in keys], dtype=np.int64),
         )
 
     def _vertex_halo(self, vertex_lists, toward_owner: bool) -> _HaloSplit:
@@ -449,11 +461,13 @@ class DedupCommunicator:
         local_seconds = np.zeros(m)
         if len(static.d2d_gpu):
             np.add.at(d2d_seconds, static.d2d_gpu,
-                      self.platform.d2d_seconds(static.d2d_rows * row_bytes))
+                      self.platform.d2d_seconds(static.d2d_rows * row_bytes,
+                                                devices=static.d2d_gpu))
         if len(static.local_gpu):
             np.add.at(local_seconds, static.local_gpu,
                       self.platform.reuse_seconds(
-                          static.local_rows * row_bytes))
+                          static.local_rows * row_bytes,
+                          devices=static.local_gpu))
         return d2d_seconds, local_seconds
 
     def _charge_flow(self, flow: str, halo: _HaloSplit,
@@ -483,7 +497,8 @@ class DedupCommunicator:
         if not halo:
             return _NO_IDS
         nbytes = halo.rows * row_bytes
-        seconds = self.platform.net_seconds(nbytes)
+        seconds = self.platform.net_seconds(nbytes, src=halo.src_nodes,
+                                            dst=halo.dst_nodes)
         self.bytes_moved["net"] += int(nbytes.sum())
         if flow:
             self._charge_flow(flow, halo, nbytes)
@@ -625,8 +640,10 @@ class DedupCommunicator:
         reused_bytes = static.reused_rows * row_bytes
         self.bytes_moved["h2d"] += int(loaded_bytes.sum())
         self.bytes_moved["ru"] += int(reused_bytes.sum())
-        h2d_seconds = self.platform.h2d_seconds(loaded_bytes)
-        reuse_seconds = self.platform.reuse_seconds(reused_bytes)
+        h2d_seconds = self.platform.h2d_seconds(loaded_bytes,
+                                                devices=self._gpu_ids[:m])
+        reuse_seconds = self.platform.reuse_seconds(
+            reused_bytes, devices=self._gpu_ids[:m])
 
         load_ids = _NO_IDS
         reuse_ids = _NO_IDS
@@ -840,8 +857,10 @@ class DedupCommunicator:
             np.add.at(host_grads, vertices, buffers[plan.gpu][positions])
         flush_bytes = static.flush_rows * row_bytes
         self.bytes_moved["d2h"] += int(flush_bytes.sum())
-        d2h_seconds = self.platform.h2d_seconds(flush_bytes)
-        cpu_seconds = self.platform.cpu_accumulate_seconds(flush_bytes)
+        d2h_seconds = self.platform.h2d_seconds(flush_bytes,
+                                                devices=self._gpu_ids[:m])
+        cpu_seconds = self.platform.cpu_accumulate_seconds(
+            flush_bytes, node=self._gpu_nodes[:m])
 
         if timeline is not None:
             flush_ids = timeline.submit_batch(

@@ -109,13 +109,24 @@ class JointResult:
 def _combined_cost(partition: TwoLevelPartition, net_rows: int,
                    cost_model: CommCostModel,
                    cluster_model: ClusterCostModel, row_bytes: int,
-                   allreduce_bytes: float, allreduce_algorithm: str) -> float:
-    """Eq. 4 + cluster net term + (constant) collective legs, seconds."""
+                   allreduce_bytes: float, allreduce_algorithm: str,
+                   compute_rows_placed: int = 0) -> float:
+    """Eq. 4 + cluster net term + (constant) collective legs, seconds.
+
+    A capability-aware loop also prices the placement's row-equivalent
+    compute term (``compute_rows_placed``, from the search's objective)
+    at the same congested rate, so trading halo rows for faster kernels
+    moves the convergence criterion the same way it moves the search's
+    integer objective. Zero (the homogeneous case) adds nothing.
+    """
     eq4 = cost_model.cost_seconds(measure_volumes(partition), row_bytes)
     net = cluster_model.placement_seconds(
         net_rows, row_bytes, allreduce_bytes=allreduce_bytes,
         algorithm=allreduce_algorithm,
     )
+    if compute_rows_placed:
+        net += (compute_rows_placed * row_bytes
+                / cluster_model.collective_bandwidth)
     return eq4 + net
 
 
@@ -129,7 +140,8 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
                     seed_placement: Optional[np.ndarray] = None,
                     max_imbalance: int = 0,
                     node_budgets: Optional[Sequence[Optional[float]]] = None,
-                    partition_host_bytes: Optional[np.ndarray] = None
+                    partition_host_bytes: Optional[np.ndarray] = None,
+                    compute_rows: Optional[np.ndarray] = None
                     ) -> JointResult:
     """Alternate placement search and schedule reorganization to a
     fixed point of the combined predicted cost.
@@ -144,6 +156,13 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
     Returns the best (schedule, placement) pair seen. Iteration 1 is
     exactly the single-pass ``placement="search"`` pipeline, so
     ``cost_joint <= cost_single_pass`` always holds.
+
+    ``compute_rows`` (an ``(m, num_nodes)`` row-equivalent compute
+    matrix, see :func:`~repro.partition.placement.search_placement`)
+    makes every search step capability-aware on a heterogeneous fleet;
+    the convergence cost then includes the placed compute term at the
+    same congested rate, and identical per-node rates leave the loop
+    bit-identical to the homogeneous one.
     """
     if num_nodes < 2:
         raise ValueError(
@@ -181,6 +200,7 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
             seed_placement=placement, max_imbalance=max_imbalance,
             node_budgets=node_budgets,
             partition_host_bytes=partition_host_bytes,
+            compute_rows=compute_rows,
         )
         placement = placed.placement
         total_swaps += placed.swaps
@@ -192,6 +212,7 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
             cost_initial = _combined_cost(
                 current, placed.rows_block, cost_model, cluster_model,
                 row_bytes, allreduce_bytes, allreduce_algorithm,
+                compute_rows_placed=placed.compute_rows_block or 0,
             )
 
         reorganized = reorganize_partition(
@@ -205,6 +226,7 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
         cost = _combined_cost(
             current, net_rows, cost_model, cluster_model, row_bytes,
             allreduce_bytes, allreduce_algorithm,
+            compute_rows_placed=placed.compute_rows_search or 0,
         )
         iterations.append(JointIteration(
             index=index,

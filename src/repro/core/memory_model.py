@@ -27,7 +27,7 @@ from repro.gnn.models import GNNModel, build_model
 
 __all__ = ["MemoryEstimate", "estimate_training_memory", "estimate_for_model",
            "partition_host_bytes", "placement_host_bytes",
-           "admits_placement"]
+           "node_host_budgets", "admits_placement"]
 
 
 @dataclass(frozen=True)
@@ -126,6 +126,26 @@ def placement_host_bytes(placement: Sequence[int],
         )
     return np.bincount(placement, weights=per_partition,
                        minlength=num_nodes).astype(np.int64)
+
+
+def node_host_budgets(platform, vertex_host_bytes: int) -> list:
+    """Per-node host-byte budgets left for placement-pinned checkpoints.
+
+    A node's budget is its host pool's remaining capacity after live
+    reservations and its share of the (placement-invariant) vertex-data
+    buffers — ``platform.split_host_bytes`` decides the shares, so on a
+    heterogeneous fleet each budget reflects that node's *actual* host
+    capacity (capacity-proportional shards of the vertex data, the full
+    per-spec pool size) rather than a uniform per-node figure. ``None``
+    entries mean that node's pool is unlimited.
+    """
+    budgets = []
+    for pool, share in platform.split_host_bytes(int(vertex_host_bytes)):
+        if pool.capacity is None:
+            budgets.append(None)
+        else:
+            budgets.append(pool.capacity - pool.in_use - share)
+    return budgets
 
 
 def admits_placement(placement: Sequence[int],

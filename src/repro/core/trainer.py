@@ -76,7 +76,7 @@ from repro.comm.joint import joint_placement
 from repro.comm.plan import CommPlan, build_comm_plan
 from repro.comm.reorganize import ReorganizationResult, reorganize_partition
 from repro.core.config import HongTuConfig
-from repro.core.memory_model import partition_host_bytes
+from repro.core.memory_model import node_host_budgets, partition_host_bytes
 from repro.errors import ConfigurationError
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
@@ -226,15 +226,30 @@ class HongTuTrainer:
 
         # Uneven placements: skewed node loads are admitted only when
         # the per-node host memory fits the checkpoints the extra
-        # partitions pin (core.memory_model's admission rule).
+        # partitions pin (core.memory_model's admission rule). A
+        # heterogeneous fleet always runs with budgets — even balanced
+        # swaps move checkpoint bytes between hosts of *different*
+        # capacities there, so every move must clear the small node's
+        # actual headroom.
+        hetero = getattr(platform, "heterogeneous", False)
         node_budgets = None
         per_partition_bytes = None
-        if config.max_imbalance > 0 and platform_nodes > 1:
+        if (config.max_imbalance > 0 or hetero) and platform_nodes > 1:
             node_budgets, per_partition_bytes = self._admission_inputs()
         #: the admission inputs the placement search ran with (None when
         #: exact balance was enforced) — provenance for benches/tests
         self.placement_node_budgets = node_budgets
         self.placement_partition_host_bytes = per_partition_bytes
+
+        # Capability-aware placement objective: on a heterogeneous fleet
+        # each partition's kernel time depends on which node's GPUs run
+        # it, so the search weighs halo rows against row-equivalent
+        # compute. None (every homogeneous platform) keeps the search
+        # bit-identical to the rows-only objective.
+        compute_rows = None
+        if hetero and platform_nodes > 1:
+            compute_rows = self._compute_row_matrix(cluster_model, row_bytes)
+        self.placement_compute_rows = compute_rows
 
         if config.placement == "joint" and platform_nodes > 1:
             # Alternate placement search and schedule reorganization to
@@ -251,6 +266,7 @@ class HongTuTrainer:
                 max_imbalance=config.max_imbalance,
                 node_budgets=node_budgets,
                 partition_host_bytes=per_partition_bytes,
+                compute_rows=compute_rows,
             )
             self.partition = joint.partition
             self.placement = joint.placement_result.placement
@@ -274,6 +290,7 @@ class HongTuTrainer:
                     max_imbalance=config.max_imbalance,
                     node_budgets=node_budgets,
                     partition_host_bytes=per_partition_bytes,
+                    compute_rows=compute_rows,
                 )
                 self.placement = placed.placement
                 self.placement_result = placed
@@ -357,21 +374,16 @@ class HongTuTrainer:
     def _admission_inputs(self):
         """Per-node budgets + per-partition host bytes for uneven moves.
 
-        A node's budget is its host pool's remaining capacity after live
-        reservations and its (placement-invariant) vertex-data shard —
-        what is actually left for the placement-pinned aggregate
-        checkpoints. The per-partition bytes are the hybrid policy's
-        checkpoint footprint (zero under ``recompute``, which pins
-        nothing placement-dependent on the host).
+        Budgets come from :func:`~repro.core.memory_model.node_host_budgets`
+        over the platform's *actual* host pools — per-node-spec capacities
+        and capacity-proportional vertex-data shards on a heterogeneous
+        fleet — so nothing here assumes uniform hosts. The per-partition
+        bytes are the hybrid policy's checkpoint footprint (zero under
+        ``recompute``, which pins nothing placement-dependent on the
+        host).
         """
         config = self.config
-        budgets = []
-        for pool, share in self.platform.split_host_bytes(
-                self._vertex_host_bytes()):
-            if pool.capacity is None:
-                budgets.append(None)
-            else:
-                budgets.append(pool.capacity - pool.in_use - share)
+        budgets = node_host_budgets(self.platform, self._vertex_host_bytes())
         sizes = np.bincount(self.partition.assignment,
                             minlength=self.platform.num_gpus)
         aggregate_dims = []
@@ -384,6 +396,35 @@ class HongTuTrainer:
             sizes, aggregate_dims, config.bytes_per_scalar
         )
         return budgets, per_partition
+
+    def _compute_row_matrix(self, cluster_model: ClusterCostModel,
+                            row_bytes: int) -> np.ndarray:
+        """``(m, num_nodes)`` row-equivalent compute matrix for the search.
+
+        Entry ``[p, n]`` is the kernel seconds of running partition p's
+        per-epoch forward flops on node n's GPU generation, expressed in
+        the same integer unit the placement objective counts halo rows
+        in (one unit = the congested network seconds of one row). On a
+        fleet with identical per-node rates every column is identical,
+        so all swap/move gains from this term are exactly zero and the
+        search stays bit-identical to the rows-only objective.
+        """
+        m = self.platform.num_gpus
+        flops = np.zeros(m, dtype=np.float64)
+        for i in range(m):
+            for chunk in self.partition.chunks[i]:
+                block = chunk.block
+                for layer in self.model.layers:
+                    flops[i] += layer.forward_flops(
+                        block.num_src, block.num_dst, block.num_edges
+                    )
+        rates = np.array(
+            [spec.gpu.compute_flops for spec in self.platform.node_specs],
+            dtype=np.float64,
+        )
+        seconds = flops[:, None] / rates[None, :]
+        row_seconds = row_bytes / cluster_model.collective_bandwidth
+        return np.rint(seconds / row_seconds).astype(np.int64)
 
     # ------------------------------------------------------------------
     # public API
@@ -480,16 +521,18 @@ class HongTuTrainer:
                     columns.add((l, j))
         return columns
 
-    def serving_engine(self):
+    def serving_engine(self, cache_budget_bytes: Optional[int] = None):
         """A :class:`~repro.serving.engine.ServingEngine` over this trainer.
 
         The engine reuses this trainer's plan, partition, platform and
         config, and pre-warms its embedding cache from the aggregate
         checkpoints of any hybrid-policy epochs already trained.
+        ``cache_budget_bytes`` bounds that cache (LRU eviction); ``None``
+        keeps it unbounded.
         """
         from repro.serving.engine import ServingEngine
 
-        return ServingEngine(self)
+        return ServingEngine(self, cache_budget_bytes=cache_budget_bytes)
 
     # ------------------------------------------------------------------
     # forward pass (Algorithm 1, lines 4-9)
@@ -535,13 +578,15 @@ class HongTuTrainer:
                             self._store_checkpoint(l, i, j, agg.data)
                             d2h += block.num_dst * layer.aggregate_dim() * bps
                         self._h[l + 1][chunk.dst_global] = out.data
-                        d2h_seconds.append(self.platform.h2d_seconds(d2h))
+                        d2h_seconds.append(
+                            self.platform.h2d_seconds(d2h, devices=i)
+                        )
                         self._comm_values.bytes_moved["d2h"] += d2h
                         flops = layer.forward_flops(
                             block.num_src, block.num_dst, block.num_edges
                         )
                         compute_seconds.append(
-                            self.platform.gpu_compute_seconds(flops)
+                            self.platform.gpu_compute_seconds(flops, devices=i)
                         )
                 compute_ids = timeline.submit_batch(
                     "gpu", compute_seconds, deps_by_device=input_deps,
@@ -567,8 +612,11 @@ class HongTuTrainer:
         self._grad_h[-1][:] = seed.astype(self.config.dtype)
         logits_bytes = self._h[-1].shape[0] * self._h[-1].shape[1] \
             * self.config.bytes_per_scalar
+        # The downstream task runs on node 0's host (the loss is a single
+        # global reduction; on one node the argument is a no-op).
         timeline.add("cpu",
-                     self.platform.cpu_accumulate_seconds(logits_bytes),
+                     self.platform.cpu_accumulate_seconds(logits_bytes,
+                                                          node=0),
                      label="loss")
         return loss
 
@@ -624,7 +672,7 @@ class HongTuTrainer:
             else:
                 h_dst_data = np.zeros((block.num_dst, layer.in_dim),
                                       dtype=self.config.dtype)
-            h2d_seconds.append(self.platform.h2d_seconds(loaded))
+            h2d_seconds.append(self.platform.h2d_seconds(loaded, devices=i))
             self._comm_grads.bytes_moved["h2d"] += loaded
 
             workspace_bytes = bps * 3 * block.num_dst * (
@@ -645,7 +693,9 @@ class HongTuTrainer:
             flops = (3 * layer.update_flops(block.num_dst)
                      + layer.aggregate_flops(block.num_src, block.num_dst,
                                              block.num_edges))
-            compute_seconds.append(self.platform.gpu_compute_seconds(flops))
+            compute_seconds.append(
+                self.platform.gpu_compute_seconds(flops, devices=i)
+            )
 
         load_ids = timeline.submit_batch(
             "h2d", h2d_seconds, label=f"grad_load[l{l}b{j}]",
@@ -676,7 +726,7 @@ class HongTuTrainer:
 
             grad_out = self._grad_h[l + 1][chunk.dst_global]
             loaded = block.num_dst * layer.out_dim * bps
-            h2d_seconds.append(self.platform.h2d_seconds(loaded))
+            h2d_seconds.append(self.platform.h2d_seconds(loaded, devices=i))
             self._comm_grads.bytes_moved["h2d"] += loaded
 
             workspace_bytes = bps * (
@@ -696,7 +746,9 @@ class HongTuTrainer:
             flops = 3 * layer.forward_flops(
                 block.num_src, block.num_dst, block.num_edges
             )
-            compute_seconds.append(self.platform.gpu_compute_seconds(flops))
+            compute_seconds.append(
+                self.platform.gpu_compute_seconds(flops, devices=i)
+            )
 
         load_ids = timeline.submit_batch(
             "h2d", h2d_seconds, label=f"grad_load[l{l}b{j}]",
@@ -746,13 +798,15 @@ class HongTuTrainer:
                     intra_legs.append((members[0], volume))
             intra_ids = np.empty(0, dtype=np.int64)
             if intra_legs:
+                leg_devices = np.array([device for device, _ in intra_legs],
+                                       dtype=np.int64)
                 intra_ids = timeline.submit_batch(
                     "d2d",
                     self.platform.d2d_seconds(
-                        np.array([volume for _, volume in intra_legs])
+                        np.array([volume for _, volume in intra_legs]),
+                        devices=leg_devices,
                     ),
-                    devices=np.array([device for device, _ in intra_legs],
-                                     dtype=np.int64),
+                    devices=leg_devices,
                     label="all_reduce_intra",
                 )
             cost = ClusterCostModel.from_cluster(self.platform.cluster)

@@ -13,6 +13,8 @@ from repro.hardware.spec import (
     CPU_NODE,
     ECS_CLUSTER,
     A100_CLUSTER,
+    V100_SERVER,
+    NODE_SPECS,
     GB,
     scaled_platform,
 )
@@ -28,7 +30,7 @@ __all__ = [
     "GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
     "NetworkTopology", "TOPOLOGY_KINDS", "FLAT_TOPOLOGY",
     "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
-    "A100_CLUSTER", "GB", "scaled_platform",
+    "A100_CLUSTER", "V100_SERVER", "NODE_SPECS", "GB", "scaled_platform",
     "MemoryPool", "Allocation",
     "TimeBreakdown", "EventTimeline", "CATEGORIES",
     "SimulatedGPU", "MultiGPUPlatform", "ClusterPlatform",

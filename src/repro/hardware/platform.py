@@ -75,10 +75,24 @@ class MultiGPUPlatform:
         if numa_aware is None:
             numa_aware = self.num_gpus > spec.num_sockets
         self.numa_aware = numa_aware
+        self._hetero = False
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when nodes carry distinct capability profiles."""
+        return self._hetero
 
     # -- transfer costs (seconds) -----------------------------------------
-    def h2d_seconds(self, nbytes: float) -> float:
+    # Every cost function takes an optional ``devices`` (global GPU id,
+    # scalar or array, aligned elementwise with ``nbytes``/``flops``).
+    # On a homogeneous platform the argument is ignored and the original
+    # single-spec expression runs unchanged — the float-identity
+    # guarantee for existing configs. A heterogeneous ClusterPlatform
+    # prices each element with the owning node's rates.
+    def h2d_seconds(self, nbytes, devices=None):
         """Host→GPU (or GPU→host) transfer over PCIe, NUMA-adjusted."""
+        if self._hetero and devices is not None:
+            return nbytes / self._h2d_rate[devices]
         bandwidth = self.spec.pcie_bandwidth
         if not self.numa_aware:
             # Half the vertex data lives on the remote socket and crosses QPI.
@@ -90,20 +104,28 @@ class MultiGPUPlatform:
             bandwidth = effective
         return nbytes / bandwidth
 
-    def d2d_seconds(self, nbytes: float) -> float:
-        """GPU→GPU transfer over NVLink / P2P."""
+    def d2d_seconds(self, nbytes, devices=None):
+        """GPU→GPU transfer over NVLink / P2P (rates of the reading GPU)."""
+        if self._hetero and devices is not None:
+            return nbytes / self._d2d_rate[devices]
         return nbytes / self.spec.nvlink_bandwidth
 
-    def reuse_seconds(self, nbytes: float) -> float:
+    def reuse_seconds(self, nbytes, devices=None):
         """Intra-GPU in-place data reuse (HBM-bandwidth bookkeeping)."""
+        if self._hetero and devices is not None:
+            return nbytes / self._ru_rate[devices]
         return nbytes / self.spec.gpu.memory_bandwidth
 
-    def gpu_compute_seconds(self, flops: float) -> float:
+    def gpu_compute_seconds(self, flops, devices=None):
         """Kernel time for ``flops`` floating-point operations on one GPU."""
+        if self._hetero and devices is not None:
+            return flops / self._compute_rate[devices]
         return flops / self.spec.gpu.compute_flops
 
-    def cpu_accumulate_seconds(self, nbytes: float) -> float:
+    def cpu_accumulate_seconds(self, nbytes, node=None):
         """Host-side gradient accumulation of ``nbytes`` of gradient data."""
+        if self._hetero and node is not None:
+            return nbytes / self._cpu_rate[node]
         return nbytes / self.spec.cpu_accumulate_bandwidth
 
     # -- node topology (single node here; ClusterPlatform overrides) -------
@@ -142,7 +164,7 @@ class MultiGPUPlatform:
         """Parallel network rails per node pair (1 for flat/spine)."""
         return 1
 
-    def net_seconds(self, nbytes: float) -> float:
+    def net_seconds(self, nbytes, src=None, dst=None):
         """Inter-node message cost; meaningless on one node."""
         raise ConfigurationError(
             f"{self.spec.name} is a single node; no network to price"
@@ -230,6 +252,10 @@ class ClusterPlatform(MultiGPUPlatform):
             )
         self.cluster = cluster
         self.spec = node_spec
+        #: one capability profile per node (N copies of ``cluster.node``
+        #: unless the spec names per-node profiles)
+        self.node_specs = cluster.resolved_node_specs
+        self._hetero = cluster.heterogeneous
         self._gpus_per_node = per_node
         self.num_gpus = cluster.num_nodes * per_node
         self.gpus = [
@@ -237,8 +263,8 @@ class ClusterPlatform(MultiGPUPlatform):
             for device in range(self.num_gpus)
         ]
         self.hosts: List[MemoryPool] = [
-            MemoryPool(node_spec.host_memory_bytes, name=f"host{node}")
-            for node in range(cluster.num_nodes)
+            MemoryPool(spec.host_memory_bytes, name=f"host{node}")
+            for node, spec in enumerate(self.node_specs)
         ]
         self.host = self.hosts[0]
         # NUMA placement is decided per node by its local GPU count (§7.6).
@@ -292,6 +318,66 @@ class ClusterPlatform(MultiGPUPlatform):
                 # node spec does not have.
                 self.gpus[device].socket = min(rank // gpus_per_socket,
                                                last_socket)
+        if self._hetero:
+            self._rebuild_rates()
+
+    def _effective_h2d_rate(self, spec: PlatformSpec) -> float:
+        """One node's NUMA-adjusted H2D byte rate (same blend as
+        :meth:`MultiGPUPlatform.h2d_seconds`, so identical profiles price
+        identically to the homogeneous path)."""
+        bandwidth = spec.pcie_bandwidth
+        if not self.numa_aware:
+            remote_fraction = 1.0 - 1.0 / spec.num_sockets
+            bandwidth = (
+                (1.0 - remote_fraction) * bandwidth
+                + remote_fraction * bandwidth * spec.qpi_factor
+            )
+        return bandwidth
+
+    def _rebuild_rates(self) -> None:
+        """Per-GPU/per-node rate arrays following the active placement.
+
+        ``_h2d_rate[p]`` etc. are the rates of the node the placement
+        assigns global GPU ``p`` to, so re-placing a partition onto a
+        different hardware generation reprices its kernels and
+        transfers. GPU memory capacities follow too — only before any
+        allocations exist (placements are installed before trainers
+        build their working sets).
+        """
+        specs = self.node_specs
+        by_node = {
+            "h2d": np.array([self._effective_h2d_rate(s) for s in specs]),
+            "d2d": np.array([s.nvlink_bandwidth for s in specs]),
+            "ru": np.array([s.gpu.memory_bandwidth for s in specs]),
+            "compute": np.array([s.gpu.compute_flops for s in specs]),
+        }
+        owner = self._placement
+        self._h2d_rate = by_node["h2d"][owner]
+        self._d2d_rate = by_node["d2d"][owner]
+        self._ru_rate = by_node["ru"][owner]
+        self._compute_rate = by_node["compute"][owner]
+        self._cpu_rate = np.array(
+            [s.cpu_accumulate_bandwidth for s in specs])
+        self._nic_rate = np.array([
+            s.nic_bandwidth if s.nic_bandwidth is not None
+            else self.cluster.network_bandwidth
+            for s in specs
+        ])
+        for device in range(self.num_gpus):
+            capacity = specs[owner[device]].gpu.memory_bytes
+            pool = self.gpus[device].memory
+            if pool.capacity == capacity:
+                continue
+            if pool.in_use:
+                raise ConfigurationError(
+                    f"cannot re-place gpu{device} onto a node with "
+                    f"{capacity} B of GPU memory while {pool.in_use} B "
+                    f"are allocated against its current {pool.capacity} "
+                    f"B pool - call reset_memory() before re-placing "
+                    f"across hardware generations"
+                )
+            self.gpus[device].memory = MemoryPool(capacity,
+                                                  name=f"gpu{device}")
 
     @property
     def placement(self) -> np.ndarray:
@@ -330,15 +416,23 @@ class ClusterPlatform(MultiGPUPlatform):
         """Parallel rails per directed node pair (1 unless rail-wired)."""
         return self.cluster.topology.resolved_rails(self._gpus_per_node)
 
-    def net_seconds(self, nbytes: float) -> float:
+    def net_seconds(self, nbytes, src=None, dst=None):
         """One inter-node message: fixed latency + bytes over one link.
 
         On a rail topology a message rides one of ``num_rails`` parallel
         rails at ``bandwidth / num_rails`` each; flat and spine messages
         ride a full-rate per-pair link (spine contention is modeled as a
         shared-resource hold, :meth:`spine_hold_seconds`, not as a slower
-        link).
+        link). On a heterogeneous fleet a link runs at the *slower
+        endpoint's* NIC rate — ``min(nic[src], nic[dst])`` — so traffic
+        touching a previous-generation node pays that node's wire speed
+        in both directions (``src``/``dst`` are node ids, scalar or
+        array, elementwise with ``nbytes``).
         """
+        if self._hetero and src is not None and dst is not None:
+            link = np.minimum(self._nic_rate[src], self._nic_rate[dst])
+            return (self.cluster.network_latency
+                    + nbytes / (link / self.num_rails))
         bandwidth = self.cluster.network_bandwidth / self.num_rails
         return self.cluster.network_latency + nbytes / bandwidth
 
@@ -362,7 +456,22 @@ class ClusterPlatform(MultiGPUPlatform):
         return self.hosts[node]
 
     def split_host_bytes(self, nbytes: int) -> List[Tuple[MemoryPool, int]]:
-        """Even shard of ``nbytes`` across node hosts (remainder on node 0)."""
+        """(pool, bytes) shares of data sharded across node hosts.
+
+        Homogeneous fleets shard evenly (remainder on node 0). A
+        heterogeneous fleet shards *proportionally to host capacity*, so
+        a small-DRAM node holds a small slice of the vertex data; with
+        equal capacities the proportional floor equals the even split
+        exactly, keeping identical-profile clusters bit-identical.
+        """
+        if self._hetero:
+            capacities = [spec.host_memory_bytes
+                          for spec in self.node_specs]
+            total = sum(capacities)
+            shares = [nbytes * capacity // total
+                      for capacity in capacities]
+            shares[0] += nbytes - sum(shares)
+            return list(zip(self.hosts, shares))
         share = nbytes // self.num_nodes
         shares = [share] * self.num_nodes
         shares[0] += nbytes - share * self.num_nodes
@@ -372,13 +481,19 @@ class ClusterPlatform(MultiGPUPlatform):
         return sum(pool.in_use for pool in self.hosts)
 
     def reset_memory(self) -> None:
-        """Drop all allocations (between experiment runs)."""
+        """Drop all allocations (between experiment runs).
+
+        Pool capacities follow the capability profiles: each GPU gets
+        its *owning node's* memory size under the active placement, each
+        host its node's DRAM.
+        """
         for gpu in self.gpus:
-            gpu.memory = MemoryPool(self.spec.gpu.memory_bytes,
+            spec = self.node_specs[self.node_of(gpu.device_id)]
+            gpu.memory = MemoryPool(spec.gpu.memory_bytes,
                                     name=f"gpu{gpu.device_id}")
         self.hosts = [
-            MemoryPool(self.spec.host_memory_bytes, name=f"host{node}")
-            for node in range(self.num_nodes)
+            MemoryPool(spec.host_memory_bytes, name=f"host{node}")
+            for node, spec in enumerate(self.node_specs)
         ]
         self.host = self.hosts[0]
 

@@ -24,11 +24,15 @@ throughputs FLOP/s.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
 
 __all__ = ["GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
            "NetworkTopology", "TOPOLOGY_KINDS", "FLAT_TOPOLOGY",
            "A100_SERVER", "PCIE_ONLY_SERVER", "CPU_NODE", "ECS_CLUSTER",
-           "A100_CLUSTER", "GB", "scaled_platform"]
+           "A100_CLUSTER", "V100_SERVER", "NODE_SPECS", "GB",
+           "scaled_platform"]
 
 GB = 1024 ** 3
 
@@ -123,6 +127,10 @@ class PlatformSpec:
     #: CPU-side effective byte rate for host gradient accumulation
     cpu_accumulate_bandwidth: float
     num_sockets: int = 2
+    #: this node's NIC rate, bytes/s per link per direction. ``None``
+    #: (the default) inherits the cluster-wide ``network_bandwidth`` —
+    #: only mixed-generation fleets set a per-node override.
+    nic_bandwidth: Optional[float] = None
 
     def with_gpu_memory(self, memory_bytes: int) -> "PlatformSpec":
         """Copy of this spec with a different per-GPU memory capacity."""
@@ -160,18 +168,59 @@ class CPUClusterSpec:
         return replace(self, num_nodes=num_nodes)
 
 
+#: per-node rate fields that every capability profile must keep positive
+_RATE_FIELDS = ("pcie_bandwidth", "nvlink_bandwidth",
+                "cpu_accumulate_bandwidth")
+
+
+def _validate_node_spec(index: int, spec: PlatformSpec) -> None:
+    """Reject a capability profile with non-positive capacities/rates."""
+    label = f"node_specs[{index}] ({spec.name!r})"
+    for field in _RATE_FIELDS:
+        if getattr(spec, field) <= 0:
+            raise ConfigurationError(
+                f"{label}: {field} must be positive, got "
+                f"{getattr(spec, field)!r} - every node profile needs "
+                f"achievable transfer rates"
+            )
+    if spec.gpu.compute_flops <= 0 or spec.gpu.memory_bandwidth <= 0:
+        raise ConfigurationError(
+            f"{label}: GPU rates must be positive (compute_flops="
+            f"{spec.gpu.compute_flops!r}, memory_bandwidth="
+            f"{spec.gpu.memory_bandwidth!r}) - a zero-rate GPU would "
+            f"stall the simulated timeline forever"
+        )
+    if spec.gpu.memory_bytes <= 0 or spec.host_memory_bytes <= 0:
+        raise ConfigurationError(
+            f"{label}: memory capacities must be positive "
+            f"(gpu.memory_bytes={spec.gpu.memory_bytes!r}, "
+            f"host_memory_bytes={spec.host_memory_bytes!r})"
+        )
+    if spec.nic_bandwidth is not None and spec.nic_bandwidth <= 0:
+        raise ConfigurationError(
+            f"{label}: nic_bandwidth must be positive when set, got "
+            f"{spec.nic_bandwidth!r} - use None to inherit the "
+            f"cluster-wide network_bandwidth"
+        )
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
-    """N identical multi-GPU servers joined by a cluster network.
+    """N multi-GPU servers joined by a cluster network.
 
-    The scale-out testbed of the multi-node extension: every node is one
-    ``node`` :class:`PlatformSpec` (the paper's single-server platform),
-    and nodes exchange halo rows / gradients over full-duplex links wired
-    as ``topology`` (flat non-blocking switch by default; oversubscribed
-    spine and rail-optimized fabrics via :class:`NetworkTopology`).
-    ``network_bandwidth`` is the achieved per-link, per-direction byte
-    rate; ``network_latency`` the fixed per-message setup cost charged to
-    every network task.
+    The scale-out testbed of the multi-node extension: by default every
+    node is one ``node`` :class:`PlatformSpec` (the paper's single-server
+    platform), and nodes exchange halo rows / gradients over full-duplex
+    links wired as ``topology`` (flat non-blocking switch by default;
+    oversubscribed spine and rail-optimized fabrics via
+    :class:`NetworkTopology`). ``network_bandwidth`` is the achieved
+    per-link, per-direction byte rate; ``network_latency`` the fixed
+    per-message setup cost charged to every network task.
+
+    Mixed-generation fleets set ``node_specs`` — one capability profile
+    per node (same GPU count everywhere; profiles vary throughput, host
+    memory, and NIC rate). ``node_specs=None`` keeps the homogeneous
+    N-copies-of-``node`` behavior bit-for-bit.
     """
 
     name: str
@@ -183,6 +232,10 @@ class ClusterSpec:
     network_latency: float
     #: how the nodes are wired (flat / spine / rail)
     topology: NetworkTopology = FLAT_TOPOLOGY
+    #: per-node capability profiles, ``node_specs[n]`` for node ``n``;
+    #: ``None`` means N identical copies of ``node`` (the homogeneous
+    #: default every existing config uses)
+    node_specs: Optional[Tuple[PlatformSpec, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -191,6 +244,50 @@ class ClusterSpec:
             raise ValueError("network_bandwidth must be positive")
         if self.network_latency < 0:
             raise ValueError("network_latency must be >= 0")
+        if self.node_specs is None:
+            return
+        specs = tuple(self.node_specs)
+        object.__setattr__(self, "node_specs", specs)
+        if not specs:
+            raise ConfigurationError(
+                "node_specs is empty - list one capability profile per "
+                "node, or pass node_specs=None for a homogeneous cluster"
+            )
+        if len(specs) != self.num_nodes:
+            raise ConfigurationError(
+                f"node_specs lists {len(specs)} profile(s) but the "
+                f"cluster has num_nodes={self.num_nodes} - provide "
+                f"exactly one PlatformSpec per node (repeat a profile "
+                f"for identical nodes)"
+            )
+        for index, spec in enumerate(specs):
+            if spec.num_gpus != self.node.num_gpus:
+                raise ConfigurationError(
+                    f"node_specs[{index}] ({spec.name!r}) exposes "
+                    f"{spec.num_gpus} GPUs but the cluster's node "
+                    f"profile exposes {self.node.num_gpus} - capability "
+                    f"profiles vary rates and memory, not GPU count; "
+                    f"use .with_num_gpus({self.node.num_gpus})"
+                )
+            _validate_node_spec(index, spec)
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when per-node capability profiles are in force."""
+        return self.node_specs is not None
+
+    @property
+    def resolved_node_specs(self) -> Tuple[PlatformSpec, ...]:
+        """One :class:`PlatformSpec` per node, homogeneous or not."""
+        if self.node_specs is not None:
+            return self.node_specs
+        return (self.node,) * self.num_nodes
+
+    def node_spec(self, node: int) -> PlatformSpec:
+        """The capability profile of node ``node``."""
+        if self.node_specs is not None:
+            return self.node_specs[node]
+        return self.node
 
     @property
     def total_gpus(self) -> int:
@@ -198,8 +295,12 @@ class ClusterSpec:
         return self.num_nodes * self.node.num_gpus
 
     def with_num_nodes(self, num_nodes: int) -> "ClusterSpec":
-        """Copy of this spec with a different node count."""
-        return replace(self, num_nodes=num_nodes)
+        """Copy of this spec with a different node count.
+
+        A heterogeneous profile list does not resize meaningfully, so it
+        is dropped: the copy is homogeneous again.
+        """
+        return replace(self, num_nodes=num_nodes, node_specs=None)
 
     def with_node(self, node: PlatformSpec) -> "ClusterSpec":
         """Copy of this spec with a different per-node server."""
@@ -208,6 +309,26 @@ class ClusterSpec:
     def with_topology(self, topology: NetworkTopology) -> "ClusterSpec":
         """Copy of this spec with a different network topology."""
         return replace(self, topology=topology)
+
+    def with_node_specs(
+            self, node_specs: Optional[Tuple[PlatformSpec, ...]],
+    ) -> "ClusterSpec":
+        """Copy of this spec with per-node capability profiles.
+
+        Also rewrites ``num_nodes`` to match and ``node`` to the first
+        profile, so ``with_node_specs`` is the one-call way to build a
+        mixed fleet.
+        """
+        if node_specs is None:
+            return replace(self, node_specs=None)
+        specs = tuple(node_specs)
+        if not specs:
+            raise ConfigurationError(
+                "node_specs is empty - list one capability profile per "
+                "node, or pass None for a homogeneous cluster"
+            )
+        return replace(self, num_nodes=len(specs), node=specs[0],
+                       node_specs=specs)
 
 
 # Achieved (not peak) throughputs, calibrated against the paper's own
@@ -256,6 +377,37 @@ CPU_NODE = CPUClusterSpec(
 )
 
 ECS_CLUSTER = CPU_NODE.with_num_nodes(16)
+
+# Previous-generation server for mixed fleets: roughly half the A100's
+# achieved GNN-mix throughput, HBM2 instead of HBM2e, PCIe 3.0 host
+# links, less host DRAM, and a 50 Gbps NIC where the A100 nodes ride the
+# cluster's full 100 Gbps links.
+V100_GPU = GPUSpec(
+    name="V100-32GB",
+    memory_bytes=32 * GB,
+    compute_flops=2e12,           # ~half the A100's achieved GNN rate
+    memory_bandwidth=720 * GB,    # ~900 GB/s peak HBM2, ~80 % achieved
+)
+
+V100_SERVER = PlatformSpec(
+    name="4xV100-NVLink",
+    num_gpus=4,
+    gpu=V100_GPU,
+    host_memory_bytes=384 * GB,
+    pcie_bandwidth=13 * GB,       # PCIe 3.0 x16, ~80 % of 16 GB/s peak
+    nvlink_bandwidth=120 * GB,    # NVLink 2.0, ~80 % of 150 GB/s
+    qpi_factor=0.55,
+    cpu_accumulate_bandwidth=15 * GB,
+    num_sockets=2,
+    nic_bandwidth=5.5 * GB,       # 50 Gbps NIC, ~90 % achieved
+)
+
+#: named capability profiles the CLI's ``--node-spec NAME[:COUNT]`` accepts
+NODE_SPECS = {
+    "a100": A100_SERVER,
+    "a100-pcie": PCIE_ONLY_SERVER,
+    "v100": V100_SERVER,
+}
 
 A100_CLUSTER = ClusterSpec(
     name="2x(4xA100-NVLink)",

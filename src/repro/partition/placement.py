@@ -219,6 +219,11 @@ class PlacementResult:
     moves: int = 0
     #: the balance slack the search ran with (0 = exact m/N)
     max_imbalance: int = 0
+    #: row-equivalent compute cost of the seed/searched assignment when
+    #: the search ran capability-aware (``compute_rows`` given); ``None``
+    #: on homogeneous searches, whose objective is pure net rows
+    compute_rows_block: Optional[int] = None
+    compute_rows_search: Optional[int] = None
 
     @property
     def rows_saved(self) -> int:
@@ -226,8 +231,18 @@ class PlacementResult:
         return self.rows_block - self.rows_search
 
     @property
+    def objective_block(self) -> int:
+        """Seed objective: net rows plus any row-equivalent compute."""
+        return self.rows_block + (self.compute_rows_block or 0)
+
+    @property
+    def objective_search(self) -> int:
+        """Searched objective (never worse than :attr:`objective_block`)."""
+        return self.rows_search + (self.compute_rows_search or 0)
+
+    @property
     def improved(self) -> bool:
-        return self.rows_search < self.rows_block
+        return self.objective_search < self.objective_block
 
     @property
     def node_counts(self) -> List[int]:
@@ -247,13 +262,22 @@ def _node_exchange(weights_sym: np.ndarray,
 
 def _swap_gains(weights_sym: np.ndarray, placement: np.ndarray,
                 num_nodes: int,
-                exchange: Optional[np.ndarray] = None) -> np.ndarray:
+                exchange: Optional[np.ndarray] = None,
+                compute: Optional[np.ndarray] = None) -> np.ndarray:
     """Cut reduction of swapping each partition pair's nodes.
 
     ``G[a, b] = [E_a(B) − E_a(A)] + [E_b(A) − E_b(B)] − 2·S[a, b]`` for
     a on node A, b on node B; pairs on the same node get a sentinel so
     they are never selected. The search loops pass an incrementally
     maintained ``exchange`` so the m×N matmul is not redone per step.
+
+    A capability-aware search adds the *linear* compute term: swapping a
+    and b also reprices each partition at its new node's throughput,
+    ``(A[a, N_a] + A[b, N_b]) − (A[a, N_b] + A[b, N_a])`` row
+    equivalents. The term is per-partition (no pairwise interaction), so
+    no incremental state is needed — and with identical node rates every
+    column of ``A`` is equal and the term is exactly zero, leaving the
+    homogeneous decisions untouched.
     """
     if exchange is None:
         exchange = _node_exchange(weights_sym, placement, num_nodes)
@@ -261,23 +285,33 @@ def _swap_gains(weights_sym: np.ndarray, placement: np.ndarray,
     toward = exchange[:, placement]  # toward[a, b] = E_a(node of b)
     gains = (toward + toward.T - internal[:, None] - internal[None, :]
              - 2 * weights_sym)
+    if compute is not None:
+        current = compute[np.arange(len(placement)), placement]
+        at = compute[:, placement]  # at[a, b] = A[a, node of b]
+        gains += current[:, None] + current[None, :] - at - at.T
     gains[placement[:, None] == placement[None, :]] = _SENTINEL
     return gains
 
 
 def _move_gains(weights_sym: np.ndarray, placement: np.ndarray,
                 num_nodes: int,
-                exchange: Optional[np.ndarray] = None) -> np.ndarray:
+                exchange: Optional[np.ndarray] = None,
+                compute: Optional[np.ndarray] = None) -> np.ndarray:
     """Cut reduction of moving each partition to each other node.
 
     ``G[p, X] = E_p(X) − E_p(home(p))`` — the rows p exchanges with its
     destination become intra-node while the rows toward its old home
-    start crossing the network. The home column gets a sentinel.
+    start crossing the network. The home column gets a sentinel. The
+    capability-aware compute term adds ``A[p, home(p)] − A[p, X]``:
+    moving onto a faster node is worth the rows the repricing saves.
     """
     if exchange is None:
         exchange = _node_exchange(weights_sym, placement, num_nodes)
     internal = exchange[np.arange(len(placement)), placement]
     gains = exchange - internal[:, None]
+    if compute is not None:
+        current = compute[np.arange(len(placement)), placement]
+        gains += current[:, None] - compute
     gains[np.arange(len(placement)), placement] = _SENTINEL
     return gains
 
@@ -385,7 +419,8 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
                      seed_placement: Optional[np.ndarray] = None,
                      max_imbalance: int = 0,
                      node_budgets: Optional[Sequence[Optional[float]]] = None,
-                     partition_host_bytes: Optional[np.ndarray] = None
+                     partition_host_bytes: Optional[np.ndarray] = None,
+                     compute_rows: Optional[np.ndarray] = None
                      ) -> PlacementResult:
     """Search partition→node assignments minimizing cross-node halo rows.
 
@@ -417,6 +452,20 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
     :meth:`~repro.comm.cost_model.ClusterCostModel.placement_seconds`
     (``allreduce_bytes`` adds the placement-invariant collective legs so
     the cost is a full epoch-layer net prediction).
+
+    ``compute_rows`` makes the search *capability-aware* on a
+    heterogeneous fleet: an ``(m, num_nodes)`` integer matrix whose
+    ``[p, n]`` entry is the row-equivalent compute cost of hosting
+    partition p on node n (the trainer derives it from per-partition
+    flops and per-node GPU throughput). The objective becomes cross-node
+    rows plus the placed compute rows, so heavy partitions migrate
+    toward fast nodes when the repriced kernels outweigh the extra halo
+    traffic. Identical per-node rates make every gain contribution
+    exactly zero — the homogeneous search is bit-identical with or
+    without the matrix. The never-worse guarantee then covers the
+    *combined* objective (``objective_search <= objective_block``);
+    ``rows_search`` alone may exceed ``rows_block`` when trading halo
+    rows for faster kernels wins.
     """
     started = time.perf_counter()
     m = partition.num_partitions
@@ -445,6 +494,14 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
             raise PartitionError(
                 "seed placement does not fit the per-node host budgets"
             )
+    compute = None
+    if compute_rows is not None:
+        compute = np.asarray(compute_rows, dtype=np.int64)
+        if compute.shape != (m, num_nodes):
+            raise PartitionError(
+                f"compute_rows must be (num_partitions, num_nodes) = "
+                f"({m}, {num_nodes}), got shape {compute.shape}"
+            )
     weights = (partition_halo_matrix(partition)
                + 2 * partition_load_matrix(partition))
     weights_sym = weights + weights.T
@@ -459,22 +516,27 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
                                host_bytes, node_budgets)
         allow_moves = max_imbalance > 0
         applied = _greedy_improve(weights_sym, placement, num_nodes,
-                                  admission, allow_moves)
+                                  admission, allow_moves, compute)
         swaps += applied[0]
         moves += applied[1]
         for _ in range(max_refinements):
             refinements += 1
             kept = _refinement_pass(weights_sym, placement, num_nodes,
-                                    admission)
+                                    admission, compute)
             if kept == 0:
                 break
             swaps += kept
             applied = _greedy_improve(weights_sym, placement, num_nodes,
-                                      admission, allow_moves)
+                                      admission, allow_moves, compute)
             swaps += applied[0]
             moves += applied[1]
 
     rows_search = _cross_rows(weights, placement)
+    compute_block = compute_search = None
+    if compute is not None:
+        indices = np.arange(m)
+        compute_block = int(compute[indices, block].sum())
+        compute_search = int(compute[indices, placement].sum())
     cost_block = cost_search = None
     if cluster_model is not None:
         cost_block = cluster_model.placement_seconds(
@@ -492,31 +554,37 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
         swaps=swaps, refinement_passes=refinements,
         seconds=time.perf_counter() - started,
         moves=moves, max_imbalance=max_imbalance,
+        compute_rows_block=compute_block,
+        compute_rows_search=compute_search,
     )
 
 
 def _greedy_improve(weights_sym: np.ndarray, placement: np.ndarray,
                     num_nodes: int, admission: _Admission,
-                    allow_moves: bool) -> Tuple[int, int]:
+                    allow_moves: bool,
+                    compute: Optional[np.ndarray] = None
+                    ) -> Tuple[int, int]:
     """Apply best-improving admissible swaps/moves until none remains.
 
     Mutates ``placement`` (and the admission state) in place and returns
     ``(swaps, moves)`` applied. Each step strictly reduces the integer
-    cut, so the loop terminates. Equal-gain swap-vs-move ties prefer the
-    balance-preserving swap.
+    objective (cut plus any compute term), so the loop terminates.
+    Equal-gain swap-vs-move ties prefer the balance-preserving swap.
     """
     swaps = 0
     moves = 0
     exchange = _node_exchange(weights_sym, placement, num_nodes)
     while True:
         a, b, swap_gain = _best_swap(
-            _swap_gains(weights_sym, placement, num_nodes, exchange),
+            _swap_gains(weights_sym, placement, num_nodes, exchange,
+                        compute),
             allowed=admission.swap_mask(placement),
         )
         move_gain = _SENTINEL
         if allow_moves:
             p, node, move_gain = _best_swap(
-                _move_gains(weights_sym, placement, num_nodes, exchange),
+                _move_gains(weights_sym, placement, num_nodes, exchange,
+                            compute),
                 allowed=admission.move_mask(placement),
             )
         if swap_gain <= 0 and move_gain <= 0:
@@ -549,7 +617,8 @@ def _exchange_move(exchange: np.ndarray, weights_sym: np.ndarray,
 
 
 def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
-                     num_nodes: int, admission: _Admission) -> int:
+                     num_nodes: int, admission: _Admission,
+                     compute: Optional[np.ndarray] = None) -> int:
     """One KL pass: swap-and-lock greedily, keep the best prefix.
 
     Mutates ``placement`` to the best prefix's state and returns the
@@ -573,8 +642,9 @@ def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
         if len(np.unique(working[free])) < 2:
             break  # no two free partitions left on distinct nodes
         a, b, gain = _best_swap(
-            _swap_gains(weights_sym, working, num_nodes, exchange), free,
-            allowed=tracker.swap_mask(working),
+            _swap_gains(weights_sym, working, num_nodes, exchange,
+                        compute),
+            free, allowed=tracker.swap_mask(working),
         )
         if gain == _SENTINEL:
             break

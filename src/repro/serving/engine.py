@@ -28,6 +28,12 @@ partitioned graph. The contract, end to end:
    or materialized by a previous cold serve of the same column) skips
    the entire data-movement front — cold miss = halo fetch + staging
    load, warm hit = free — and only the compute + writeback chain runs.
+   The cache is bounded by an optional host-memory budget
+   (``cache_budget_bytes``): warm pairs are tracked in LRU order, every
+   hit refreshes recency, and inserting past the budget evicts the
+   least-recently-used pairs first (an entry larger than the whole
+   budget is never cached at all). ``None`` (the default) is unbounded
+   and reproduces the unbudgeted engine exactly.
 
 Per-request latency is the completion of its column DAG (max end over
 the final layer's writeback tasks) minus its arrival time; the
@@ -42,13 +48,14 @@ identical times (the batched-emission contract).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.comm.executor import DedupCommunicator
-from repro.errors import ServingError
+from repro.errors import ConfigurationError, ServingError
 from repro.hardware.clock import EventTimeline
 from repro.runtime.task import HOST_DEVICE
 from repro.serving.arrivals import ArrivalProcess
@@ -88,9 +95,22 @@ class ServingEngine:
         plan, partition, platform, model and config are the serving
         substrate; its aggregate checkpoints (if any training epochs ran
         under the hybrid policy) pre-warm the embedding cache.
+    cache_budget_bytes:
+        Optional host-byte budget for the embedding cache. ``None``
+        (default) keeps every pair ever warmed — the unbudgeted
+        behavior. A positive budget bounds the warm set: inserts past
+        the budget evict least-recently-used pairs (counted on
+        :attr:`evictions`); a single pair larger than the whole budget
+        is never cached.
     """
 
-    def __init__(self, trainer):
+    def __init__(self, trainer, cache_budget_bytes: Optional[int] = None):
+        if cache_budget_bytes is not None and cache_budget_bytes <= 0:
+            raise ConfigurationError(
+                f"cache_budget_bytes must be positive, got "
+                f"{cache_budget_bytes} - pass None for an unbounded "
+                f"embedding cache"
+            )
         self.trainer = trainer
         self.plan = trainer.plan
         self.partition = trainer.partition
@@ -103,8 +123,14 @@ class ServingEngine:
             self.plan, self.platform, self.config.bytes_per_scalar
         )
         self._costs: Dict[Tuple[int, int], _ColumnLayerCosts] = {}
-        #: warm (layer, column) pairs — data movement is free for these
-        self._cache: Set[Tuple[int, int]] = set()
+        self._gpu_ids = np.arange(self.plan.num_gpus, dtype=np.int64)
+        #: warm (layer, column) pairs in LRU order — data movement is
+        #: free for these; the value is the pair's host footprint
+        self._cache: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._cache_bytes = 0
+        self.cache_budget_bytes = cache_budget_bytes
+        #: warm pairs dropped to fit the budget over this engine's life
+        self.evictions = 0
         self.warm_from_checkpoints()
 
     # ------------------------------------------------------------------
@@ -120,7 +146,8 @@ class ServingEngine:
         """
         columns = getattr(self.trainer, "checkpointed_columns", None)
         if columns is not None:
-            self._cache.update(columns())
+            for pair in sorted(columns()):
+                self._cache_insert(*pair)
         return len(self._cache)
 
     @property
@@ -128,9 +155,49 @@ class ServingEngine:
         """Currently warm (layer, column) pairs."""
         return len(self._cache)
 
+    @property
+    def cache_bytes(self) -> int:
+        """Host bytes the warm pairs currently occupy."""
+        return self._cache_bytes
+
     def clear_cache(self) -> None:
         """Drop every warm pair (every future serve is a cold miss)."""
         self._cache.clear()
+        self._cache_bytes = 0
+
+    def _pair_bytes(self, l: int, j: int) -> int:
+        """Host footprint of one warm (layer, column) pair.
+
+        The aggregate rows every GPU's chunk of column ``j`` checkpoints
+        for layer ``l`` — the same sizing the trainer's checkpoint store
+        allocates, summed over the column.
+        """
+        layer = self.model.layers[l]
+        bps = self.config.bytes_per_scalar
+        dim = layer.aggregate_dim()
+        return sum(
+            self.partition.chunks[i][j].block.num_dst * dim * bps
+            for i in range(self.plan.num_gpus)
+        )
+
+    def _cache_insert(self, l: int, j: int) -> None:
+        """Warm ``(l, j)``, evicting LRU pairs past the byte budget."""
+        key = (l, j)
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            return
+        nbytes = self._pair_bytes(l, j)
+        budget = self.cache_budget_bytes
+        if budget is not None and nbytes > budget:
+            return  # larger than the whole cache: never worth evicting for
+        self._cache[key] = nbytes
+        self._cache_bytes += nbytes
+        if budget is None:
+            return
+        while self._cache_bytes > budget:
+            _, dropped = self._cache.popitem(last=False)
+            self._cache_bytes -= dropped
+            self.evictions += 1
 
     # ------------------------------------------------------------------
     # cost profiles
@@ -152,12 +219,17 @@ class ServingEngine:
             flops = layer.forward_flops(
                 block.num_src, block.num_dst, block.num_edges
             )
-            compute_seconds.append(self.platform.gpu_compute_seconds(flops))
+            compute_seconds.append(
+                self.platform.gpu_compute_seconds(flops, devices=i)
+            )
             out_bytes = block.num_dst * layer.out_dim * bps
-            writeback_seconds.append(self.platform.h2d_seconds(out_bytes))
+            writeback_seconds.append(
+                self.platform.h2d_seconds(out_bytes, devices=i)
+            )
         costs = _ColumnLayerCosts(
             row_bytes=row_bytes,
-            load_seconds=self.platform.h2d_seconds(load_rows * row_bytes),
+            load_seconds=self.platform.h2d_seconds(load_rows * row_bytes,
+                                                   devices=self._gpu_ids),
             d2d_seconds=d2d_seconds,
             gather_seconds=gather_seconds,
             compute_seconds=np.asarray(compute_seconds, dtype=np.float64),
@@ -189,6 +261,7 @@ class ServingEngine:
             costs = self._layer_costs(l, j)
             if (l, j) in self._cache:
                 hits += 1
+                self._cache.move_to_end((l, j))
                 compute_ids = timeline.submit_batch(
                     "gpu", costs.compute_seconds, deps=prev,
                     label=f"serve_compute[l{l}c{j}]",
@@ -229,8 +302,9 @@ class ServingEngine:
                     label=f"serve_compute[l{l}c{j}]",
                 )
                 # The cold pass materialized this pair's activations on
-                # the host — the next serve of the column is a warm hit.
-                self._cache.add((l, j))
+                # the host — the next serve of the column is a warm hit,
+                # budget permitting (over-budget inserts evict LRU pairs).
+                self._cache_insert(l, j)
             writeback_ids = timeline.submit_batch(
                 "d2h", costs.writeback_seconds,
                 deps_by_device=compute_ids,
@@ -263,6 +337,7 @@ class ServingEngine:
         timeline = EventTimeline(barrier_all=False)
         scheduler = timeline.scheduler
         net_before = self.communicator.bytes_moved["net"]
+        evictions_before = self.evictions
 
         completions = np.zeros(n, dtype=np.float64)
         batch_sizes = np.array([batch.size for batch in batches],
@@ -305,6 +380,7 @@ class ServingEngine:
             batch_sizes=batch_sizes,
             cache_hits=hits,
             cache_misses=misses,
+            cache_evictions=self.evictions - evictions_before,
             makespan=timeline.makespan,
             duration=arrivals.duration,
             net_bytes=self.communicator.bytes_moved["net"] - net_before,

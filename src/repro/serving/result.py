@@ -59,6 +59,9 @@ class ServeResult:
     net_bytes: int
     arrival_kind: str
     policy: str
+    #: warm pairs the budget-bounded embedding cache dropped during this
+    #: run (always 0 with an unbounded cache)
+    cache_evictions: int = 0
     slo: float = 0.1
     timeline: object = field(default=None, repr=False)
 
@@ -128,5 +131,6 @@ class ServeResult:
             "makespan_seconds": self.makespan,
             "mean_batch_size": self.mean_batch_size,
             "cache_hit_rate": self.cache_hit_rate,
+            "cache_evictions": self.cache_evictions,
             "net_bytes": self.net_bytes,
         }

@@ -65,6 +65,22 @@ def load_result(bench: str) -> dict:
     return metrics
 
 
+def load_step(bench: str):
+    """CI job step that produced results/<bench>.json, or None.
+
+    Benches record it via ``emit_json(..., step=...)``; failure output
+    names the step so a red gate points straight at the job step to
+    re-run or inspect.
+    """
+    path = os.path.join(RESULTS_DIR, f"{bench}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        payload = json.load(handle)
+    step = payload.get("step")
+    return step if isinstance(step, str) and step else None
+
+
 def discover_results() -> list:
     """Bench names with a results/<name>.json on disk (baseline aside)."""
     if not os.path.isdir(RESULTS_DIR):
@@ -99,7 +115,8 @@ def compare(baseline: dict, tolerance: float,
                     f"cannot compute a growth ratio against it"
                 )
             if metric not in current:
-                regressions.append((bench, metric, base_value, None, None))
+                regressions.append(
+                    (bench, metric, base_value, None, None, None))
                 continue
             value = current[metric]
             if not isinstance(value, (int, float)) \
@@ -234,22 +251,28 @@ def main(argv=None) -> int:
         )
         return 0
     for bench, metric, base_value, value, ratio, allowed in regressions:
+        step = load_step(bench)
+        produced_by = (f" [produced by job step {step!r}]"
+                       if step else "")
         if value is None:
             print(
-                f"REGRESSION {bench}.{metric}: metric missing from results",
+                f"REGRESSION {bench}.{metric}: metric missing from "
+                f"results{produced_by}",
                 file=sys.stderr,
             )
         elif ratio is None:
             print(
                 f"REGRESSION {bench}.{metric}: grew from a zero baseline "
                 f"to {value:.6g} (no growth ratio exists against 0; "
-                f"refresh the baseline with --update if intentional)",
+                f"refresh the baseline with --update if "
+                f"intentional){produced_by}",
                 file=sys.stderr,
             )
         else:
             print(
                 f"REGRESSION {bench}.{metric}: {base_value:.6g} -> "
-                f"{value:.6g} ({ratio:.2f}x > 1 + {allowed:.0%})",
+                f"{value:.6g} ({ratio:.2f}x > 1 + "
+                f"{allowed:.0%}){produced_by}",
                 file=sys.stderr,
             )
     return 1
