@@ -18,7 +18,8 @@ import json
 import os
 import time
 
-__all__ = ["emit", "emit_json", "timed_call", "RESULTS_DIR", "BENCH_SCALE"]
+__all__ = ["emit", "emit_json", "timed_call", "fleet_scenario",
+           "RESULTS_DIR", "BENCH_SCALE"]
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -48,7 +49,22 @@ def timed_call(fn, *args, **kwargs):
     return result, time.perf_counter() - started
 
 
-def emit_json(name: str, metrics: dict, step: str = None) -> None:
+def fleet_scenario(**overrides):
+    """A bench fleet described through the CLI's exact code path.
+
+    Returns a :class:`repro.scenario.ClusterArgs`; benches call
+    ``.build_platform()`` / ``.build_config(...)`` on it so a fleet
+    assembled here and one parsed from ``repro train --nodes ...`` can
+    never drift apart. Keyword overrides are the shared CLI vocabulary
+    (``nodes``, ``gpus``, ``fault=[...]``, ...).
+    """
+    from repro.scenario import ClusterArgs
+
+    return ClusterArgs(**overrides)
+
+
+def emit_json(name: str, metrics: dict, step: str = None,
+              config=None) -> None:
     """Archive simulated metrics as results/<name>.json for CI.
 
     ``metrics`` maps metric name → number. Metrics are *simulated*
@@ -61,6 +77,12 @@ def emit_json(name: str, metrics: dict, step: str = None) -> None:
     ``step`` names the CI job step that produced the result; the
     regression checker echoes it next to any failing metric so the
     offending step is identifiable straight from the gate's output.
+
+    ``config`` records provenance: the producing
+    :class:`~repro.core.HongTuConfig` (or any object with ``to_dict``,
+    or a plain dict) is archived under ``"config"`` so a regressed
+    number can be re-run from the artifact alone via
+    ``HongTuConfig.from_dict``.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.json")
@@ -69,6 +91,9 @@ def emit_json(name: str, metrics: dict, step: str = None) -> None:
                            for key, value in metrics.items()}}
     if step is not None:
         payload["step"] = step
+    if config is not None:
+        payload["config"] = (config.to_dict()
+                             if hasattr(config, "to_dict") else dict(config))
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -15,6 +15,8 @@ Public API quick map::
     repro.hardware    # simulated multi-GPU platform (memory + time)
     repro.core        # HongTuTrainer (Algorithm 1), memory model
     repro.serving     # request-driven inference serving on the timeline
+    repro.faults      # declarative fault schedules for unreliable fleets
+    repro.scenario    # unified cluster/fault vocabulary (CLI + benches)
     repro.baselines   # DGL-like, Sancus-like, DistGNN-sim, DistDGL-like
     repro.bench       # benchmark harness utilities
 

@@ -20,8 +20,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro.bench.reporting import (
     format_bytes,
     format_seconds,
@@ -32,21 +30,15 @@ from repro.bench.reporting import (
 )
 from repro.comm import CommCostModel, measure_volumes
 from repro.core import (
-    HongTuConfig,
     HongTuTrainer,
     estimate_training_memory,
 )
-from repro.gnn import MODEL_REGISTRY, build_model
+from repro.errors import ConfigurationError, FaultError
+from repro.gnn import MODEL_REGISTRY
 from repro.graph import available_datasets, load_dataset
-from repro.hardware import (
-    A100_CLUSTER,
-    A100_SERVER,
-    NODE_SPECS,
-    ClusterPlatform,
-    MultiGPUPlatform,
-    NetworkTopology,
-)
+from repro.hardware import A100_SERVER, MultiGPUPlatform
 from repro.partition import two_level_partition
+from repro.scenario import ClusterArgs, add_cluster_args
 from repro.serving import (
     ARRIVAL_KINDS,
     BATCH_POLICIES,
@@ -67,16 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train a model with HongTu")
     _add_dataset_args(train)
-    train.add_argument("--arch", choices=sorted(MODEL_REGISTRY),
-                       default="gcn")
-    train.add_argument("--hidden-dim", type=int, default=64)
-    train.add_argument("--layers", type=int, default=2)
+    add_cluster_args(train)
     train.add_argument("--epochs", type=int, default=10)
-    train.add_argument("--chunks", type=int, default=4,
-                       help="chunks per GPU (the paper's n)")
-    train.add_argument("--gpus", type=int, default=4)
-    train.add_argument("--comm-mode", default="hongtu",
-                       choices=["baseline", "p2p", "ru", "hongtu"])
     train.add_argument("--policy", default="hybrid",
                        choices=["hybrid", "recompute"])
     train.add_argument("--overlap", default="barrier",
@@ -84,45 +68,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="epoch scheduling: barrier-synchronized phases "
                             "(the paper's Algorithms 1-3) or pipelined "
                             "transfer/compute overlap")
-    train.add_argument("--nodes", type=int, default=1,
-                       help="simulated cluster nodes; > 1 runs --gpus GPUs "
-                            "on each node of an A100 cluster with halo "
-                            "exchange + gradient all-reduce on the network")
-    _add_node_spec_arg(train)
-    train.add_argument("--allreduce", default="ring",
-                       choices=["ring", "tree"],
-                       help="inter-node gradient all-reduce schedule "
-                            "(only with --nodes > 1)")
-    train.add_argument("--topology", default="flat",
-                       choices=["flat", "spine", "rail"],
-                       help="cluster network topology (only with "
-                            "--nodes > 1): flat = ideal non-blocking "
-                            "switch (default, identical to the "
-                            "pre-topology path), spine = oversubscribed "
-                            "core shared by all node pairs, rail = one "
-                            "rail per local GPU at 1/gpus of the link "
-                            "rate each")
-    train.add_argument("--oversubscription", type=float, default=1.0,
-                       help="spine core oversubscription factor >= 1 "
-                            "(1 = non-blocking, behaves exactly like "
-                            "flat; only with --topology spine)")
-    train.add_argument("--placement", default="block",
-                       choices=["block", "search", "joint"],
-                       help="partition->node assignment (only with "
-                            "--nodes > 1): block = contiguous default "
-                            "(partition p on node p // gpus), search = "
-                            "greedy-swap + KL placement search "
-                            "minimizing cross-node halo rows, joint = "
-                            "alternate the search with the schedule "
-                            "reorganization until the combined "
-                            "predicted cost stops improving (never "
-                            "worse than search)")
-    train.add_argument("--max-imbalance", type=int, default=0,
-                       help="allow per-node partition counts to deviate "
-                            "from the exact m/nodes balance by up to "
-                            "this many partitions when node host "
-                            "memory admits the skew (only with "
-                            "--placement search/joint)")
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument("--profile", action="store_true",
                        help="wrap the first training epoch in cProfile "
@@ -134,27 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve request traffic against the partitioned graph",
     )
     _add_dataset_args(serve)
-    serve.add_argument("--arch", choices=sorted(MODEL_REGISTRY),
-                       default="gcn")
-    serve.add_argument("--hidden-dim", type=int, default=64)
-    serve.add_argument("--layers", type=int, default=2)
-    serve.add_argument("--chunks", type=int, default=4,
-                       help="chunks per GPU (request columns to route to)")
-    serve.add_argument("--gpus", type=int, default=4)
-    serve.add_argument("--comm-mode", default="hongtu",
-                       choices=["baseline", "p2p", "ru", "hongtu"])
-    serve.add_argument("--nodes", type=int, default=1,
-                       help="simulated cluster nodes; > 1 serves --gpus "
-                            "GPUs per node with halo fetches on the "
-                            "network")
-    _add_node_spec_arg(serve)
-    serve.add_argument("--topology", default="flat",
-                       choices=["flat", "spine", "rail"],
-                       help="cluster network topology (only with "
-                            "--nodes > 1)")
-    serve.add_argument("--oversubscription", type=float, default=1.0,
-                       help="spine core oversubscription factor >= 1 "
-                            "(only with --topology spine)")
+    add_cluster_args(serve)
     serve.add_argument("--train-epochs", type=int, default=0,
                        help="hybrid-policy training epochs to run first; "
                             "their aggregate checkpoints pre-warm the "
@@ -216,92 +141,34 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _add_node_spec_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--node-spec", action="append", default=None,
-                        metavar="NAME[:COUNT]",
-                        help="per-node capability profile, repeatable "
-                             f"(names: {', '.join(sorted(NODE_SPECS))}); "
-                             "e.g. --node-spec a100:2 --node-spec v100 "
-                             "builds a 3-node mixed-generation fleet. "
-                             "Counts must sum to --nodes. Default: "
-                             "--nodes identical A100 servers")
+def _build_scenario(args):
+    """(scenario, platform, config_overrides_applied?) for train/serve.
 
-
-def _resolve_node_specs(entries: List[str], nodes: int, gpus: int):
-    """``NAME[:COUNT]`` entries → one capability profile per node.
-
-    Exits with an argparse-style message (via ``SystemExit``) on unknown
-    names, malformed counts, or a total that disagrees with ``--nodes``;
-    deeper validation (positive rates etc.) lives in
-    :class:`~repro.hardware.spec.ClusterSpec`.
+    Returns ``(scenario, None)`` plus a printed argparse-style message
+    when the flag combination cannot describe a fleet; the command then
+    exits 2 like any other usage error.
     """
-    specs = []
-    for entry in entries:
-        name, _, count_text = entry.partition(":")
-        name = name.strip().lower()
-        if name not in NODE_SPECS:
-            raise SystemExit(
-                f"--node-spec: unknown profile {name!r}; choose from "
-                f"{', '.join(sorted(NODE_SPECS))}"
-            )
-        try:
-            count = int(count_text) if count_text else 1
-        except ValueError:
-            raise SystemExit(
-                f"--node-spec: count in {entry!r} must be an integer"
-            )
-        if count < 1:
-            raise SystemExit(
-                f"--node-spec: count in {entry!r} must be >= 1"
-            )
-        specs.extend([NODE_SPECS[name].with_num_gpus(gpus)] * count)
-    if len(specs) != nodes:
-        raise SystemExit(
-            f"--node-spec entries name {len(specs)} node(s) but "
-            f"--nodes={nodes}; make the counts sum to the node count"
-        )
-    return tuple(specs)
-
-
-def _build_platform(args):
-    """The simulated platform the train/serve commands share."""
-    if args.nodes > 1:
-        topology = NetworkTopology(kind=args.topology,
-                                   oversubscription=args.oversubscription)
-        cluster = A100_CLUSTER.with_num_nodes(args.nodes) \
-            .with_topology(topology)
-        node_spec_args = getattr(args, "node_spec", None)
-        if node_spec_args:
-            specs = _resolve_node_specs(node_spec_args, args.nodes,
-                                        args.gpus)
-            cluster = cluster.with_node_specs(specs)
-        return ClusterPlatform(cluster, gpus_per_node=args.gpus)
-    node_spec_args = getattr(args, "node_spec", None)
-    if node_spec_args:
-        specs = _resolve_node_specs(node_spec_args, 1, args.gpus)
-        return MultiGPUPlatform(specs[0], num_gpus=args.gpus)
-    return MultiGPUPlatform(A100_SERVER, num_gpus=args.gpus)
+    scenario = ClusterArgs.from_namespace(args)
+    problem = scenario.usage_error()
+    if problem is not None:
+        print(problem, file=sys.stderr)
+        return scenario, None
+    return scenario, scenario.build_platform()
 
 
 def cmd_train(args) -> int:
-    if args.nodes == 1 and args.topology != "flat":
-        print(f"--topology {args.topology} needs --nodes > 1 "
-              "(a single server has no cluster network)", file=sys.stderr)
+    scenario, platform = _build_scenario(args)
+    if platform is None:
         return 2
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed + 42)
-    dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
-            + [graph.num_classes])
-    model = build_model(args.arch, dims, np.random.default_rng(args.seed))
-    platform = _build_platform(args)
-    config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
-                          intermediate_policy=args.policy,
-                          overlap=args.overlap, nodes=args.nodes,
-                          allreduce=args.allreduce,
-                          topology=args.topology,
-                          oversubscription=args.oversubscription,
-                          placement=args.placement,
-                          max_imbalance=args.max_imbalance,
-                          seed=args.seed)
+    dims = scenario.model_dims(graph)
+    model = scenario.build_model(graph)
+    try:
+        config = scenario.build_config(intermediate_policy=args.policy,
+                                       overlap=args.overlap)
+    except (ConfigurationError, FaultError) as error:
+        print(f"bad scenario: {error}", file=sys.stderr)
+        return 2
     from repro.autograd import Adam
 
     trainer = HongTuTrainer(graph, model, platform, config,
@@ -336,6 +203,16 @@ def cmd_train(args) -> int:
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "
               f"sim={format_seconds(result.epoch_seconds)}  "
               f"peakGPU={format_bytes(result.peak_gpu_bytes)}")
+        if result.rebalance is not None:
+            event = result.rebalance
+            dead = (f", dead nodes {sorted(event.dead_nodes)}"
+                    if event.dead_nodes else "")
+            print(f"  re-balance ({event.trigger} trigger{dead}): "
+                  f"{list(event.placement_before)} -> "
+                  f"{list(event.placement_after)}, "
+                  f"{len(event.moved_partitions)} partition(s) moved, "
+                  f"{format_bytes(event.migration_bytes)} migrated in "
+                  f"{format_seconds(event.migration_seconds)}")
     metrics = trainer.evaluate()
     for name, value in metrics.items():
         print(f"{name}: {value:.4f}")
@@ -372,21 +249,18 @@ def _profiled_epoch(trainer):
 
 
 def cmd_serve(args) -> int:
-    if args.nodes == 1 and args.topology != "flat":
-        print(f"--topology {args.topology} needs --nodes > 1 "
-              "(a single server has no cluster network)", file=sys.stderr)
+    scenario, platform = _build_scenario(args)
+    if platform is None:
         return 2
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed + 42)
-    dims = ([graph.feature_dim] + [args.hidden_dim] * (args.layers - 1)
-            + [graph.num_classes])
-    model = build_model(args.arch, dims, np.random.default_rng(args.seed))
-    platform = _build_platform(args)
-    config = HongTuConfig(num_chunks=args.chunks, comm_mode=args.comm_mode,
-                          intermediate_policy="hybrid",
-                          overlap="pipeline", nodes=args.nodes,
-                          topology=args.topology,
-                          oversubscription=args.oversubscription,
-                          seed=args.seed)
+    dims = scenario.model_dims(graph)
+    model = scenario.build_model(graph)
+    try:
+        config = scenario.build_config(intermediate_policy="hybrid",
+                                       overlap="pipeline")
+    except (ConfigurationError, FaultError) as error:
+        print(f"bad scenario: {error}", file=sys.stderr)
+        return 2
     trainer = HongTuTrainer(graph, model, platform, config)
     for _ in range(args.train_epochs):
         trainer.train_epoch()

@@ -96,6 +96,12 @@ class ClusterCostModel:
     #: per-node NIC byte rates of a heterogeneous fleet; ``None`` keeps
     #: the homogeneous single-``bandwidth`` pricing bit-for-bit
     node_bandwidths: Optional[Tuple[float, ...]] = None
+    #: (N, N) directed-link rate factors of a degraded fabric (fault
+    #: injection); ``None`` — no degradation — prices bit-identically
+    link_factors: Optional[Tuple[Tuple[float, ...], ...]] = None
+    #: surviving node ids after fault-injected deaths; ``None`` means
+    #: every node participates (the reliable-fleet pricing, bit-for-bit)
+    alive: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -106,6 +112,32 @@ class ClusterCostModel:
             raise ConfigurationError("bandwidth must be positive")
         if self.latency < 0:
             raise ConfigurationError("latency must be >= 0")
+        if self.link_factors is not None:
+            factors = tuple(tuple(row) for row in self.link_factors)
+            object.__setattr__(self, "link_factors", factors)
+            if len(factors) != self.num_nodes or any(
+                    len(row) != self.num_nodes for row in factors):
+                raise ConfigurationError(
+                    f"link_factors must be ({self.num_nodes}, "
+                    f"{self.num_nodes}) - one factor per directed link"
+                )
+            for row in factors:
+                for factor in row:
+                    if not 0.0 < factor <= 1.0:
+                        raise ConfigurationError(
+                            f"link factors must be in (0, 1], got {factor!r}"
+                        )
+        if self.alive is not None:
+            alive = tuple(sorted(set(self.alive)))
+            object.__setattr__(self, "alive", alive)
+            if not alive:
+                raise ConfigurationError(
+                    "alive must name at least one surviving node"
+                )
+            if alive[0] < 0 or alive[-1] >= self.num_nodes:
+                raise ConfigurationError(
+                    f"alive names nodes outside [0, {self.num_nodes})"
+                )
         if self.node_bandwidths is None:
             return
         rates = tuple(self.node_bandwidths)
@@ -141,11 +173,54 @@ class ClusterCostModel:
             node_bandwidths=node_bandwidths,
         )
 
+    @staticmethod
+    def from_platform(platform: MultiGPUPlatform) -> "ClusterCostModel":
+        """The model matching a cluster platform's *current* rates.
+
+        With no active fault state this returns exactly
+        :meth:`from_cluster` of the platform's spec — the faultless
+        model, bit-for-bit. Under faults the model carries the degraded
+        per-node NIC rates, the directed-link factors, and the surviving
+        node set, so collectives pace on the slowest *alive* member and
+        ring sizes follow the shrunken fleet.
+        """
+        cluster = platform.cluster
+        base = ClusterCostModel.from_cluster(cluster)
+        if platform.fault_state is None and not platform.dead_nodes:
+            return base
+        factors = platform.link_factors()
+        return ClusterCostModel(
+            num_nodes=cluster.num_nodes,
+            bandwidth=cluster.network_bandwidth,
+            latency=cluster.network_latency,
+            topology=cluster.topology,
+            node_bandwidths=tuple(platform.node_nic_rates().tolist()),
+            link_factors=None if factors is None
+            else tuple(tuple(row) for row in factors.tolist()),
+            alive=tuple(platform.alive_nodes)
+            if platform.dead_nodes else None,
+        )
+
+    @property
+    def num_alive(self) -> int:
+        """Nodes participating in collectives (all of them, or survivors)."""
+        return self.num_nodes if self.alive is None else len(self.alive)
+
+    def _members(self) -> Tuple[int, ...]:
+        return self.alive if self.alive is not None \
+            else tuple(range(self.num_nodes))
+
     def link_bandwidth(self, src: int, dst: int) -> float:
-        """Byte rate of the ``src → dst`` link: the slower endpoint's NIC."""
+        """Byte rate of the ``src → dst`` link: the slower endpoint's NIC
+        (times the link's degradation factor, when the fabric is faulted).
+        """
         if self.node_bandwidths is None:
-            return self.bandwidth
-        return min(self.node_bandwidths[src], self.node_bandwidths[dst])
+            rate = self.bandwidth
+        else:
+            rate = min(self.node_bandwidths[src], self.node_bandwidths[dst])
+        if self.link_factors is not None:
+            rate *= self.link_factors[src][dst]
+        return rate
 
     @property
     def collective_bandwidth(self) -> float:
@@ -155,9 +230,18 @@ class ClusterCostModel:
         its *slowest member's* NIC — every ring/tree step waits for the
         slow node's leg — so the per-flow rate is the fleet minimum
         (identical profiles reduce to the homogeneous rate exactly).
+        Dead nodes no longer participate, so only surviving members are
+        considered; a degraded link between two survivors paces the
+        whole collective the same way a slow NIC does.
         """
-        bandwidth = self.bandwidth if self.node_bandwidths is None \
-            else min(self.node_bandwidths)
+        members = self._members()
+        if self.node_bandwidths is None:
+            bandwidth = self.bandwidth
+        else:
+            bandwidth = min(self.node_bandwidths[n] for n in members)
+        if self.link_factors is not None and len(members) > 1:
+            bandwidth *= min(self.link_factors[s][d]
+                             for s in members for d in members if s != d)
         if self.topology.kind == "spine":
             return bandwidth / self.topology.oversubscription
         return bandwidth
@@ -171,13 +255,14 @@ class ClusterCostModel:
         exchange-and-combine round trip, which the same formula prices as
         2(α + B/2β). The N·1-GPU configuration (one GPU per node) uses
         exactly this path for its whole gradient synchronization — no
-        intra-node leg exists.
+        intra-node leg exists. N is the number of *participating* nodes:
+        after a fault-injected death the ring closes over the survivors.
         """
-        if self.num_nodes == 1:
+        if self.num_alive == 1:
             return 0.0
-        steps = 2 * (self.num_nodes - 1)
+        steps = 2 * (self.num_alive - 1)
         return steps * (self.latency
-                        + nbytes / self.num_nodes / self.collective_bandwidth)
+                        + nbytes / self.num_alive / self.collective_bandwidth)
 
     def tree_allreduce_seconds(self, nbytes: float) -> float:
         """Latency-optimal binary-tree all-reduce (reduce + broadcast).
@@ -186,9 +271,9 @@ class ClusterCostModel:
         2⌈log2 N⌉(α + B/β). Beats the ring only for small payloads or very
         large N·α; the trainer exposes both so the crossover is visible.
         """
-        if self.num_nodes == 1:
+        if self.num_alive == 1:
             return 0.0
-        depth = math.ceil(math.log2(self.num_nodes))
+        depth = math.ceil(math.log2(self.num_alive))
         return 2 * depth * (self.latency + nbytes / self.collective_bandwidth)
 
     def allreduce_seconds(self, nbytes: float,
@@ -228,9 +313,10 @@ class ClusterCostModel:
         since halo phases keep many links busy at once. One node has no
         network: the cost is exactly zero, whatever the payload — so a
         single-node ``placement_seconds`` can never charge phantom
-        preprocessing time.
+        preprocessing time. One *surviving* node likewise has nobody
+        left to exchange halos with.
         """
-        if self.num_nodes == 1:
+        if self.num_alive == 1:
             return 0.0
         return nbytes / self.collective_bandwidth
 

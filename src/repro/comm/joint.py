@@ -141,7 +141,8 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
                     max_imbalance: int = 0,
                     node_budgets: Optional[Sequence[Optional[float]]] = None,
                     partition_host_bytes: Optional[np.ndarray] = None,
-                    compute_rows: Optional[np.ndarray] = None
+                    compute_rows: Optional[np.ndarray] = None,
+                    dead_nodes=frozenset()
                     ) -> JointResult:
     """Alternate placement search and schedule reorganization to a
     fixed point of the combined predicted cost.
@@ -163,6 +164,11 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
     the convergence cost then includes the placed compute term at the
     same congested rate, and identical per-node rates leave the loop
     bit-identical to the homogeneous one.
+
+    ``dead_nodes`` runs the whole loop in evacuation mode (the elastic
+    re-balancer's path): every search step refuses the named nodes and
+    balances over the survivors, and the reorganization prices the
+    evacuating placements it is handed.
     """
     if num_nodes < 2:
         raise ValueError(
@@ -201,6 +207,7 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
             node_budgets=node_budgets,
             partition_host_bytes=partition_host_bytes,
             compute_rows=compute_rows,
+            dead_nodes=dead_nodes,
         )
         placement = placed.placement
         total_swaps += placed.swaps
@@ -218,6 +225,7 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
         reorganized = reorganize_partition(
             current, cost_model, row_bytes, cluster_model=cluster_model,
             num_nodes=num_nodes, placement=placement,
+            dead_nodes=dead_nodes,
         )
         current = reorganized.partition
         total_seconds += reorganized.preprocessing_seconds

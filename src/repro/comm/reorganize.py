@@ -113,7 +113,8 @@ def reorganize_partition(partition: TwoLevelPartition,
                          row_bytes: int = 4 * 128,
                          cluster_model: Optional[ClusterCostModel] = None,
                          num_nodes: int = 1,
-                         placement: Optional[np.ndarray] = None
+                         placement: Optional[np.ndarray] = None,
+                         dead_nodes=frozenset()
                          ) -> ReorganizationResult:
     """Run Algorithm 4 on ``partition``.
 
@@ -137,7 +138,8 @@ def reorganize_partition(partition: TwoLevelPartition,
     the net term (see :func:`repro.partition.partition_nodes`): when the
     placement search has moved partitions between nodes, the net-aware
     objective and guard price halo rows against the *actual* assignment
-    the executor will route with.
+    the executor will route with (``dead_nodes`` admits evacuating
+    placements that leave faulted nodes empty).
     """
     started = time.perf_counter()
     m = partition.num_partitions
@@ -162,7 +164,7 @@ def reorganize_partition(partition: TwoLevelPartition,
         aware_grid = _reuse_chain_grid(
             partition, neighbor_sets, num_nodes,
             _remote_row_weight(cost_model, cluster_model, row_bytes),
-            placement=placement,
+            placement=placement, dead_nodes=dead_nodes,
         )
         aware_order = list(range(n))
         aware = _materialize(partition, aware_grid, aware_order)
@@ -173,7 +175,8 @@ def reorganize_partition(partition: TwoLevelPartition,
             (reorganized, grid, order),
             (aware, aware_grid, aware_order),
         ]
-        rows = [_net_rows(candidate, num_nodes, placement=placement)
+        rows = [_net_rows(candidate, num_nodes, placement=placement,
+                          dead_nodes=dead_nodes)
                 for candidate, _g, _o in candidates]
         costs = [
             _guarded_cost(candidate, candidate_rows, cost_model,
@@ -278,7 +281,8 @@ def _remote_row_weight(cost_model: Optional[CommCostModel],
 def _reuse_chain_grid(partition: TwoLevelPartition,
                       neighbor_sets: Sequence[Sequence[Set[int]]],
                       num_nodes: int, weight: float,
-                      placement: Optional[np.ndarray] = None
+                      placement: Optional[np.ndarray] = None,
+                      dead_nodes=frozenset()
                       ) -> List[List[int]]:
     """Per-partition greedy reuse chains with net-weighted overlap.
 
@@ -292,7 +296,8 @@ def _reuse_chain_grid(partition: TwoLevelPartition,
     """
     m = partition.num_partitions
     n = partition.num_chunks
-    node_map = partition_nodes(m, num_nodes, placement, max_imbalance=None)
+    node_map = partition_nodes(m, num_nodes, placement, max_imbalance=None,
+                               dead_nodes=dead_nodes)
     assignment = partition.assignment
 
     grid: List[List[int]] = []
@@ -321,7 +326,8 @@ def _reuse_chain_grid(partition: TwoLevelPartition,
 
 
 def _net_rows(partition: TwoLevelPartition, num_nodes: int,
-              placement: Optional[np.ndarray] = None) -> int:
+              placement: Optional[np.ndarray] = None,
+              dead_nodes=frozenset()) -> int:
     """Cross-node halo rows per epoch-layer: fetches + loads + flushes.
 
     Forward fetches (:func:`halo_volumes`) plus staging loads
@@ -331,8 +337,10 @@ def _net_rows(partition: TwoLevelPartition, num_nodes: int,
     equals the load total. ``placement`` selects the partition→node map
     the rows are counted against.
     """
-    fetch = int(halo_volumes(partition, num_nodes, placement).sum())
-    load = int(halo_load_volumes(partition, num_nodes, placement).sum())
+    fetch = int(halo_volumes(partition, num_nodes, placement,
+                             dead_nodes=dead_nodes).sum())
+    load = int(halo_load_volumes(partition, num_nodes, placement,
+                                 dead_nodes=dead_nodes).sum())
     return fetch + 2 * load
 
 

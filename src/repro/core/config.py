@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.comm.cost_model import ALLREDUCE_ALGORITHMS
 from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultSchedule
 from repro.hardware.spec import TOPOLOGY_KINDS
 from repro.partition.placement import PLACEMENT_POLICIES
 from repro.runtime import OVERLAP_POLICIES
@@ -89,6 +90,25 @@ class HongTuConfig:
         partitions (never emptying a node) when the per-node host
         memory model admits the skew. 0 (the default) keeps the exact
         balance; > 0 requires a searching placement policy.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` perturbing the
+        fleet over simulated time (stragglers, link degradations, node
+        deaths). ``None`` (the default) — and likewise an *empty*
+        schedule — keeps every simulated second float-identical to the
+        fault-free path. Requires ``nodes > 1`` (a one-node fleet has
+        nothing to re-balance onto).
+    elastic:
+        Whether the trainer responds to detected faults by re-running
+        the placement search against the degraded capability/bandwidth
+        vectors and migrating partitions (the online elastic
+        re-balance). ``False`` rides out stragglers with the static
+        placement and raises :class:`~repro.errors.FaultError` on a
+        node death. Ignored without ``faults``.
+    rebalance_trigger:
+        Sensitivity of the straggler detector: a re-balance is marked
+        pending when an epoch's observed makespan exceeds
+        ``rebalance_trigger ×`` the faultless baseline makespan. Must be
+        > 1; node deaths re-balance unconditionally.
     bytes_per_scalar:
         Logical element width for communication/memory accounting (4 =
         float32 on the real hardware; numerics may run in float64).
@@ -109,6 +129,9 @@ class HongTuConfig:
     oversubscription: float = 1.0
     placement: str = "block"
     max_imbalance: int = 0
+    faults: Optional[FaultSchedule] = None
+    elastic: bool = True
+    rebalance_trigger: float = 1.05
     bytes_per_scalar: int = 4
     dtype: type = np.float64
     seed: int = 0
@@ -176,6 +199,30 @@ class HongTuConfig:
             )
         if self.bytes_per_scalar <= 0:
             raise ConfigurationError("bytes_per_scalar must be positive")
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultSchedule):
+                raise ConfigurationError(
+                    f"faults must be a FaultSchedule (or None), got "
+                    f"{type(self.faults).__name__}"
+                )
+            if self.faults and self.nodes == 1:
+                raise ConfigurationError(
+                    "a fault schedule needs nodes > 1: a one-node fleet "
+                    "has no survivors to re-balance onto"
+                )
+            try:
+                self.faults.validate_for(self.nodes)
+            except Exception as error:
+                raise ConfigurationError(
+                    f"fault schedule invalid for {self.nodes} node(s): "
+                    f"{error}"
+                ) from error
+        if self.rebalance_trigger <= 1.0:
+            raise ConfigurationError(
+                f"rebalance_trigger must be > 1 (an epoch must run "
+                f"measurably slower than the faultless baseline to fire), "
+                f"got {self.rebalance_trigger}"
+            )
 
     @property
     def dedup_flags(self) -> Tuple[bool, bool]:
@@ -186,3 +233,47 @@ class HongTuConfig:
             "ru": (False, True),
             "hongtu": (True, True),
         }[self.comm_mode]
+
+    # ------------------------------------------------------------------
+    # dict round-tripping (config provenance for benches / CI artifacts)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable dict reproducing this config exactly.
+
+        ``dtype`` becomes its numpy name, ``faults`` its declarative
+        schedule dict (``None`` stays ``None``); everything else is a
+        plain scalar. :meth:`from_dict` inverts this losslessly:
+        ``HongTuConfig.from_dict(config.to_dict()) == config``.
+        """
+        data = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "dtype":
+                value = np.dtype(value).name
+            elif spec.name == "faults" and value is not None:
+                value = value.to_dict()
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HongTuConfig":
+        """Rebuild a config from :meth:`to_dict` output (validated)."""
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown config field(s) {sorted(unknown)}; expected a "
+                f"subset of {sorted(known)}"
+            )
+        kwargs = dict(data)
+        if "dtype" in kwargs:
+            try:
+                kwargs["dtype"] = np.dtype(kwargs["dtype"]).type
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"bad dtype {kwargs['dtype']!r}: {error}"
+                ) from error
+        if kwargs.get("faults") is not None \
+                and not isinstance(kwargs["faults"], FaultSchedule):
+            kwargs["faults"] = FaultSchedule.from_dict(kwargs["faults"])
+        return cls(**kwargs)

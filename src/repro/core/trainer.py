@@ -77,14 +77,25 @@ from repro.comm.plan import CommPlan, build_comm_plan
 from repro.comm.reorganize import ReorganizationResult, reorganize_partition
 from repro.core.config import HongTuConfig
 from repro.core.memory_model import node_host_budgets, partition_host_bytes
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeviceOutOfMemoryError,
+    FaultError,
+    PartitionError,
+)
+from repro.faults.schedule import FaultState, RebalanceEvent
 from repro.gnn.models import GNNModel
 from repro.graph.graph import Graph
 from repro.hardware.clock import EventTimeline, TimeBreakdown
 from repro.hardware.memory import Allocation
 from repro.hardware.platform import MultiGPUPlatform
 from repro.partition.nodes import partition_nodes
-from repro.partition.placement import PlacementResult, search_placement
+from repro.partition.placement import (
+    PlacementResult,
+    partition_halo_matrix,
+    partition_load_matrix,
+    search_placement,
+)
 from repro.partition.two_level import TwoLevelPartition, two_level_partition
 from repro.runtime.task import net_link
 
@@ -109,6 +120,11 @@ class EpochResult:
     #: inter-node network bytes moved this epoch (halo + all-reduce;
     #: zero on a single node)
     net_bytes: int = 0
+    #: partition-state bytes migrated by an elastic re-balance at this
+    #: epoch's boundary (0 on fault-free epochs; included in net_bytes)
+    migration_bytes: int = 0
+    #: the elastic re-balance that preceded this epoch, if one fired
+    rebalance: Optional[RebalanceEvent] = None
     #: the scheduled event timeline (None for legacy/synthetic results)
     timeline: Optional[EventTimeline] = None
 
@@ -189,6 +205,22 @@ class HongTuTrainer:
         self._epoch = 0
         self._pipelined = config.overlap == "pipeline"
         self._allreduce_net_bytes = 0  # per-epoch, reset by train_epoch
+
+        # ---- fault-injected fleets / online elastic re-balancing ----------
+        #: simulated wall clock across epochs — the time axis fault
+        #: schedules are sampled on (epoch boundaries only)
+        self.fleet_seconds = 0.0
+        #: provenance of every elastic re-balance this trainer performed
+        self.rebalances: List[RebalanceEvent] = []
+        self._pending_rebalance = False
+        #: faultless-epoch makespan: the predicted epoch time the
+        #: observed one is compared against (trigger rule)
+        self._expected_epoch_seconds: Optional[float] = None
+        #: (fault_state, placement) the last re-balance adapted to —
+        #: the trigger never re-fires for a situation already handled
+        self._last_rebalance_key = None
+        self._migration_net_bytes = 0  # per-epoch, reset by train_epoch
+        self._epoch_rebalance: Optional[RebalanceEvent] = None
 
         # ---- preprocessing -------------------------------------------------
         if partition is None:
@@ -351,11 +383,20 @@ class HongTuTrainer:
         self._checkpoint_allocations: Dict[tuple, Allocation] = {}
 
         # Per-chunk topology resident on its GPU for the whole run.
+        # Handles are kept so an elastic re-balance can release them
+        # before re-placing across hardware generations.
+        self._topology_allocations: List[Allocation] = []
+        self._alloc_topology()
+
+    def _alloc_topology(self) -> None:
+        """Allocate each chunk's GPU-resident topology (CSR + offsets)."""
         for row in self.partition.chunks:
             for chunk in row:
                 topo_bytes = chunk.num_edges * 12 + (chunk.num_dst + 1) * 8
-                platform.gpus[chunk.partition_id].memory.alloc(
-                    "topology", topo_bytes
+                self._topology_allocations.append(
+                    self.platform.gpus[chunk.partition_id].memory.alloc(
+                        "topology", topo_bytes
+                    )
                 )
 
     def _vertex_host_bytes(self) -> int:
@@ -418,10 +459,10 @@ class HongTuTrainer:
                     flops[i] += layer.forward_flops(
                         block.num_src, block.num_dst, block.num_edges
                     )
-        rates = np.array(
-            [spec.gpu.compute_flops for spec in self.platform.node_specs],
-            dtype=np.float64,
-        )
+        # Per-node *effective* rates: the platform folds any active fault
+        # state's compute factors in, so an elastic re-balance weighs a
+        # straggling node exactly as slow as its kernels now run.
+        rates = self.platform.node_compute_rates()
         seconds = flops[:, None] / rates[None, :]
         row_seconds = row_bytes / cluster_model.collective_bandwidth
         return np.rint(seconds / row_seconds).astype(np.int64)
@@ -433,8 +474,22 @@ class HongTuTrainer:
         return EventTimeline(barrier_all=not self._pipelined)
 
     def train_epoch(self) -> EpochResult:
-        """One full-graph epoch: forward, loss, backward, update."""
+        """One full-graph epoch: forward, loss, backward, update.
+
+        On a fault-injected fleet (``config.faults``) the epoch boundary
+        is where faults become visible: the schedule is sampled at the
+        accumulated :attr:`fleet_seconds`, the platform's rates are
+        perturbed accordingly, a node death (or a pending
+        makespan-trigger detection from the previous epoch) runs the
+        elastic re-balance — whose migration traffic is charged as
+        ``net`` tasks at the head of this epoch's timeline — and only
+        then does the epoch execute. With no schedule (or an inactive
+        one) every code path below is byte-for-byte the fault-free one.
+        """
         timeline = self._new_timeline()
+        self._migration_net_bytes = 0
+        self._epoch_rebalance = None
+        self._sync_fault_state(timeline)
         bytes_before = dict(self._comm_values.bytes_moved)
         grads_before = dict(self._comm_grads.bytes_moved)
         self._allreduce_net_bytes = 0
@@ -464,8 +519,9 @@ class HongTuTrainer:
             self._comm_values.bytes_moved["net"] - bytes_before["net"]
             + self._comm_grads.bytes_moved["net"] - grads_before["net"]
             + self._allreduce_net_bytes
+            + self._migration_net_bytes
         )
-        return EpochResult(
+        result = EpochResult(
             epoch=self._epoch,
             loss=loss,
             clock=timeline.breakdown,
@@ -475,8 +531,12 @@ class HongTuTrainer:
             d2d_bytes=d2d,
             d2h_bytes=d2h,
             net_bytes=net,
+            migration_bytes=self._migration_net_bytes,
+            rebalance=self._epoch_rebalance,
             timeline=timeline,
         )
+        self._finish_epoch(result)
+        return result
 
     def train(self, num_epochs: int) -> List[EpochResult]:
         """Run ``num_epochs`` epochs, returning per-epoch results."""
@@ -533,6 +593,329 @@ class HongTuTrainer:
         from repro.serving.engine import ServingEngine
 
         return ServingEngine(self, cache_budget_bytes=cache_budget_bytes)
+
+    # ------------------------------------------------------------------
+    # fault-injected fleets: epoch-boundary sampling + elastic re-balance
+    # ------------------------------------------------------------------
+    def _sync_fault_state(self, timeline: EventTimeline) -> None:
+        """Sample the fault schedule at this epoch's start and react.
+
+        The schedule's state at :attr:`fleet_seconds` is installed on the
+        platform (rate perturbations — the *physics*). The *response* is
+        separate: a new node death forces an immediate elastic
+        re-balance (the dead node's partitions cannot run), while
+        stragglers are only *detected* by the makespan trigger at the
+        previous epoch's end (``_finish_epoch``), whose pending flag this
+        method services. When the sampled state is inactive and nothing
+        was ever applied, not a single platform call is made — the exact
+        fault-free code path.
+        """
+        schedule = self.config.faults
+        platform = self.platform
+        if (schedule is None or not schedule) and not self._pending_rebalance:
+            return
+        state = (schedule.state_at(self.fleet_seconds) if schedule
+                 else FaultState())
+        current = platform.fault_state or FaultState()
+        new_deaths = state.dead - platform.dead_nodes
+        if state != current or state.dead != platform.dead_nodes:
+            if state.inactive and platform.fault_state is None \
+                    and not platform.dead_nodes:
+                pass  # nothing applied, nothing to apply
+            else:
+                platform.apply_fault_state(state)
+        if new_deaths:
+            if not self.config.elastic:
+                raise FaultError(
+                    f"node(s) {sorted(new_deaths)} died at fleet time "
+                    f"{self.fleet_seconds:.6f}s and elastic re-balancing "
+                    f"is disabled; their partitions cannot run"
+                )
+            self._elastic_rebalance(timeline, trigger="death")
+        elif self._pending_rebalance:
+            self._elastic_rebalance(timeline, trigger="makespan")
+        self._pending_rebalance = False
+
+    def _finish_epoch(self, result: EpochResult) -> None:
+        """Advance the fleet clock and run the makespan trigger rule.
+
+        The trigger compares the *observed* epoch makespan against the
+        *predicted* one — the makespan of the first epoch that ran with
+        no fault state applied and no re-balance (the faultless
+        baseline). An epoch exceeding ``rebalance_trigger ×`` that
+        baseline marks a re-balance pending for the next epoch boundary,
+        unless the last re-balance already adapted to the exact same
+        (fault state, placement) situation — re-balancing cannot undo a
+        straggler, only mitigate it, so the trigger must not thrash.
+        """
+        makespan = result.epoch_seconds
+        self.fleet_seconds += makespan
+        if self.config.faults is None or not self.config.elastic:
+            return
+        platform = self.platform
+        faultless = (platform.fault_state is None
+                     and not platform.dead_nodes)
+        if (faultless and result.rebalance is None
+                and self._expected_epoch_seconds is None):
+            self._expected_epoch_seconds = makespan
+            return
+        expected = self._expected_epoch_seconds
+        if (expected is not None and result.rebalance is None
+                and makespan > self.config.rebalance_trigger * expected):
+            key = (platform.fault_state,
+                   tuple(int(node) for node in self.placement))
+            if key != self._last_rebalance_key:
+                self._pending_rebalance = True
+
+    def _capability_rows(self, cluster_model: ClusterCostModel,
+                         row_bytes: int) -> np.ndarray:
+        """``(m, num_nodes)`` placement-cost matrix for the re-balance.
+
+        The compute term of :meth:`_compute_row_matrix` (kernel seconds
+        under each node's *effective* — fault-degraded — flop rate) plus
+        a wire term: partition p's halo rows all ride its home node's
+        NIC, so placing p on node n additionally costs p's total
+        exchanged rows times the *excess* per-row wire seconds of n's
+        NIC over the fastest one, in the same row-equivalent integer
+        unit. The total is a linear-in-placement surrogate (it prices
+        every halo row as cross-node, an upper bound — co-located pairs
+        ride NVLink for free), which is exactly the shape the search's
+        per-``(partition, node)`` capability hook supports. On uniform
+        effective NICs the wire term is identically zero and the matrix
+        reduces to the compute term alone.
+        """
+        compute = self._compute_row_matrix(cluster_model, row_bytes)
+        nic = self.platform.node_nic_rates()
+        if nic.max() > nic.min():
+            weights = (partition_halo_matrix(self.partition)
+                       + 2 * partition_load_matrix(self.partition))
+            total_rows = weights.sum(axis=1) + weights.sum(axis=0)
+            row_seconds = row_bytes / cluster_model.collective_bandwidth
+            excess = row_bytes / nic - row_bytes / nic.max()
+            compute = compute + np.rint(
+                total_rows[:, None] * excess[None, :] / row_seconds
+            ).astype(np.int64)
+        return compute
+
+    def _partition_state_bytes(self) -> np.ndarray:
+        """Per-partition bytes a re-homed partition carries over the wire.
+
+        A partition that moves to another node ships its GPU-resident
+        chunk topology (CSR indices + offsets) and its per-layer vertex
+        rows — h^l and ∇h^l for each of its owned vertices across every
+        layer. Checkpointed aggregates are *not* migrated: they are
+        dropped and recomputed by the next forward pass (strictly
+        cheaper than shipping them through a degraded network, and
+        numerically free — checkpoints only live within one epoch).
+        """
+        m = self.platform.num_gpus
+        sizes = np.bincount(self.partition.assignment, minlength=m)
+        dims_sum = sum(self.model.dims)
+        rows = 2 * sizes.astype(np.int64) * dims_sum \
+            * self.config.bytes_per_scalar
+        topology = np.zeros(m, dtype=np.int64)
+        for row in self.partition.chunks:
+            for chunk in row:
+                topology[chunk.partition_id] += (
+                    chunk.num_edges * 12 + (chunk.num_dst + 1) * 8
+                )
+        return rows + topology
+
+    def _elastic_rebalance(self, timeline: EventTimeline,
+                           trigger: str) -> RebalanceEvent:
+        """Re-place partitions against the degraded fleet and migrate.
+
+        The sequence: release every placement-dependent reservation
+        (vertex-data shards, aggregate checkpoints, GPU topology) so the
+        admission budgets see true headroom; rebuild the capability and
+        bandwidth vectors from the *faulted* platform; re-run the
+        placement search (``joint_placement`` under the joint policy) in
+        evacuation mode — dead nodes refused, balance taken over the
+        survivors, the current placement (dead entries re-homed onto the
+        least-loaded survivors) as the seed; install the new placement;
+        re-reserve host/GPU state under it; rebuild both communicators
+        (their node routing snapshots the placement at construction);
+        and charge the moved partitions' state bytes as coalesced
+        per-link ``net`` tasks at the head of the epoch timeline,
+        followed by a barrier — the epoch's work starts only after the
+        migration lands. Raises :class:`~repro.errors.FaultError` when
+        no admissible evacuation exists (placement bounds or surviving
+        hosts' memory).
+        """
+        platform = self.platform
+        nodes = platform.num_nodes
+        config = self.config
+        dead = platform.dead_nodes
+        old_placement = np.asarray(self.placement, dtype=np.int64).copy()
+
+        # 1. Release placement-dependent state. Budgets must not double-
+        # count reservations this re-balance is about to re-home, and
+        # GPU pools must be empty before a cross-generation capacity
+        # swap.
+        for allocation in self._host_allocations:
+            allocation.free()
+        self._host_allocations = []
+        self.free_checkpoints()
+        for allocation in self._topology_allocations:
+            allocation.free()
+        self._topology_allocations = []
+
+        # 2. Degraded capability/bandwidth vectors + admission inputs.
+        row_bytes = max(self.model.dims) * config.bytes_per_scalar
+        cluster_model = ClusterCostModel.from_platform(platform)
+        node_budgets, per_partition_bytes = self._admission_inputs()
+        compute_rows = self._capability_rows(cluster_model, row_bytes)
+
+        # 3. Seed: the current placement with every partition of a dead
+        # node re-homed onto the least-loaded survivor (lowest id on
+        # ties) — a deterministic admissible starting point the search
+        # refines, never regresses.
+        seed = old_placement.copy()
+        if dead:
+            alive = platform.alive_nodes
+            counts = {node: int((seed == node).sum()) for node in alive}
+            for p in np.flatnonzero(
+                    np.isin(seed, np.array(sorted(dead)))).tolist():
+                target = min(alive, key=lambda node: (counts[node], node))
+                seed[p] = target
+                counts[target] += 1
+
+        # 4. Re-run the placement search in evacuation mode.
+        try:
+            if config.placement == "joint":
+                joint = joint_placement(
+                    self.partition, nodes,
+                    cost_model=CommCostModel.from_platform(platform),
+                    cluster_model=cluster_model, row_bytes=row_bytes,
+                    allreduce_bytes=self.model.parameter_nbytes(),
+                    allreduce_algorithm=config.allreduce,
+                    seed_placement=seed,
+                    max_imbalance=config.max_imbalance,
+                    node_budgets=node_budgets,
+                    partition_host_bytes=per_partition_bytes,
+                    compute_rows=compute_rows,
+                    dead_nodes=dead,
+                )
+                self.partition = joint.partition
+                placed = joint.placement_result
+                self.reorganization = joint.reorganization
+            else:
+                placed = search_placement(
+                    self.partition, nodes,
+                    cluster_model=cluster_model, row_bytes=row_bytes,
+                    allreduce_bytes=self.model.parameter_nbytes(),
+                    allreduce_algorithm=config.allreduce,
+                    seed_placement=seed,
+                    max_imbalance=config.max_imbalance,
+                    node_budgets=node_budgets,
+                    partition_host_bytes=per_partition_bytes,
+                    compute_rows=compute_rows,
+                    dead_nodes=dead,
+                )
+        except PartitionError as error:
+            raise FaultError(
+                f"the fleet cannot absorb the fault ({trigger} trigger, "
+                f"dead nodes {sorted(dead)}): {error}"
+            ) from error
+        new_placement = placed.placement
+        self.placement = new_placement
+        self.placement_result = placed
+        self.placement_node_budgets = node_budgets
+        self.placement_partition_host_bytes = per_partition_bytes
+        self.placement_compute_rows = compute_rows
+        self.preprocessing_seconds += placed.seconds
+
+        # 5. Install + re-reserve. set_placement re-validates against
+        # the dead set; surviving hosts that cannot hold the evacuated
+        # shards fail admission here.
+        try:
+            platform.set_placement(new_placement,
+                                   max_imbalance=config.max_imbalance)
+        except ConfigurationError as error:
+            raise FaultError(
+                f"searched evacuation is inadmissible: {error}"
+            ) from error
+        if config.placement == "joint":
+            dedup_inter, dedup_intra = config.dedup_flags
+            self.plan = build_comm_plan(
+                self.partition, dedup_inter=dedup_inter,
+                dedup_intra=dedup_intra
+            )
+        self._comm_values = DedupCommunicator(
+            self.plan, platform, config.bytes_per_scalar
+        )
+        self._comm_grads = DedupCommunicator(
+            self.plan, platform, config.bytes_per_scalar
+        )
+        try:
+            self._host_allocations = [
+                pool.alloc("vertex_data", share)
+                for pool, share in platform.split_host_bytes(
+                    self._vertex_host_bytes())
+            ]
+            self._alloc_topology()
+        except DeviceOutOfMemoryError as error:
+            raise FaultError(
+                f"surviving nodes cannot admit the evacuated working "
+                f"set: {error}"
+            ) from error
+
+        # 6. Migration traffic: moved partitions' state bytes, coalesced
+        # per directed link, priced by the degraded cost model. A dead
+        # source cannot send — its partitions re-materialize from the
+        # lowest-id survivor's shard (same-node landings ship nothing).
+        moved = np.flatnonzero(old_placement != new_placement)
+        migration_bytes = 0
+        migration_seconds = 0.0
+        if len(moved):
+            state_bytes = self._partition_state_bytes()
+            lowest_alive = min(platform.alive_nodes)
+            flows: Dict[tuple, int] = {}
+            for p in moved.tolist():
+                src = int(old_placement[p])
+                if src in dead:
+                    src = lowest_alive
+                dst = int(new_placement[p])
+                if src == dst:
+                    continue
+                flows[(src, dst)] = flows.get((src, dst), 0) \
+                    + int(state_bytes[p])
+            if flows:
+                num_rails = platform.num_rails
+                devices, seconds = [], []
+                for (src, dst), nbytes in sorted(flows.items()):
+                    devices.append(net_link(src, dst, nodes, 0, num_rails))
+                    seconds.append(
+                        cluster_model.halo_exchange_seconds(nbytes, src, dst)
+                    )
+                    migration_bytes += nbytes
+                timeline.submit_batch(
+                    "net", np.asarray(seconds, dtype=np.float64),
+                    devices=np.asarray(devices, dtype=np.int64),
+                    label=f"migrate[{trigger}]",
+                )
+                timeline.barrier()
+                migration_seconds = float(np.sum(seconds))
+        self._migration_net_bytes += migration_bytes
+
+        event = RebalanceEvent(
+            epoch=self._epoch + 1,
+            trigger=trigger,
+            placement_before=tuple(int(n) for n in old_placement),
+            placement_after=tuple(int(n) for n in new_placement),
+            moved_partitions=tuple(int(p) for p in moved),
+            migration_bytes=int(migration_bytes),
+            migration_seconds=migration_seconds,
+            search_seconds=placed.seconds,
+            dead_nodes=frozenset(dead),
+        )
+        self.rebalances.append(event)
+        self._epoch_rebalance = event
+        self._last_rebalance_key = (
+            platform.fault_state,
+            tuple(int(node) for node in new_placement),
+        )
+        return event
 
     # ------------------------------------------------------------------
     # forward pass (Algorithm 1, lines 4-9)
@@ -809,29 +1192,39 @@ class HongTuTrainer:
                     devices=leg_devices,
                     label="all_reduce_intra",
                 )
-            cost = ClusterCostModel.from_cluster(self.platform.cluster)
-            seconds = cost.allreduce_seconds(
-                param_bytes, algorithm=self.config.allreduce
-            )
-            # Encode ring links with the platform's rail fan-out so the
-            # ids share the halo tasks' device space (on a rail fabric
-            # the collective's per-pair leg rides rail 0; spine pricing
-            # already folds the core contention into ``seconds``).
-            num_rails = self.platform.num_rails
-            timeline.submit_batch(
-                "net", np.full(nodes, seconds),
-                devices=np.array(
-                    [net_link(node, (node + 1) % nodes, nodes,
-                              0, num_rails)
-                     for node in range(nodes)],
-                    dtype=np.int64,
-                ),
-                deps=intra_ids,
-                label=f"all_reduce_{self.config.allreduce}",
-            )
-            # Total wire volume of an all-reduce (ring and tree alike):
-            # 2 (N-1) payloads cross the network.
-            self._allreduce_net_bytes += 2 * param_bytes * (nodes - 1)
+            # The collective spans the *alive* fleet: on a fault-free
+            # cluster that is every node and the emission below is
+            # float-identical to the pre-fault code (from_platform
+            # returns the from_cluster model verbatim, and the alive
+            # ring's successor map is (node + 1) % nodes exactly); after
+            # a death the ring closes over the survivors.
+            alive = self.platform.alive_nodes
+            cost = ClusterCostModel.from_platform(self.platform)
+            if len(alive) > 1:
+                seconds = cost.allreduce_seconds(
+                    param_bytes, algorithm=self.config.allreduce
+                )
+                # Encode ring links with the platform's rail fan-out so
+                # the ids share the halo tasks' device space (on a rail
+                # fabric the collective's per-pair leg rides rail 0;
+                # spine pricing already folds the core contention into
+                # ``seconds``).
+                num_rails = self.platform.num_rails
+                timeline.submit_batch(
+                    "net", np.full(len(alive), seconds),
+                    devices=np.array(
+                        [net_link(node, alive[(k + 1) % len(alive)],
+                                  nodes, 0, num_rails)
+                         for k, node in enumerate(alive)],
+                        dtype=np.int64,
+                    ),
+                    deps=intra_ids,
+                    label=f"all_reduce_{self.config.allreduce}",
+                )
+                # Total wire volume of an all-reduce (ring and tree
+                # alike): 2 (N-1) payloads cross the network.
+                self._allreduce_net_bytes += \
+                    2 * param_bytes * (len(alive) - 1)
         self.optimizer.step()
 
     # ------------------------------------------------------------------

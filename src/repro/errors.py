@@ -57,3 +57,13 @@ class SchedulerError(ReproError):
 
 class ServingError(ReproError):
     """An inference-serving component was configured with invalid options."""
+
+
+class FaultError(ReproError):
+    """A fault schedule is invalid, or the fleet cannot absorb a fault.
+
+    Raised when a :class:`repro.faults.FaultSchedule` names nodes or links
+    outside the cluster, kills every node, or when elastic re-balancing
+    cannot re-admit the partitions of a degraded fleet under the surviving
+    nodes' host budgets.
+    """

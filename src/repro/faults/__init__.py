@@ -1,0 +1,29 @@
+"""Fault injection for unreliable fleets.
+
+Declarative :class:`FaultSchedule` objects describe stragglers, link
+degradation and node deaths; sampling one at a simulated time yields a
+:class:`FaultState` the platform applies to its per-device rate vectors.
+See :mod:`repro.faults.schedule` for the full contract.
+"""
+
+from repro.faults.schedule import (
+    Fault,
+    FaultSchedule,
+    FaultState,
+    LinkDegradation,
+    NodeDeath,
+    RebalanceEvent,
+    Straggler,
+    parse_fault,
+)
+
+__all__ = [
+    "Fault",
+    "FaultSchedule",
+    "FaultState",
+    "LinkDegradation",
+    "NodeDeath",
+    "RebalanceEvent",
+    "Straggler",
+    "parse_fault",
+]

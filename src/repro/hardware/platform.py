@@ -76,11 +76,38 @@ class MultiGPUPlatform:
             numa_aware = self.num_gpus > spec.num_sockets
         self.numa_aware = numa_aware
         self._hetero = False
+        #: bumped whenever per-device rates may have changed (fault state
+        #: applied, placement re-installed); cost caches key on it.
+        self.rates_version = 0
 
     @property
     def heterogeneous(self) -> bool:
         """True when nodes carry distinct capability profiles."""
         return self._hetero
+
+    # -- fault state (trivial on a single reliable node) --------------------
+    @property
+    def fault_state(self):
+        """The active :class:`repro.faults.FaultState`, or ``None``."""
+        return None
+
+    @property
+    def dead_nodes(self) -> frozenset:
+        """Nodes whose death time has passed (empty when reliable)."""
+        return frozenset()
+
+    @property
+    def alive_nodes(self) -> List[int]:
+        """Node ids still serving compute/memory/traffic, ascending."""
+        return [0]
+
+    def apply_fault_state(self, state) -> None:
+        """Install a fault state; a single node only accepts inactive ones."""
+        if state is not None and not state.inactive:
+            raise ConfigurationError(
+                "fault injection requires a multi-node ClusterPlatform; "
+                "a single-node platform has no fleet to degrade"
+            )
 
     # -- transfer costs (seconds) -----------------------------------------
     # Every cost function takes an optional ``devices`` (global GPU id,
@@ -255,7 +282,12 @@ class ClusterPlatform(MultiGPUPlatform):
         #: one capability profile per node (N copies of ``cluster.node``
         #: unless the spec names per-node profiles)
         self.node_specs = cluster.resolved_node_specs
-        self._hetero = cluster.heterogeneous
+        self._base_hetero = cluster.heterogeneous
+        self._hetero = self._base_hetero
+        self._fault_state = None
+        self._link_factor = None
+        self._dead: frozenset = frozenset()
+        self.rates_version = 0
         self._gpus_per_node = per_node
         self.num_gpus = cluster.num_nodes * per_node
         self.gpus = [
@@ -299,7 +331,8 @@ class ClusterPlatform(MultiGPUPlatform):
         nodes = self.cluster.num_nodes
         try:
             resolved = partition_nodes(self.num_gpus, nodes, placement,
-                                       max_imbalance=self.max_imbalance)
+                                       max_imbalance=self.max_imbalance,
+                                       dead_nodes=self._dead)
         except PartitionError as error:
             raise ConfigurationError(str(error)) from error
         self._placement = resolved
@@ -320,6 +353,77 @@ class ClusterPlatform(MultiGPUPlatform):
                                                last_socket)
         if self._hetero:
             self._rebuild_rates()
+        self.rates_version += 1
+
+    # -- fault state --------------------------------------------------------
+    @property
+    def fault_state(self):
+        """The active :class:`repro.faults.FaultState`, or ``None``."""
+        return self._fault_state
+
+    @property
+    def dead_nodes(self) -> frozenset:
+        """Nodes whose death time has passed under the active fault state."""
+        return self._dead
+
+    @property
+    def alive_nodes(self) -> List[int]:
+        """Node ids still serving compute/memory/traffic, ascending."""
+        return [node for node in range(self.num_nodes)
+                if node not in self._dead]
+
+    def apply_fault_state(self, state) -> None:
+        """Install the perturbations of one :class:`repro.faults.FaultState`.
+
+        Straggler compute factors degrade the per-GPU kernel rate of
+        every GPU placed on the struck node; NIC factors degrade the
+        node's wire rate (felt by both directions of every link touching
+        it); link factors additionally scale individual directed links;
+        dead nodes stop holding host-data shares and are reported via
+        :attr:`dead_nodes` / :attr:`alive_nodes` (evacuating their
+        partitions is the trainer's elastic re-balance, not the
+        platform's job). Applying an *inactive* state restores the exact
+        pre-fault code path — on a homogeneous cluster the scalar
+        single-spec cost expressions run unchanged, which is the
+        float-identity contract ``tests/test_faults.py`` locks.
+
+        Nodes already holding a placement keep it; callers re-place
+        after a death (``set_placement`` refuses placements that use
+        dead nodes).
+        """
+        from repro.errors import FaultError
+        from repro.faults.schedule import FaultState
+
+        if state is None:
+            state = FaultState()
+        if not isinstance(state, FaultState):
+            raise ConfigurationError(
+                f"expected a FaultState, got {type(state).__name__}")
+        if state.max_node() >= self.num_nodes:
+            raise FaultError(
+                f"fault state references node {state.max_node()} but the "
+                f"cluster has {self.num_nodes} nodes")
+        if len(state.dead) >= self.num_nodes:
+            raise FaultError(
+                f"fault state kills all {self.num_nodes} nodes; at least "
+                f"one must survive")
+        if not state.dead >= self._dead:
+            raise FaultError(
+                "node deaths are permanent: new fault state resurrects "
+                f"{sorted(self._dead - state.dead)}")
+        self._fault_state = None if state.inactive else state
+        self._dead = frozenset(state.dead)
+        if state.links:
+            matrix = np.ones((self.num_nodes, self.num_nodes))
+            for src, dst, factor in state.links:
+                matrix[src, dst] = factor
+            self._link_factor = matrix
+        else:
+            self._link_factor = None
+        self._hetero = self._base_hetero or not state.inactive
+        if self._hetero:
+            self._rebuild_rates()
+        self.rates_version += 1
 
     def _effective_h2d_rate(self, spec: PlatformSpec) -> float:
         """One node's NUMA-adjusted H2D byte rate (same blend as
@@ -349,7 +453,7 @@ class ClusterPlatform(MultiGPUPlatform):
             "h2d": np.array([self._effective_h2d_rate(s) for s in specs]),
             "d2d": np.array([s.nvlink_bandwidth for s in specs]),
             "ru": np.array([s.gpu.memory_bandwidth for s in specs]),
-            "compute": np.array([s.gpu.compute_flops for s in specs]),
+            "compute": self.node_compute_rates(),
         }
         owner = self._placement
         self._h2d_rate = by_node["h2d"][owner]
@@ -358,11 +462,7 @@ class ClusterPlatform(MultiGPUPlatform):
         self._compute_rate = by_node["compute"][owner]
         self._cpu_rate = np.array(
             [s.cpu_accumulate_bandwidth for s in specs])
-        self._nic_rate = np.array([
-            s.nic_bandwidth if s.nic_bandwidth is not None
-            else self.cluster.network_bandwidth
-            for s in specs
-        ])
+        self._nic_rate = self.node_nic_rates()
         for device in range(self.num_gpus):
             capacity = specs[owner[device]].gpu.memory_bytes
             pool = self.gpus[device].memory
@@ -378,6 +478,31 @@ class ClusterPlatform(MultiGPUPlatform):
                 )
             self.gpus[device].memory = MemoryPool(capacity,
                                                   name=f"gpu{device}")
+
+    def node_compute_rates(self) -> np.ndarray:
+        """Per-node effective GPU flop rates (fault factors applied)."""
+        rates = np.array([float(spec.gpu.compute_flops)
+                          for spec in self.node_specs])
+        if self._fault_state is not None:
+            for node, factor in self._fault_state.compute:
+                rates[node] *= factor
+        return rates
+
+    def node_nic_rates(self) -> np.ndarray:
+        """Per-node effective NIC byte rates (fault factors applied)."""
+        rates = np.array([
+            float(spec.nic_bandwidth) if spec.nic_bandwidth is not None
+            else float(self.cluster.network_bandwidth)
+            for spec in self.node_specs
+        ])
+        if self._fault_state is not None:
+            for node, factor in self._fault_state.nic:
+                rates[node] *= factor
+        return rates
+
+    def link_factors(self) -> Optional[np.ndarray]:
+        """(N, N) directed-link rate factors, or ``None`` when undegraded."""
+        return None if self._link_factor is None else self._link_factor.copy()
 
     @property
     def placement(self) -> np.ndarray:
@@ -431,6 +556,8 @@ class ClusterPlatform(MultiGPUPlatform):
         """
         if self._hetero and src is not None and dst is not None:
             link = np.minimum(self._nic_rate[src], self._nic_rate[dst])
+            if self._link_factor is not None:
+                link = link * self._link_factor[src, dst]
             return (self.cluster.network_latency
                     + nbytes / (link / self.num_rails))
         bandwidth = self.cluster.network_bandwidth / self.num_rails
@@ -462,8 +589,23 @@ class ClusterPlatform(MultiGPUPlatform):
         heterogeneous fleet shards *proportionally to host capacity*, so
         a small-DRAM node holds a small slice of the vertex data; with
         equal capacities the proportional floor equals the even split
-        exactly, keeping identical-profile clusters bit-identical.
+        exactly, keeping identical-profile clusters bit-identical. Dead
+        nodes hold nothing: their capacity is treated as zero and the
+        data re-shards across the survivors (the remainder lands on the
+        first alive node).
         """
+        if self._dead:
+            capacities = [
+                0 if node in self._dead else spec.host_memory_bytes
+                for node, spec in enumerate(self.node_specs)
+            ]
+            if not self._hetero:
+                capacities = [0 if c == 0 else 1 for c in capacities]
+            total = sum(capacities)
+            shares = [nbytes * capacity // total for capacity in capacities]
+            first_alive = min(self.alive_nodes)
+            shares[first_alive] += nbytes - sum(shares)
+            return list(zip(self.hosts, shares))
         if self._hetero:
             capacities = [spec.host_memory_bytes
                           for spec in self.node_specs]

@@ -45,7 +45,8 @@ def node_of_partition(partition_id: int, gpus_per_node: int) -> int:
 
 def partition_nodes(num_partitions: int, num_nodes: int,
                     placement: Optional[np.ndarray] = None,
-                    max_imbalance: Optional[int] = 0) -> np.ndarray:
+                    max_imbalance: Optional[int] = 0,
+                    dead_nodes=frozenset()) -> np.ndarray:
     """Partition→node map: explicit ``placement`` or contiguous node blocks.
 
     ``num_partitions`` must be divisible by ``num_nodes`` (every node runs
@@ -66,7 +67,17 @@ def partition_nodes(num_partitions: int, num_nodes: int,
     contract: halo volumes are well defined for every placement a
     platform could ever have installed, so the analyses never reject
     what an installer admitted.
+
+    ``dead_nodes`` inverts the emptiness rule for the named nodes: a
+    dead node must host *no* partition (an explicit placement that still
+    uses it is rejected), every surviving node stays non-empty, and the
+    balance bound is taken relative to the *alive* fleet —
+    ``num_partitions / alive``, rounded down/up, ``± max_imbalance`` —
+    because an evacuation necessarily overloads the survivors. With dead
+    nodes the contiguous-block default is unavailable (it would use
+    every node); an explicit placement is required.
     """
+    dead_nodes = frozenset(dead_nodes)
     if num_nodes < 1 or num_partitions < 1:
         raise PartitionError(
             f"need >= 1 nodes and partitions, got {num_nodes} nodes, "
@@ -81,6 +92,22 @@ def partition_nodes(num_partitions: int, num_nodes: int,
         raise PartitionError(
             f"max_imbalance must be >= 0, got {max_imbalance}"
         )
+    if dead_nodes:
+        if min(dead_nodes) < 0 or max(dead_nodes) >= num_nodes:
+            raise PartitionError(
+                f"dead_nodes {sorted(dead_nodes)} outside [0, {num_nodes})"
+            )
+        if len(dead_nodes) >= num_nodes:
+            raise PartitionError(
+                f"all {num_nodes} nodes are dead; nothing can host "
+                f"partitions"
+            )
+        if placement is None:
+            raise PartitionError(
+                f"the contiguous-block default uses every node but "
+                f"node(s) {sorted(dead_nodes)} are dead — an explicit "
+                f"evacuating placement is required"
+            )
     gpus_per_node = num_partitions // num_nodes
     if placement is None:
         return np.repeat(np.arange(num_nodes, dtype=np.int64), gpus_per_node)
@@ -96,6 +123,34 @@ def partition_nodes(num_partitions: int, num_nodes: int,
             f"placement names nodes outside [0, {num_nodes})"
         )
     counts = np.bincount(placement, minlength=num_nodes)
+    if dead_nodes:
+        dead = np.array(sorted(dead_nodes), dtype=np.int64)
+        if counts[dead].any():
+            used = [int(node) for node in dead if counts[node]]
+            raise PartitionError(
+                f"placement assigns partitions to dead node(s) {used} "
+                f"(per-node counts {counts.tolist()})"
+            )
+        alive = np.array([node for node in range(num_nodes)
+                          if node not in dead_nodes], dtype=np.int64)
+        alive_counts = counts[alive]
+        if (alive_counts == 0).any():
+            empty = alive[alive_counts == 0].tolist()
+            raise PartitionError(
+                f"placement leaves surviving node(s) {empty} without any "
+                f"partition (per-node counts {counts.tolist()})"
+            )
+        if max_imbalance is not None:
+            low = max(1, num_partitions // len(alive) - max_imbalance)
+            high = -(-num_partitions // len(alive)) + max_imbalance
+            if ((alive_counts < low) | (alive_counts > high)).any():
+                raise PartitionError(
+                    f"evacuating placement exceeds "
+                    f"max_imbalance={max_imbalance} over the "
+                    f"{len(alive)} surviving nodes: counts "
+                    f"{counts.tolist()}, need within [{low}, {high}] each"
+                )
+        return placement.copy()
     if (counts == 0).any():
         empty = np.flatnonzero(counts == 0).tolist()
         raise PartitionError(
@@ -121,7 +176,8 @@ def partition_nodes(num_partitions: int, num_nodes: int,
 
 
 def halo_volumes(partition: TwoLevelPartition, num_nodes: int,
-                 placement: Optional[np.ndarray] = None) -> np.ndarray:
+                 placement: Optional[np.ndarray] = None,
+                 dead_nodes=frozenset()) -> np.ndarray:
     """Per-epoch-layer network rows between node pairs.
 
     Returns an ``(N, N)`` int matrix H where ``H[s, d]`` counts the vertex
@@ -137,10 +193,12 @@ def halo_volumes(partition: TwoLevelPartition, num_nodes: int,
 
     ``placement`` overrides the contiguous-block partition→node map (see
     :func:`partition_nodes`), so the same analysis prices any assignment
-    the placement search proposes — balanced or uneven.
+    the placement search proposes — balanced, uneven, or (with
+    ``dead_nodes``) evacuating.
     """
     node_map = partition_nodes(partition.num_partitions, num_nodes,
-                               placement, max_imbalance=None)
+                               placement, max_imbalance=None,
+                               dead_nodes=dead_nodes)
     assignment = partition.assignment
     m = partition.num_partitions
     owner_chunks = []
@@ -155,7 +213,8 @@ def halo_volumes(partition: TwoLevelPartition, num_nodes: int,
 
 
 def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
-                      placement: Optional[np.ndarray] = None) -> np.ndarray:
+                      placement: Optional[np.ndarray] = None,
+                      dead_nodes=frozenset()) -> np.ndarray:
     """Per-epoch-layer *staging* halo rows between node pairs.
 
     The reuse-sensitive companion of :func:`halo_volumes`: under
@@ -180,10 +239,12 @@ def halo_load_volumes(partition: TwoLevelPartition, num_nodes: int,
     shrink.
 
     ``placement`` overrides the contiguous-block partition→node map,
-    exactly as in :func:`halo_volumes` (uneven placements included).
+    exactly as in :func:`halo_volumes` (uneven and evacuating
+    placements included).
     """
     node_map = partition_nodes(partition.num_partitions, num_nodes,
-                               placement, max_imbalance=None)
+                               placement, max_imbalance=None,
+                               dead_nodes=dead_nodes)
     assignment = partition.assignment
     owner_chunks = []
     reader_nodes = []

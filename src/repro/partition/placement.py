@@ -175,15 +175,19 @@ def _cross_rows(weights: np.ndarray, placement: np.ndarray) -> int:
 
 
 def placement_net_rows(partition: TwoLevelPartition, num_nodes: int,
-                       placement: Optional[np.ndarray] = None) -> int:
+                       placement: Optional[np.ndarray] = None,
+                       dead_nodes=frozenset()) -> int:
     """Cross-node halo rows per epoch-layer under ``placement``.
 
     Fetch rows plus staging loads counted twice (load + mirrored
     gradient flush) — the same total as the net-aware reorganization's
-    ``_net_rows`` objective, for an arbitrary partition→node map.
+    ``_net_rows`` objective, for an arbitrary partition→node map
+    (``dead_nodes`` admits evacuating placements that leave the named
+    nodes empty).
     """
     node_map = partition_nodes(partition.num_partitions, num_nodes,
-                               placement, max_imbalance=None)
+                               placement, max_imbalance=None,
+                               dead_nodes=dead_nodes)
     weights = (partition_halo_matrix(partition)
                + 2 * partition_load_matrix(partition))
     return _cross_rows(weights, node_map)
@@ -348,9 +352,17 @@ class _Admission:
     def __init__(self, placement: np.ndarray, num_nodes: int,
                  max_imbalance: int,
                  host_bytes: Optional[np.ndarray],
-                 node_budgets: Optional[Sequence[Optional[float]]]):
+                 node_budgets: Optional[Sequence[Optional[float]]],
+                 dead_nodes=frozenset()):
         self.num_nodes = num_nodes
-        self.balanced = len(placement) // num_nodes
+        self.dead = frozenset(dead_nodes)
+        # Count bounds are taken over the *alive* fleet: with deaths the
+        # survivors necessarily run above m/N, so the slack brackets the
+        # alive-relative floor/ceiling instead. No deaths → alive == N
+        # and the bounds reduce to the original balanced ± K exactly.
+        alive = num_nodes - len(self.dead)
+        self.balanced = len(placement) // alive
+        self.ceiling = -(-len(placement) // alive)
         self.max_imbalance = max_imbalance
         self.counts = np.bincount(placement, minlength=num_nodes)
         self.host_bytes = host_bytes
@@ -384,8 +396,11 @@ class _Admission:
     def move_mask(self, placement: np.ndarray) -> np.ndarray:
         """(m, N) bool: moves inside both count bounds and budgets."""
         low = max(1, self.balanced - self.max_imbalance)
-        high = self.balanced + self.max_imbalance
+        high = self.ceiling + self.max_imbalance
         receivable = self.counts + 1 <= high          # per target node
+        if self.dead:
+            receivable = receivable.copy()
+            receivable[sorted(self.dead)] = False     # never onto a corpse
         from_ok = self.counts[placement] - 1 >= low   # per partition
         mask = receivable[None, :] & from_ok[:, None]
         headroom = self._budget_headroom()
@@ -420,7 +435,8 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
                      max_imbalance: int = 0,
                      node_budgets: Optional[Sequence[Optional[float]]] = None,
                      partition_host_bytes: Optional[np.ndarray] = None,
-                     compute_rows: Optional[np.ndarray] = None
+                     compute_rows: Optional[np.ndarray] = None,
+                     dead_nodes=frozenset()
                      ) -> PlacementResult:
     """Search partition→node assignments minimizing cross-node halo rows.
 
@@ -466,11 +482,20 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
     *combined* objective (``objective_search <= objective_block``);
     ``rows_search`` alone may exceed ``rows_block`` when trading halo
     rows for faster kernels wins.
+
+    ``dead_nodes`` makes the search *evacuating*: the seed must already
+    avoid the named nodes (the elastic re-balancer hands in the current
+    placement with dead entries re-homed), moves never target them, and
+    the count bounds bracket the alive-relative floor/ceiling of
+    ``m / alive ± max_imbalance`` — the survivors necessarily run
+    overloaded, so exact ``m/N`` balance is unreachable by definition.
     """
     started = time.perf_counter()
     m = partition.num_partitions
+    dead_nodes = frozenset(dead_nodes)
     block = partition_nodes(m, num_nodes, seed_placement,
-                            max_imbalance=max_imbalance)
+                            max_imbalance=max_imbalance,
+                            dead_nodes=dead_nodes)
     host_bytes = None
     if node_budgets is not None:
         if len(node_budgets) != num_nodes:
@@ -513,7 +538,7 @@ def search_placement(partition: TwoLevelPartition, num_nodes: int,
     refinements = 0
     if num_nodes > 1 and m > num_nodes:
         admission = _Admission(placement, num_nodes, max_imbalance,
-                               host_bytes, node_budgets)
+                               host_bytes, node_budgets, dead_nodes)
         allow_moves = max_imbalance > 0
         applied = _greedy_improve(weights_sym, placement, num_nodes,
                                   admission, allow_moves, compute)
@@ -631,7 +656,8 @@ def _refinement_pass(weights_sym: np.ndarray, placement: np.ndarray,
     """
     working = placement.copy()
     tracker = _Admission(working, num_nodes, admission.max_imbalance,
-                         admission.host_bytes, admission.budgets)
+                         admission.host_bytes, admission.budgets,
+                         admission.dead)
     free = np.ones(len(placement), dtype=bool)
     cumulative = 0
     best_gain = 0

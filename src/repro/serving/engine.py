@@ -123,6 +123,7 @@ class ServingEngine:
             self.plan, self.platform, self.config.bytes_per_scalar
         )
         self._costs: Dict[Tuple[int, int], _ColumnLayerCosts] = {}
+        self._rates_version = getattr(self.platform, "rates_version", 0)
         self._gpu_ids = np.arange(self.plan.num_gpus, dtype=np.int64)
         #: warm (layer, column) pairs in LRU order — data movement is
         #: free for these; the value is the pair's host footprint
@@ -314,6 +315,39 @@ class ServingEngine:
         return prev, hits, misses
 
     # ------------------------------------------------------------------
+    # platform sync (fault-injected fleets)
+    # ------------------------------------------------------------------
+    def _sync_platform(self) -> None:
+        """Track the trainer/platform across faults and re-balances.
+
+        Every cached cost profile stores *seconds*, priced from the
+        platform's rates at profiling time — a fault state (or an
+        elastic re-balance) applied since then makes them stale. The
+        platform bumps ``rates_version`` whenever per-device rates may
+        have changed; on a mismatch the profiles are dropped and the
+        communicator rebuilt (its node routing snapshots the placement
+        at construction). A re-balance under the joint policy also swaps
+        the trainer's plan/partition — then the embedding cache is
+        cleared too, since its (layer, column) footprints no longer
+        describe the new chunks. Fault-free engines never miss:
+        ``rates_version`` is stable, so this is one integer compare.
+        """
+        plan_changed = self.plan is not self.trainer.plan
+        version = getattr(self.platform, "rates_version", 0)
+        if not plan_changed and version == self._rates_version:
+            return
+        if plan_changed:
+            self.plan = self.trainer.plan
+            self.partition = self.trainer.partition
+            self.clear_cache()
+            self.warm_from_checkpoints()
+        self._costs.clear()
+        self.communicator = DedupCommunicator(
+            self.plan, self.platform, self.config.bytes_per_scalar
+        )
+        self._rates_version = version
+
+    # ------------------------------------------------------------------
     # the serving loop
     # ------------------------------------------------------------------
     def serve(self, arrivals: ArrivalProcess, policy: AdmissionPolicy,
@@ -326,6 +360,7 @@ class ServingEngine:
         """
         if slo <= 0:
             raise ServingError(f"slo must be > 0 seconds, got {slo}")
+        self._sync_platform()
         times = arrivals.generate()
         n = len(times)
         rng = np.random.default_rng(

@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+from dataclasses import fields
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.core import HongTuConfig
+from repro.scenario import ClusterArgs
 
 
 class TestParser:
@@ -71,6 +75,76 @@ class TestParser:
     def test_serve_rejects_unknown_batch_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--batch-policy", "oracle"])
+
+
+class TestSharedClusterArgs:
+    """train and serve speak the same cluster vocabulary, by construction.
+
+    The shared flag set lives in :func:`repro.scenario.add_cluster_args`;
+    these tests assert the parity *programmatically* over the
+    :class:`ClusterArgs` fields so a flag added to one command but not
+    the other (the old ``serve``-lacked-``--placement`` bug) cannot
+    reappear silently.
+    """
+
+    def test_train_serve_flag_parity(self):
+        train = build_parser().parse_args(["train"])
+        serve = build_parser().parse_args(["serve"])
+        for spec in fields(ClusterArgs):
+            assert hasattr(train, spec.name), f"train lacks {spec.name}"
+            assert hasattr(serve, spec.name), f"serve lacks {spec.name}"
+            assert (getattr(train, spec.name)
+                    == getattr(serve, spec.name)), spec.name
+
+    def test_parser_defaults_match_dataclass_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert ClusterArgs.from_namespace(args) == ClusterArgs()
+
+    def test_serve_exposes_placement_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--nodes", "2", "--placement", "search",
+             "--max-imbalance", "1", "--allreduce", "tree"])
+        assert args.placement == "search"
+        assert args.max_imbalance == 1
+        assert args.allreduce == "tree"
+
+    def test_fault_flag_is_repeatable_on_both_commands(self):
+        for command in ("train", "serve"):
+            args = build_parser().parse_args(
+                [command, "--nodes", "3",
+                 "--fault", "straggler:node=1,nic=0.5",
+                 "--fault", "death:node=2,at=4"])
+            assert len(args.fault) == 2
+
+    def test_elastic_flags(self):
+        args = build_parser().parse_args(
+            ["train", "--nodes", "2", "--no-elastic",
+             "--rebalance-trigger", "1.5"])
+        scenario = ClusterArgs.from_namespace(args)
+        config = scenario.build_config()
+        assert config.elastic is False
+        assert config.rebalance_trigger == 1.5
+
+    def test_scenario_config_round_trips_through_dict(self):
+        scenario = ClusterArgs(
+            nodes=3, gpus=2, placement="search", max_imbalance=1,
+            fault=["straggler:node=2,compute=0.5", "death:node=1,at=9"])
+        config = scenario.build_config(overlap="pipeline")
+        assert HongTuConfig.from_dict(config.to_dict()) == config
+
+    def test_namespace_round_trip_through_parser(self):
+        argv = ["train", "--nodes", "3", "--gpus", "2",
+                "--topology", "spine", "--oversubscription", "2",
+                "--placement", "joint", "--max-imbalance", "1",
+                "--node-spec", "a100:2", "--node-spec", "v100",
+                "--fault", "death:node=1,at=3", "--seed", "7"]
+        scenario = ClusterArgs.from_namespace(
+            build_parser().parse_args(argv))
+        assert scenario == ClusterArgs(
+            nodes=3, gpus=2, topology="spine", oversubscription=2.0,
+            placement="joint", max_imbalance=1,
+            node_spec=["a100:2", "v100"],
+            fault=["death:node=1,at=3"], seed=7)
 
 
 class TestCommands:
@@ -164,6 +238,38 @@ class TestCommands:
     def test_serve_topology_requires_nodes(self, capsys):
         assert main(["serve", "--topology", "rail"]) == 2
         assert "needs --nodes > 1" in capsys.readouterr().err
+
+    def test_fault_requires_nodes(self, capsys):
+        assert main(["train", "--fault", "death:node=0,at=1"]) == 2
+        assert "needs --nodes > 1" in capsys.readouterr().err
+
+    def test_bad_fault_spec_is_usage_error(self, capsys):
+        assert main(["train", "--nodes", "2", "--fault", "gremlin"]) == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_fault_beyond_fleet_is_usage_error(self, capsys):
+        assert main(["train", "--nodes", "2",
+                     "--fault", "death:node=7,at=1"]) == 2
+        assert "bad scenario" in capsys.readouterr().err
+
+    def test_train_with_node_death(self, capsys):
+        assert main(["train", "--dataset", "products_sim", "--scale",
+                     "0.08", "--epochs", "5", "--nodes", "3", "--gpus",
+                     "2", "--hidden-dim", "8", "--placement", "search",
+                     "--max-imbalance", "2",
+                     "--fault", "death:node=1,at=0.0002"]) == 0
+        out = capsys.readouterr().out
+        assert "re-balance (death trigger" in out
+        assert "val_accuracy" in out
+
+    def test_serve_with_straggler(self, capsys):
+        assert main(["serve", "--dataset", "products_sim", "--scale",
+                     "0.08", "--rate", "30", "--duration", "0.2",
+                     "--nodes", "3", "--gpus", "2", "--chunks", "2",
+                     "--hidden-dim", "8", "--train-epochs", "1",
+                     "--fault", "straggler:node=1,nic=0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 latency" in out
 
     def test_train_joint_placement(self, capsys):
         assert main(["train", "--dataset", "it2004_sim", "--scale", "0.08",
