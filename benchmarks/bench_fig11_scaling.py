@@ -100,10 +100,8 @@ def run_nodes(dataset="papers_sim", arch="gcn"):
     for nodes in NODE_COUNTS:
         for overlap in ["barrier", "pipeline"]:
             model = bench_model(arch, graph, 2, HIDDEN, seed=1)
-            if nodes == 1:
-                platform = MultiGPUPlatform(A100_SERVER)
-            else:
-                platform = ClusterPlatform(A100_CLUSTER.with_num_nodes(nodes))
+            platform = (MultiGPUPlatform(A100_SERVER) if nodes == 1
+                        else ClusterPlatform(A100_CLUSTER.with_num_nodes(nodes)))
             trainer = HongTuTrainer(
                 graph, model, platform,
                 HongTuConfig(num_chunks=NUM_CHUNKS[dataset], seed=0,

@@ -42,12 +42,9 @@ def run_cell(system, dataset, layers):
     graph = load_dataset(dataset, scale=BENCH_SCALE)
     hidden = HIDDEN_SMALL if dataset in SMALL else HIDDEN_LARGE
     model = bench_model("gcn", graph, layers, hidden, seed=1)
-    if dataset in SMALL:
-        platform = MultiGPUPlatform(A100_SERVER)
-    else:
-        platform = capacity_limited_platform(
-            graph, model, CAPACITY_FRACTION_LARGE
-        )
+    platform = (MultiGPUPlatform(A100_SERVER) if dataset in SMALL
+                else capacity_limited_platform(
+                    graph, model, CAPACITY_FRACTION_LARGE))
 
     if system == "Sancus":
         return run_or_oom(system, lambda: InMemoryMultiGPUTrainer(

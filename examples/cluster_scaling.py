@@ -80,10 +80,8 @@ def main() -> None:
     last = None
     for nodes, overlap in ((1, "barrier"), (2, "barrier"), (2, "pipeline")):
         model = bench_model("gcn", graph, 2, 128, seed=1)
-        if nodes == 1:
-            platform = MultiGPUPlatform(A100_SERVER)
-        else:
-            platform = ClusterPlatform(A100_CLUSTER)
+        platform = (MultiGPUPlatform(A100_SERVER) if nodes == 1
+                    else ClusterPlatform(A100_CLUSTER))
         trainer = HongTuTrainer(
             graph, model, platform,
             HongTuConfig(num_chunks=8, seed=0, overlap=overlap, nodes=nodes),

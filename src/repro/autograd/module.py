@@ -13,6 +13,8 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.errors import AutogradError
+
 from repro.autograd.tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Linear"]
@@ -88,13 +90,13 @@ class Module:
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
         if missing or unexpected:
-            raise KeyError(
+            raise AutogradError(
                 f"state dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
             if param.data.shape != state[name].shape:
-                raise ValueError(
+                raise AutogradError(
                     f"shape mismatch for {name}: "
                     f"{param.data.shape} vs {state[name].shape}"
                 )

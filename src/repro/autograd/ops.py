@@ -403,10 +403,8 @@ def segment_softmax(scores: Tensor, segments: np.ndarray, num_segments: int) -> 
     def backward(grad: np.ndarray) -> None:
         # d softmax: s * (g - sum_j s_j g_j) within each segment.
         weighted = grad * out_data
-        if weighted.ndim == 1:
-            seg_dot = np.zeros(num_segments, dtype=weighted.dtype)
-        else:
-            seg_dot = np.zeros((num_segments,) + weighted.shape[1:], dtype=weighted.dtype)
+        shape = (num_segments,) if weighted.ndim == 1 else (num_segments,) + weighted.shape[1:]
+        seg_dot = np.zeros(shape, dtype=weighted.dtype)
         np.add.at(seg_dot, segments, weighted)
         scores.accumulate_grad(out_data * (grad - seg_dot[segments]))
 

@@ -85,13 +85,12 @@ class Tensor:
         name: str = "",
     ):
         self.data = np.asarray(data)
-        if self.data.dtype.kind not in "fc":
-            # Integer payloads (vertex ids, masks) are fine as constants but
-            # can never require grad.
-            if requires_grad:
-                raise AutogradError(
-                    f"cannot require grad for non-float dtype {self.data.dtype}"
-                )
+        # Integer payloads (vertex ids, masks) are fine as constants but
+        # can never require grad.
+        if self.data.dtype.kind not in "fc" and requires_grad:
+            raise AutogradError(
+                f"cannot require grad for non-float dtype {self.data.dtype}"
+            )
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._parents: tuple = tuple(parents) if self.requires_grad else ()

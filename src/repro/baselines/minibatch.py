@@ -69,12 +69,9 @@ class NeighborSampler:
                 degree = hi - lo
                 if degree == 0:
                     continue
-                if degree <= fanout:
-                    positions = np.arange(lo, hi)
-                else:
-                    positions = lo + self.rng.choice(
-                        degree, size=fanout, replace=False
-                    )
+                positions = (np.arange(lo, hi) if degree <= fanout
+                             else lo + self.rng.choice(
+                                 degree, size=fanout, replace=False))
                 edge_src_parts.append(in_csr.indices[positions])
                 edge_dst_parts.append(
                     np.full(len(positions), local, dtype=np.int64)

@@ -196,10 +196,8 @@ def cmd_train(args) -> int:
             )
             print(f"joint iteration: {steps}")
     for epoch in range(1, args.epochs + 1):
-        if epoch == 1 and args.profile:
-            result = _profiled_epoch(trainer)
-        else:
-            result = trainer.train_epoch()
+        result = (_profiled_epoch(trainer) if epoch == 1 and args.profile
+                  else trainer.train_epoch())
         print(f"  epoch {epoch:3d}  loss={result.loss:.4f}  "
               f"sim={format_seconds(result.epoch_seconds)}  "
               f"peakGPU={format_bytes(result.peak_gpu_bytes)}")

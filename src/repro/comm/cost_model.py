@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.hardware.platform import MultiGPUPlatform
 from repro.hardware.spec import FLAT_TOPOLOGY, ClusterSpec, NetworkTopology
 from repro.partition.two_level import TwoLevelPartition
+from repro.units import ByteRate, Bytes, BytesLike, Seconds
 
 __all__ = ["CommCostModel", "ClusterCostModel", "communication_cost",
            "ALLREDUCE_ALGORITHMS"]
@@ -41,9 +42,9 @@ ALLREDUCE_ALGORITHMS = ("ring", "tree")
 class CommCostModel:
     """Throughput triple (bytes/second)."""
 
-    t_hd: float
-    t_dd: float
-    t_ru: float
+    t_hd: ByteRate
+    t_dd: ByteRate
+    t_ru: ByteRate
 
     def __post_init__(self) -> None:
         if min(self.t_hd, self.t_dd, self.t_ru) <= 0:
@@ -54,14 +55,14 @@ class CommCostModel:
         t_hd, t_dd, t_ru = platform.throughputs()
         return CommCostModel(t_hd=t_hd, t_dd=t_dd, t_ru=t_ru)
 
-    def cost_seconds(self, volumes: DedupVolumes, row_bytes: int) -> float:
+    def cost_seconds(self, volumes: DedupVolumes, row_bytes: Bytes) -> Seconds:
         """Eq. 4 for one epoch-layer sweep (volumes are vertex rows)."""
         host = volumes.v_ru * row_bytes / self.t_hd
         inter = volumes.inter_gpu_dedup * row_bytes / self.t_dd
         intra = volumes.intra_gpu_dedup * row_bytes / self.t_ru
         return host + inter + intra
 
-    def vanilla_cost_seconds(self, volumes: DedupVolumes, row_bytes: int) -> float:
+    def vanilla_cost_seconds(self, volumes: DedupVolumes, row_bytes: Bytes) -> Seconds:
         """Cost of the no-dedup baseline: everything crosses PCIe."""
         return volumes.v_ori * row_bytes / self.t_hd
 
@@ -90,8 +91,8 @@ class ClusterCostModel:
     """
 
     num_nodes: int
-    bandwidth: float
-    latency: float
+    bandwidth: ByteRate
+    latency: Seconds
     topology: NetworkTopology = FLAT_TOPOLOGY
     #: per-node NIC byte rates of a heterogeneous fleet; ``None`` keeps
     #: the homogeneous single-``bandwidth`` pricing bit-for-bit
@@ -210,20 +211,18 @@ class ClusterCostModel:
         return self.alive if self.alive is not None \
             else tuple(range(self.num_nodes))
 
-    def link_bandwidth(self, src: int, dst: int) -> float:
+    def link_bandwidth(self, src: int, dst: int) -> ByteRate:
         """Byte rate of the ``src → dst`` link: the slower endpoint's NIC
         (times the link's degradation factor, when the fabric is faulted).
         """
-        if self.node_bandwidths is None:
-            rate = self.bandwidth
-        else:
-            rate = min(self.node_bandwidths[src], self.node_bandwidths[dst])
+        rate = (self.bandwidth if self.node_bandwidths is None
+                else min(self.node_bandwidths[src], self.node_bandwidths[dst]))
         if self.link_factors is not None:
             rate *= self.link_factors[src][dst]
         return rate
 
     @property
-    def collective_bandwidth(self) -> float:
+    def collective_bandwidth(self) -> ByteRate:
         """Per-flow byte rate when every node's uplink is busy at once.
 
         On a heterogeneous fleet a synchronous collective is paced by
@@ -235,10 +234,8 @@ class ClusterCostModel:
         whole collective the same way a slow NIC does.
         """
         members = self._members()
-        if self.node_bandwidths is None:
-            bandwidth = self.bandwidth
-        else:
-            bandwidth = min(self.node_bandwidths[n] for n in members)
+        bandwidth = (self.bandwidth if self.node_bandwidths is None
+                     else min(self.node_bandwidths[n] for n in members))
         if self.link_factors is not None and len(members) > 1:
             bandwidth *= min(self.link_factors[s][d]
                              for s in members for d in members if s != d)
@@ -246,7 +243,7 @@ class ClusterCostModel:
             return bandwidth / self.topology.oversubscription
         return bandwidth
 
-    def ring_allreduce_seconds(self, nbytes: float) -> float:
+    def ring_allreduce_seconds(self, nbytes: BytesLike) -> Seconds:
         """Bandwidth-optimal ring all-reduce of an ``nbytes`` payload.
 
         2(N−1) steps (reduce-scatter + all-gather), each moving B/N bytes
@@ -264,7 +261,7 @@ class ClusterCostModel:
         return steps * (self.latency
                         + nbytes / self.num_alive / self.collective_bandwidth)
 
-    def tree_allreduce_seconds(self, nbytes: float) -> float:
+    def tree_allreduce_seconds(self, nbytes: BytesLike) -> Seconds:
         """Latency-optimal binary-tree all-reduce (reduce + broadcast).
 
         2⌈log2 N⌉ steps, each moving the full payload over one link:
@@ -276,7 +273,7 @@ class ClusterCostModel:
         depth = math.ceil(math.log2(self.num_alive))
         return 2 * depth * (self.latency + nbytes / self.collective_bandwidth)
 
-    def allreduce_seconds(self, nbytes: float,
+    def allreduce_seconds(self, nbytes: BytesLike,
                           algorithm: str = "ring") -> float:
         """Dispatch on :data:`ALLREDUCE_ALGORITHMS`."""
         if algorithm not in ALLREDUCE_ALGORITHMS:
@@ -288,7 +285,7 @@ class ClusterCostModel:
             return self.ring_allreduce_seconds(nbytes)
         return self.tree_allreduce_seconds(nbytes)
 
-    def halo_exchange_seconds(self, nbytes: float,
+    def halo_exchange_seconds(self, nbytes: BytesLike,
                               src: Optional[int] = None,
                               dst: Optional[int] = None) -> float:
         """One point-to-point halo message of ``nbytes`` over one link.
@@ -303,7 +300,7 @@ class ClusterCostModel:
             return self.latency + nbytes / self.link_bandwidth(src, dst)
         return self.latency + nbytes / self.bandwidth
 
-    def halo_volume_seconds(self, nbytes: float) -> float:
+    def halo_volume_seconds(self, nbytes: BytesLike) -> Seconds:
         """Bulk halo traffic: per-message latency amortized away.
 
         The pricing the net-aware reorganization objective (Algorithm 4's
@@ -320,8 +317,8 @@ class ClusterCostModel:
             return 0.0
         return nbytes / self.collective_bandwidth
 
-    def placement_seconds(self, net_rows: int, row_bytes: int,
-                          allreduce_bytes: float = 0.0,
+    def placement_seconds(self, net_rows: int, row_bytes: Bytes,
+                          allreduce_bytes: BytesLike = 0.0,
                           algorithm: str = "ring") -> float:
         """Network seconds of a partition→node placement's epoch-layer.
 
@@ -347,7 +344,7 @@ class ClusterCostModel:
         return seconds
 
 
-def communication_cost(partition: TwoLevelPartition, row_bytes: int,
+def communication_cost(partition: TwoLevelPartition, row_bytes: Bytes,
                        model: CommCostModel) -> float:
     """Convenience: measure volumes and apply Eq. 4."""
     return model.cost_seconds(measure_volumes(partition), row_bytes)

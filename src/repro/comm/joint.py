@@ -44,6 +44,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 from repro.comm.analysis import measure_volumes
 from repro.comm.cost_model import ClusterCostModel, CommCostModel
 from repro.comm.reorganize import ReorganizationResult, reorganize_partition
@@ -171,12 +173,12 @@ def joint_placement(partition: TwoLevelPartition, num_nodes: int,
     evacuating placements it is handed.
     """
     if num_nodes < 2:
-        raise ValueError(
+        raise ConfigurationError(
             "joint placement iteration needs a multi-node cluster; "
             "with one node both axes are no-ops"
         )
     if max_iterations < 1:
-        raise ValueError(
+        raise ConfigurationError(
             f"max_iterations must be >= 1, got {max_iterations}"
         )
 

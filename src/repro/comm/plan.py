@@ -163,10 +163,9 @@ def build_comm_plan(partition: TwoLevelPartition,
         for i in range(m):
             transition = transitions[i]
             previous = previous_transition[i]
-            if dedup_intra and previous is not None:
-                reuse_mask = np.isin(transition, previous, assume_unique=True)
-            else:
-                reuse_mask = np.zeros(len(transition), dtype=bool)
+            reuse_mask = (np.isin(transition, previous, assume_unique=True)
+                          if dedup_intra and previous is not None
+                          else np.zeros(len(transition), dtype=bool))
 
             positions = _assign_positions(
                 transition, reuse_mask, position_of[i], free_slots[i],
@@ -192,10 +191,8 @@ def build_comm_plan(partition: TwoLevelPartition,
             needed = plan.needed
             if len(needed) == 0:
                 continue
-            if dedup_inter:
-                owner_of_needed = assignment[needed]
-            else:
-                owner_of_needed = np.full(len(needed), i, dtype=np.int64)
+            owner_of_needed = (assignment[needed] if dedup_inter
+                               else np.full(len(needed), i, dtype=np.int64))
             # Interleaved order (Algorithm 2 line 6): start from i, wrap.
             step_of = (owner_of_needed - i) % m
             order = np.argsort(step_of, kind="stable")

@@ -23,6 +23,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 from repro.gnn.models import GNNModel, build_model
 
 __all__ = ["MemoryEstimate", "estimate_training_memory", "estimate_for_model",
@@ -108,7 +110,7 @@ def partition_host_bytes(partition_sizes: Sequence[int],
     """
     sizes = np.asarray(partition_sizes, dtype=np.int64)
     if (sizes < 0).any():
-        raise ValueError("partition sizes must be >= 0")
+        raise ConfigurationError("partition sizes must be >= 0")
     scalars = int(sum(aggregate_dims))
     return sizes * scalars * int(bytes_per_scalar)
 
@@ -120,7 +122,7 @@ def placement_host_bytes(placement: Sequence[int],
     placement = np.asarray(placement, dtype=np.int64)
     per_partition = np.asarray(per_partition_bytes, dtype=np.int64)
     if placement.shape != per_partition.shape:
-        raise ValueError(
+        raise ConfigurationError(
             f"placement ({placement.shape}) and per-partition bytes "
             f"({per_partition.shape}) must align"
         )

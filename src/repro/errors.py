@@ -28,7 +28,8 @@ class DeviceOutOfMemoryError(ReproError):
     Mirrors CUDA's OOM; carries enough context to render useful diagnostics.
     """
 
-    def __init__(self, device: str, requested: int, in_use: int, capacity: int):
+    def __init__(self, device: str, requested: int, in_use: int,
+                 capacity: int) -> None:
         self.device = device
         self.requested = requested
         self.in_use = in_use
@@ -47,8 +48,14 @@ class AutogradError(ReproError):
     """Invalid operation on the reverse-mode autograd tape."""
 
 
-class ConfigurationError(ReproError):
-    """A trainer or platform was configured with invalid options."""
+class ConfigurationError(ReproError, ValueError):
+    """A trainer or platform was configured with invalid options.
+
+    Also a :class:`ValueError`: configuration failures are invalid
+    argument values, and callers that predate the taxonomy (or scripts
+    catching ``ValueError`` around spec construction) keep working. New
+    code should catch :class:`ReproError` or this class directly.
+    """
 
 
 class SchedulerError(ReproError):

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
 
 from repro.errors import FaultError
 
@@ -78,7 +78,7 @@ class Straggler:
     compute_factor: float = 1.0
     nic_factor: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_index("straggler node", self.node)
         start = _check_time("straggler start", self.start)
         end = float(self.end)
@@ -122,7 +122,7 @@ class LinkDegradation:
     start: float = 0.0
     end: float = math.inf
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_index("link src", self.src)
         _check_index("link dst", self.dst)
         if self.src == self.dst:
@@ -155,7 +155,7 @@ class NodeDeath:
     node: int
     at: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         _check_index("death node", self.node)
         _check_time("death at", self.at)
 
@@ -189,7 +189,7 @@ class FaultState:
     links: Tuple[Tuple[int, int, float], ...] = ()
     dead: FrozenSet[int] = frozenset()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "compute", tuple(sorted(
             (int(node), float(factor)) for node, factor in self.compute
             if float(factor) != 1.0)))
@@ -243,7 +243,7 @@ class FaultSchedule:
 
     faults: Tuple[Fault, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         faults = tuple(self.faults)
         for fault in faults:
             if not isinstance(fault, (Straggler, LinkDegradation, NodeDeath)):
@@ -263,7 +263,7 @@ class FaultSchedule:
         return FaultSchedule(())
 
     @staticmethod
-    def from_specs(specs) -> "FaultSchedule":
+    def from_specs(specs: Iterable[str]) -> "FaultSchedule":
         """Build a schedule from CLI ``--fault`` spec strings."""
         return FaultSchedule(tuple(parse_fault(spec) for spec in specs))
 
@@ -271,10 +271,9 @@ class FaultSchedule:
         """Largest node index referenced by any fault, or -1 if empty."""
         largest = -1
         for fault in self.faults:
-            if isinstance(fault, LinkDegradation):
-                largest = max(largest, fault.src, fault.dst)
-            else:
-                largest = max(largest, fault.node)
+            largest = (max(largest, fault.src, fault.dst)
+                       if isinstance(fault, LinkDegradation)
+                       else max(largest, fault.node))
         return largest
 
     def validate_for(self, num_nodes: int) -> None:
@@ -408,7 +407,7 @@ def parse_fault(spec: str) -> Fault:
             f"'straggler:...', 'link:...' or 'death:...'")
     fields = _parse_fields(kind, body)
 
-    def take(key, default=None):
+    def take(key: str, default: Optional[float] = None) -> float:
         if key in fields:
             return fields.pop(key)
         if default is None:

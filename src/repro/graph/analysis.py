@@ -18,6 +18,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 from repro.graph.graph import Graph
 
 __all__ = ["DegreeStats", "degree_stats", "locality_fraction",
@@ -44,7 +46,7 @@ def degree_stats(graph: Graph, direction: str = "in") -> DegreeStats:
     elif direction == "out":
         degrees = graph.out_degrees()
     else:
-        raise ValueError(f"direction must be 'in' or 'out', got {direction}")
+        raise ConfigurationError(f"direction must be 'in' or 'out', got {direction}")
     degrees = np.asarray(degrees, dtype=np.float64)
     return DegreeStats(
         mean=float(degrees.mean()),

@@ -37,8 +37,11 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 from repro.runtime.scheduler import EventScheduler, task_ids
 from repro.runtime.task import HOST_DEVICE, Task
+from repro.units import Seconds
 
 __all__ = ["TimeBreakdown", "EventTimeline", "CATEGORIES"]
 
@@ -49,22 +52,22 @@ CATEGORIES = ("gpu", "h2d", "d2h", "d2d", "cpu", "net")
 class TimeBreakdown:
     """Per-category simulated seconds."""
 
-    seconds: Dict[str, float] = field(
+    seconds: Dict[str, Seconds] = field(
         default_factory=lambda: {category: 0.0 for category in CATEGORIES}
     )
 
-    def add(self, category: str, seconds: float) -> None:
+    def add(self, category: str, seconds: Seconds) -> None:
         """Charge ``seconds`` of serialized time to ``category``."""
         if category not in self.seconds:
-            raise KeyError(f"unknown time category {category!r}")
+            raise ConfigurationError(f"unknown time category {category!r}")
         if seconds < 0:
-            raise ValueError(f"negative time: {seconds}")
+            raise ConfigurationError(f"negative time: {seconds}")
         self.seconds[category] += seconds
 
     def add_parallel_phase(self, category: str,
-                           per_device_seconds: Iterable[float]) -> None:
+                           per_device_seconds: Iterable[Seconds]) -> None:
         """Charge a barrier-synchronized phase: wall time = max over devices."""
-        values: List[float] = list(per_device_seconds)
+        values: List[Seconds] = list(per_device_seconds)
         if values:
             self.add(category, max(values))
 
@@ -74,11 +77,11 @@ class TimeBreakdown:
             self.add(category, seconds)
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         return sum(self.seconds.values())
 
     @property
-    def pcie_seconds(self) -> float:
+    def pcie_seconds(self) -> Seconds:
         """Both PCIe directions together (the paper's combined "H2D" bar)."""
         return self.seconds["h2d"] + self.seconds["d2h"]
 
@@ -89,7 +92,7 @@ class TimeBreakdown:
             out.seconds[category] = seconds * factor
         return out
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, Seconds]:
         return dict(self.seconds)
 
     def __repr__(self) -> str:
@@ -126,7 +129,7 @@ class EventTimeline:
     # submission
     # ------------------------------------------------------------------
     def submit_phase(self, category: str,
-                     per_device_seconds: Sequence[float], *,
+                     per_device_seconds: Sequence[Seconds], *,
                      channel: Optional[str] = None,
                      devices: Optional[Sequence[int]] = None,
                      deps: Sequence[Task] = (),
@@ -170,7 +173,7 @@ class EventTimeline:
         return tasks
 
     def submit_batch(self, category: str,
-                     per_device_seconds: Sequence[float], *,
+                     per_device_seconds: Sequence[Seconds], *,
                      channel: Optional[str] = None,
                      devices: Optional[Sequence[int]] = None,
                      deps=None,
@@ -197,17 +200,16 @@ class EventTimeline:
         common = deps if isinstance(deps, np.ndarray) else task_ids(deps)
         extras = None
         if deps_by_device is not None:
-            if isinstance(deps_by_device, np.ndarray):
-                # An (m,) id array: one producer per device (e.g. the
-                # compute wave gating the writeback wave).
-                extras = [deps_by_device[i:i + 1]
-                          for i in range(len(seconds))]
-            else:
-                extras = [
-                    entry if entry is None or isinstance(entry, np.ndarray)
-                    else task_ids(entry)
-                    for entry in deps_by_device
-                ]
+            # An (m,) id array is one producer per device (e.g. the
+            # compute wave gating the writeback wave).
+            extras = ([deps_by_device[i:i + 1]
+                       for i in range(len(seconds))]
+                      if isinstance(deps_by_device, np.ndarray)
+                      else [
+                          entry if entry is None or isinstance(entry, np.ndarray)
+                          else task_ids(entry)
+                          for entry in deps_by_device
+                      ])
         ids = self.scheduler.submit_batch(
             channel, devices, seconds, common_deps=common,
             extra_deps=extras, category=category, group=group,
@@ -219,11 +221,11 @@ class EventTimeline:
         return ids
 
     def add_parallel_phase(self, category: str,
-                           per_device_seconds: Iterable[float]) -> None:
+                           per_device_seconds: Iterable[Seconds]) -> None:
         """Legacy phase API (device index == position, channel == category)."""
         self.submit_phase(category, list(per_device_seconds))
 
-    def add(self, category: str, seconds: float, *,
+    def add(self, category: str, seconds: Seconds, *,
             device: int = HOST_DEVICE, channel: Optional[str] = None,
             deps: Sequence[Task] = (), label: str = "") -> Task:
         """Submit one serial task (and charge it fully to the breakdown)."""
@@ -237,7 +239,7 @@ class EventTimeline:
             self.scheduler.barrier()
         return task
 
-    def barrier(self) -> float:
+    def barrier(self) -> Seconds:
         """Global synchronization point for subsequently submitted tasks."""
         return self.scheduler.barrier()
 
@@ -245,25 +247,25 @@ class EventTimeline:
     # views
     # ------------------------------------------------------------------
     @property
-    def makespan(self) -> float:
+    def makespan(self) -> Seconds:
         """Critical-path epoch time under the scheduled overlap."""
         return self.scheduler.makespan
 
     @property
-    def seconds(self) -> Dict[str, float]:
+    def seconds(self) -> Dict[str, Seconds]:
         """Category seconds of the derived breakdown (TimeBreakdown-compat)."""
         return self.breakdown.seconds
 
     @property
-    def total(self) -> float:
+    def total(self) -> Seconds:
         """Serialized-phase total (what the epoch would cost with barriers)."""
         return self.breakdown.total
 
-    def busy_view(self) -> Dict[str, float]:
+    def busy_view(self) -> Dict[str, Seconds]:
         """Per-channel busy seconds summed over devices (utilization view)."""
         return self.scheduler.busy_by_channel()
 
-    def overlap_saving(self) -> float:
+    def overlap_saving(self) -> Seconds:
         """Seconds hidden by overlap: serialized total minus makespan."""
         return max(0.0, self.breakdown.total - self.makespan)
 

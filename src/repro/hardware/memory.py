@@ -15,7 +15,8 @@ import contextlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
-from repro.errors import DeviceOutOfMemoryError
+from repro.errors import ConfigurationError, DeviceOutOfMemoryError
+from repro.units import Bytes
 
 __all__ = ["Allocation", "MemoryPool"]
 
@@ -26,7 +27,7 @@ class Allocation:
 
     pool: "MemoryPool"
     tag: str
-    nbytes: int
+    nbytes: Bytes
     freed: bool = False
 
     def free(self) -> None:
@@ -34,7 +35,7 @@ class Allocation:
             self.pool._release(self)
             self.freed = True
 
-    def resize(self, nbytes: int) -> None:
+    def resize(self, nbytes: Bytes) -> None:
         """Grow/shrink this allocation in place (e.g. a reused buffer)."""
         delta = nbytes - self.nbytes
         if delta > 0:
@@ -57,7 +58,7 @@ class MemoryPool:
         Device name used in error messages ("gpu0", "host", ...).
     """
 
-    def __init__(self, capacity: Optional[int], name: str = "device"):
+    def __init__(self, capacity: Optional[Bytes], name: str = "device"):
         self.capacity = capacity
         self.name = name
         self.in_use = 0
@@ -65,14 +66,14 @@ class MemoryPool:
         self.by_tag: Dict[str, int] = {}
 
     # -- allocation API ---------------------------------------------------
-    def alloc(self, tag: str, nbytes: int) -> Allocation:
+    def alloc(self, tag: str, nbytes: Bytes) -> Allocation:
         """Reserve ``nbytes``; raises DeviceOutOfMemoryError when over capacity."""
         self._reserve_delta(tag, int(nbytes))
         return Allocation(self, tag, int(nbytes))
 
-    def _reserve_delta(self, tag: str, nbytes: int) -> None:
+    def _reserve_delta(self, tag: str, nbytes: Bytes) -> None:
         if nbytes < 0:
-            raise ValueError(f"allocation size must be >= 0, got {nbytes}")
+            raise ConfigurationError(f"allocation size must be >= 0, got {nbytes}")
         if self.capacity is not None and self.in_use + nbytes > self.capacity:
             raise DeviceOutOfMemoryError(
                 self.name, nbytes, self.in_use, self.capacity
@@ -86,7 +87,7 @@ class MemoryPool:
         self.by_tag[allocation.tag] = self.by_tag.get(allocation.tag, 0) - allocation.nbytes
 
     @contextlib.contextmanager
-    def scoped(self, tag: str, nbytes: int) -> Iterator[Allocation]:
+    def scoped(self, tag: str, nbytes: Bytes) -> Iterator[Allocation]:
         """Allocation freed automatically at scope exit."""
         allocation = self.alloc(tag, nbytes)
         try:
@@ -95,7 +96,7 @@ class MemoryPool:
             allocation.free()
 
     # -- introspection ------------------------------------------------------
-    def available(self) -> Optional[int]:
+    def available(self) -> Optional[Bytes]:
         """Remaining bytes, or None when unlimited."""
         if self.capacity is None:
             return None

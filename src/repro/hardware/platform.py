@@ -37,6 +37,7 @@ from repro.hardware.spec import (
     NetworkTopology,
     PlatformSpec,
 )
+from repro.units import Bytes, BytesLike, FlopsLike, SecondsLike
 
 __all__ = ["SimulatedGPU", "MultiGPUPlatform", "ClusterPlatform"]
 
@@ -44,7 +45,7 @@ __all__ = ["SimulatedGPU", "MultiGPUPlatform", "ClusterPlatform"]
 class SimulatedGPU:
     """One device: an id, a socket, and a memory pool."""
 
-    def __init__(self, device_id: int, socket: int, memory_bytes: int):
+    def __init__(self, device_id: int, socket: int, memory_bytes: Bytes):
         self.device_id = device_id
         self.socket = socket
         self.memory = MemoryPool(memory_bytes, name=f"gpu{device_id}")
@@ -116,7 +117,7 @@ class MultiGPUPlatform:
     # single-spec expression runs unchanged — the float-identity
     # guarantee for existing configs. A heterogeneous ClusterPlatform
     # prices each element with the owning node's rates.
-    def h2d_seconds(self, nbytes, devices=None):
+    def h2d_seconds(self, nbytes: BytesLike, devices=None) -> SecondsLike:
         """Host→GPU (or GPU→host) transfer over PCIe, NUMA-adjusted."""
         if self._hetero and devices is not None:
             return nbytes / self._h2d_rate[devices]
@@ -131,25 +132,25 @@ class MultiGPUPlatform:
             bandwidth = effective
         return nbytes / bandwidth
 
-    def d2d_seconds(self, nbytes, devices=None):
+    def d2d_seconds(self, nbytes: BytesLike, devices=None) -> SecondsLike:
         """GPU→GPU transfer over NVLink / P2P (rates of the reading GPU)."""
         if self._hetero and devices is not None:
             return nbytes / self._d2d_rate[devices]
         return nbytes / self.spec.nvlink_bandwidth
 
-    def reuse_seconds(self, nbytes, devices=None):
+    def reuse_seconds(self, nbytes: BytesLike, devices=None) -> SecondsLike:
         """Intra-GPU in-place data reuse (HBM-bandwidth bookkeeping)."""
         if self._hetero and devices is not None:
             return nbytes / self._ru_rate[devices]
         return nbytes / self.spec.gpu.memory_bandwidth
 
-    def gpu_compute_seconds(self, flops, devices=None):
+    def gpu_compute_seconds(self, flops: FlopsLike, devices=None) -> SecondsLike:
         """Kernel time for ``flops`` floating-point operations on one GPU."""
         if self._hetero and devices is not None:
             return flops / self._compute_rate[devices]
         return flops / self.spec.gpu.compute_flops
 
-    def cpu_accumulate_seconds(self, nbytes, node=None):
+    def cpu_accumulate_seconds(self, nbytes: BytesLike, node=None) -> SecondsLike:
         """Host-side gradient accumulation of ``nbytes`` of gradient data."""
         if self._hetero and node is not None:
             return nbytes / self._cpu_rate[node]
@@ -191,13 +192,13 @@ class MultiGPUPlatform:
         """Parallel network rails per node pair (1 for flat/spine)."""
         return 1
 
-    def net_seconds(self, nbytes, src=None, dst=None):
+    def net_seconds(self, nbytes: BytesLike, src=None, dst=None) -> SecondsLike:
         """Inter-node message cost; meaningless on one node."""
         raise ConfigurationError(
             f"{self.spec.name} is a single node; no network to price"
         )
 
-    def spine_hold_seconds(self, nbytes: float) -> float:
+    def spine_hold_seconds(self, nbytes: BytesLike) -> SecondsLike:
         """Shared-spine occupancy of one message (0 off-spine)."""
         return 0.0
 
@@ -210,7 +211,7 @@ class MultiGPUPlatform:
             )
         return self.host
 
-    def split_host_bytes(self, nbytes: int) -> List[Tuple[MemoryPool, int]]:
+    def split_host_bytes(self, nbytes: Bytes) -> List[Tuple[MemoryPool, Bytes]]:
         """(pool, bytes) shares for data sharded across node hosts.
 
         On one node the full allocation lands in the single host pool; a
@@ -218,7 +219,7 @@ class MultiGPUPlatform:
         """
         return [(self.host, nbytes)]
 
-    def host_in_use(self) -> int:
+    def host_in_use(self) -> Bytes:
         """Bytes currently allocated across all node host pools."""
         return self.host.in_use
 
@@ -235,7 +236,7 @@ class MultiGPUPlatform:
             gpu.memory = MemoryPool(self.spec.gpu.memory_bytes, name=f"gpu{gpu.device_id}")
         self.host = MemoryPool(self.spec.host_memory_bytes, name="host")
 
-    def peak_gpu_memory(self) -> int:
+    def peak_gpu_memory(self) -> Bytes:
         """Max peak usage across devices."""
         return max(gpu.memory.peak for gpu in self.gpus)
 
@@ -541,7 +542,7 @@ class ClusterPlatform(MultiGPUPlatform):
         """Parallel rails per directed node pair (1 unless rail-wired)."""
         return self.cluster.topology.resolved_rails(self._gpus_per_node)
 
-    def net_seconds(self, nbytes, src=None, dst=None):
+    def net_seconds(self, nbytes: BytesLike, src=None, dst=None) -> SecondsLike:
         """One inter-node message: fixed latency + bytes over one link.
 
         On a rail topology a message rides one of ``num_rails`` parallel
@@ -563,7 +564,7 @@ class ClusterPlatform(MultiGPUPlatform):
         bandwidth = self.cluster.network_bandwidth / self.num_rails
         return self.cluster.network_latency + nbytes / bandwidth
 
-    def spine_hold_seconds(self, nbytes: float) -> float:
+    def spine_hold_seconds(self, nbytes: BytesLike) -> SecondsLike:
         """Serialized spine-core occupancy of one ``nbytes`` message.
 
         An oversubscribed core has capacity ``N * bandwidth / F``; the
@@ -582,7 +583,7 @@ class ClusterPlatform(MultiGPUPlatform):
     def host_pool(self, node: int = 0) -> MemoryPool:
         return self.hosts[node]
 
-    def split_host_bytes(self, nbytes: int) -> List[Tuple[MemoryPool, int]]:
+    def split_host_bytes(self, nbytes: Bytes) -> List[Tuple[MemoryPool, Bytes]]:
         """(pool, bytes) shares of data sharded across node hosts.
 
         Homogeneous fleets shard evenly (remainder on node 0). A
@@ -619,7 +620,7 @@ class ClusterPlatform(MultiGPUPlatform):
         shares[0] += nbytes - share * self.num_nodes
         return list(zip(self.hosts, shares))
 
-    def host_in_use(self) -> int:
+    def host_in_use(self) -> Bytes:
         return sum(pool.in_use for pool in self.hosts)
 
     def reset_memory(self) -> None:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.units import ByteRate, Bytes, FlopRate, Seconds
 
 __all__ = ["GPUSpec", "PlatformSpec", "CPUClusterSpec", "ClusterSpec",
            "NetworkTopology", "TOPOLOGY_KINDS", "FLAT_TOPOLOGY",
@@ -74,16 +75,16 @@ class NetworkTopology:
 
     def __post_init__(self) -> None:
         if self.kind not in TOPOLOGY_KINDS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"topology kind must be one of {TOPOLOGY_KINDS}, "
                 f"got {self.kind!r}"
             )
         if self.oversubscription < 1.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"oversubscription must be >= 1, got {self.oversubscription}"
             )
         if self.num_rails < 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"num_rails must be >= 0, got {self.num_rails}"
             )
 
@@ -103,11 +104,11 @@ class GPUSpec:
     """A single GPU's capacities and achieved rates."""
 
     name: str
-    memory_bytes: int
+    memory_bytes: Bytes
     #: achieved FLOP/s on the GNN kernel mix (SpMM + GEMM)
-    compute_flops: float
+    compute_flops: FlopRate
     #: HBM bandwidth; governs intra-GPU data reuse T_ru
-    memory_bandwidth: float
+    memory_bandwidth: ByteRate
 
 
 @dataclass(frozen=True)
@@ -117,22 +118,22 @@ class PlatformSpec:
     name: str
     num_gpus: int
     gpu: GPUSpec
-    host_memory_bytes: int
+    host_memory_bytes: Bytes
     #: per-GPU host link bandwidth (PCIe) — the paper's T_hd
-    pcie_bandwidth: float
+    pcie_bandwidth: ByteRate
     #: inter-GPU bandwidth (NVLink) — the paper's T_dd
-    nvlink_bandwidth: float
+    nvlink_bandwidth: ByteRate
     #: bandwidth multiplier for host memory reached across the QPI bus
     qpi_factor: float
     #: CPU-side effective byte rate for host gradient accumulation
-    cpu_accumulate_bandwidth: float
+    cpu_accumulate_bandwidth: ByteRate
     num_sockets: int = 2
     #: this node's NIC rate, bytes/s per link per direction. ``None``
     #: (the default) inherits the cluster-wide ``network_bandwidth`` —
     #: only mixed-generation fleets set a per-node override.
     nic_bandwidth: Optional[float] = None
 
-    def with_gpu_memory(self, memory_bytes: int) -> "PlatformSpec":
+    def with_gpu_memory(self, memory_bytes: Bytes) -> "PlatformSpec":
         """Copy of this spec with a different per-GPU memory capacity."""
         return replace(self, gpu=replace(self.gpu, memory_bytes=memory_bytes))
 
@@ -147,13 +148,13 @@ class CPUClusterSpec:
 
     name: str
     num_nodes: int
-    memory_per_node: int
+    memory_per_node: Bytes
     #: achieved FLOP/s of one node on GNN kernels
-    compute_flops_per_node: float
+    compute_flops_per_node: FlopRate
     #: network bandwidth per node, bytes/s
-    network_bandwidth: float
+    network_bandwidth: ByteRate
     #: per-node local memory bandwidth, bytes/s
-    memory_bandwidth: float
+    memory_bandwidth: ByteRate
     #: per-node-hour price, USD (for the monetary-cost comparison, §7.2)
     usd_per_node_hour: float = 5.24
     #: achieved fraction of the modeled throughput when running
@@ -227,9 +228,9 @@ class ClusterSpec:
     num_nodes: int
     node: PlatformSpec
     #: achieved bytes/second per link per direction
-    network_bandwidth: float
+    network_bandwidth: ByteRate
     #: seconds of fixed per-message overhead
-    network_latency: float
+    network_latency: Seconds
     #: how the nodes are wired (flat / spine / rail)
     topology: NetworkTopology = FLAT_TOPOLOGY
     #: per-node capability profiles, ``node_specs[n]`` for node ``n``;
@@ -239,11 +240,11 @@ class ClusterSpec:
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
-            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+            raise ConfigurationError(f"num_nodes must be >= 1, got {self.num_nodes}")
         if self.network_bandwidth <= 0:
-            raise ValueError("network_bandwidth must be positive")
+            raise ConfigurationError("network_bandwidth must be positive")
         if self.network_latency < 0:
-            raise ValueError("network_latency must be >= 0")
+            raise ConfigurationError("network_latency must be >= 0")
         if self.node_specs is None:
             return
         specs = tuple(self.node_specs)

@@ -21,6 +21,8 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.units import Bytes
+
 __all__ = ["TransitionBuffers"]
 
 
@@ -36,7 +38,7 @@ class TransitionBuffers:
     """
 
     def __init__(self, platform, buffer_rows: Sequence[int], dim: int,
-                 dtype, bytes_per_scalar: int, double_buffer: bool = False):
+                 dtype, bytes_per_scalar: Bytes, double_buffer: bool = False):
         self.double_buffer = double_buffer
         self.dim = dim
         copies = 2 if double_buffer else 1

@@ -57,6 +57,7 @@ import numpy as np
 
 from repro.errors import SchedulerError
 from repro.runtime.task import CHANNELS, NET_DEVICE_BASE, Task
+from repro.units import Seconds
 
 __all__ = ["EventScheduler", "task_ids"]
 
@@ -283,7 +284,7 @@ class EventScheduler:
         self._n = task_id + 1
         return task_id
 
-    def submit(self, channel: str, device: int, seconds: float,
+    def submit(self, channel: str, device: int, seconds: Seconds,
                deps: Iterable[Task] = (), category: str = "",
                group: int = -1, label: str = "",
                shared: Sequence[Tuple[Hashable, float]] = ()) -> Task:
@@ -382,6 +383,7 @@ class EventScheduler:
                       and self.vectorized)
         if not order_free:
             ids = np.empty(k, dtype=np.int64)
+            # repro-lint: allow-loop — scalar reference core: order-dependent wave (shared holds / duplicate devices)
             for t in range(k):
                 shared = () if shared_by_task is None else shared_by_task[t]
                 ids[t] = self._submit_one(
@@ -507,7 +509,7 @@ class EventScheduler:
         """End times of the given task ids (reporting/test helper)."""
         return self._end[np.asarray(ids, dtype=np.int64)].copy()
 
-    def barrier(self) -> float:
+    def barrier(self) -> Seconds:
         """Global synchronization: later tasks start at/after the makespan.
 
         Models a cross-device synchronize (the end-of-phase barrier of
@@ -522,14 +524,14 @@ class EventScheduler:
     # queries
     # ------------------------------------------------------------------
     @property
-    def makespan(self) -> float:
+    def makespan(self) -> Seconds:
         """End of the latest task (the simulated wall-clock epoch time)."""
         if self._max_id < 0:
             return self._barrier_time
         return max(self._barrier_time, self._max_end)
 
     def busy_seconds(self, channel: Optional[str] = None,
-                     device: Optional[int] = None) -> float:
+                     device: Optional[int] = None) -> Seconds:
         """Total task seconds matching the channel/device filters.
 
         Busy seconds are occupancy, not wall time: tasks on different
@@ -608,7 +610,7 @@ class EventScheduler:
             if (task.start != self._start[task_id]
                     or task.end != self._end[task_id]
                     or task.seconds != self._seconds[task_id]):
-                raise AssertionError(
+                raise SchedulerError(
                     f"materialized task diverged from scheduler state: "
                     f"{task}"
                 )
@@ -625,7 +627,7 @@ class EventScheduler:
             at = int(np.flatnonzero(bad)[0])
             before = self._task(int(order[at]))
             after = self._task(int(order[at + 1]))
-            raise AssertionError(
+            raise SchedulerError(
                 f"channel overlap on {(before.device, before.channel)}: "
                 f"{before} vs {after}"
             )
@@ -637,7 +639,7 @@ class EventScheduler:
             bad_deps = start[owner] < end[flat] - eps
             if bad_deps.any():
                 at = int(np.flatnonzero(bad_deps)[0])
-                raise AssertionError(
+                raise SchedulerError(
                     f"dependency violated: {self._task(int(owner[at]))} "
                     f"starts before {self._task(int(flat[at]))} ends"
                 )
@@ -656,7 +658,7 @@ class EventScheduler:
             worst_dep = int(common[int(np.argmax(end[common]))])
             min_member = int(members[int(np.argmin(start[members]))])
             if start[min_member] < self._end[worst_dep] - eps:
-                raise AssertionError(
+                raise SchedulerError(
                     f"dependency violated: {self._task(min_member)} "
                     f"starts before {self._task(worst_dep)} ends"
                 )

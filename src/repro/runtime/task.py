@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.units import Seconds
 
 __all__ = ["Task", "CHANNELS", "HOST_DEVICE", "NET_DEVICE_BASE",
            "SPINE_RESOURCE", "OVERLAP_POLICIES",
@@ -124,11 +125,11 @@ class Task:
     channel: str
     device: int
     #: duration in simulated seconds (bytes/bandwidth or flops/throughput)
-    seconds: float
+    seconds: Seconds
     #: simulated start time, seconds since the epoch's time zero
-    start: float
+    start: Seconds
     #: simulated completion time (``start + seconds``)
-    end: float
+    end: Seconds
     #: clock category this task's time is reported under (defaults to channel)
     category: str = ""
     #: phase-group id: tasks submitted together as one parallel phase

@@ -167,7 +167,7 @@ def resolve_node_specs(entries: Sequence[str], nodes: int, gpus: int):
         except ValueError:
             raise SystemExit(
                 f"--node-spec: count in {entry!r} must be an integer"
-            )
+            ) from None
         if count < 1:
             raise SystemExit(
                 f"--node-spec: count in {entry!r} must be >= 1"

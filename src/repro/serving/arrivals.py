@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ServingError
+from repro.units import Seconds
 
 __all__ = ["ArrivalProcess", "PoissonArrivals", "BurstyArrivals",
            "build_arrivals", "ARRIVAL_KINDS"]
@@ -40,7 +41,7 @@ class ArrivalProcess:
 
     kind = "abstract"
 
-    def __init__(self, rate: float, duration: float, seed: int = 0):
+    def __init__(self, rate: float, duration: Seconds, seed: int = 0):
         if rate <= 0:
             raise ServingError(f"arrival rate must be > 0, got {rate}")
         if duration < 0:
@@ -88,7 +89,7 @@ class BurstyArrivals(ArrivalProcess):
 
     kind = "bursty"
 
-    def __init__(self, rate: float, duration: float, seed: int = 0,
+    def __init__(self, rate: float, duration: Seconds, seed: int = 0,
                  burst_size: int = 8):
         super().__init__(rate, duration, seed)
         if burst_size < 1:
@@ -113,7 +114,7 @@ class BurstyArrivals(ArrivalProcess):
                 f"burst_size={self.burst_size})")
 
 
-def build_arrivals(kind: str, rate: float, duration: float, seed: int = 0,
+def build_arrivals(kind: str, rate: float, duration: Seconds, seed: int = 0,
                    burst_size: int = 8) -> ArrivalProcess:
     """Construct an arrival process by registry name."""
     if kind == "poisson":

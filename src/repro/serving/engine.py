@@ -61,6 +61,7 @@ from repro.runtime.task import HOST_DEVICE
 from repro.serving.arrivals import ArrivalProcess
 from repro.serving.policies import AdmissionPolicy
 from repro.serving.result import ServeResult
+from repro.units import Bytes, Seconds
 
 __all__ = ["ServingEngine"]
 
@@ -71,7 +72,7 @@ _NO_IDS = np.empty(0, dtype=np.int64)
 class _ColumnLayerCosts:
     """Per-GPU second arrays of one (layer, column) forward step."""
 
-    row_bytes: int
+    row_bytes: Bytes
     #: h2d staging of the full transition set (a serving request has no
     #: previous column resident, so reuse rows are loaded too)
     load_seconds: np.ndarray
@@ -104,7 +105,7 @@ class ServingEngine:
         is never cached.
     """
 
-    def __init__(self, trainer, cache_budget_bytes: Optional[int] = None):
+    def __init__(self, trainer, cache_budget_bytes: Optional[Bytes] = None):
         if cache_budget_bytes is not None and cache_budget_bytes <= 0:
             raise ConfigurationError(
                 f"cache_budget_bytes must be positive, got "
@@ -157,7 +158,7 @@ class ServingEngine:
         return len(self._cache)
 
     @property
-    def cache_bytes(self) -> int:
+    def cache_bytes(self) -> Bytes:
         """Host bytes the warm pairs currently occupy."""
         return self._cache_bytes
 
@@ -166,7 +167,7 @@ class ServingEngine:
         self._cache.clear()
         self._cache_bytes = 0
 
-    def _pair_bytes(self, l: int, j: int) -> int:
+    def _pair_bytes(self, l: int, j: int) -> Bytes:
         """Host footprint of one warm (layer, column) pair.
 
         The aggregate rows every GPU's chunk of column ``j`` checkpoints
@@ -351,7 +352,7 @@ class ServingEngine:
     # the serving loop
     # ------------------------------------------------------------------
     def serve(self, arrivals: ArrivalProcess, policy: AdmissionPolicy,
-              slo: float = 0.1,
+              slo: Seconds = 0.1,
               column_seed: Optional[int] = None) -> ServeResult:
         """Run one serving horizon; returns the per-request record.
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ServingError
+from repro.units import Seconds
 
 __all__ = ["AdmittedBatch", "AdmissionPolicy", "ImmediatePolicy",
            "SizeBatchingPolicy", "DeadlineBatchingPolicy", "build_policy",
@@ -50,7 +51,7 @@ BATCH_POLICIES = ("immediate", "size", "deadline")
 class AdmittedBatch:
     """One dispatched batch: request indices plus its dispatch instant."""
 
-    dispatch_time: float
+    dispatch_time: Seconds
     requests: tuple
 
     @property
@@ -132,7 +133,7 @@ class DeadlineBatchingPolicy(AdmissionPolicy):
 
     name = "deadline"
 
-    def __init__(self, timeout: float):
+    def __init__(self, timeout: Seconds):
         if timeout < 0:
             raise ServingError(f"timeout must be >= 0, got {timeout}")
         self.timeout = float(timeout)
@@ -156,7 +157,7 @@ class DeadlineBatchingPolicy(AdmissionPolicy):
 
 
 def build_policy(name: str, batch_size: int = 8,
-                 batch_timeout: float = 0.005) -> AdmissionPolicy:
+                 batch_timeout: Seconds = 0.005) -> AdmissionPolicy:
     """Construct an admission policy by registry name."""
     if name == "immediate":
         return ImmediatePolicy()

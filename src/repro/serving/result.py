@@ -19,10 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.units import Bytes, Seconds
+
 __all__ = ["latency_percentile", "ServeResult"]
 
 
-def latency_percentile(values, pct: float) -> float:
+def latency_percentile(values, pct: float) -> Seconds:
     """Nearest-rank percentile: NaN-free for empty and tiny samples.
 
     ``values`` is any sequence of latencies (seconds); ``pct`` in
@@ -30,7 +33,7 @@ def latency_percentile(values, pct: float) -> float:
     observed no latency, and 0.0 keeps downstream JSON/gating finite.
     """
     if not 0 <= pct <= 100:
-        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        raise ConfigurationError(f"percentile must be in [0, 100], got {pct}")
     data = np.sort(np.asarray(values, dtype=np.float64))
     n = data.size
     if n == 0:
@@ -54,38 +57,38 @@ class ServeResult:
     batch_sizes: np.ndarray
     cache_hits: int
     cache_misses: int
-    makespan: float
-    duration: float
-    net_bytes: int
+    makespan: Seconds
+    duration: Seconds
+    net_bytes: Bytes
     arrival_kind: str
     policy: str
     #: warm pairs the budget-bounded embedding cache dropped during this
     #: run (always 0 with an unbounded cache)
     cache_evictions: int = 0
-    slo: float = 0.1
+    slo: Seconds = 0.1
     timeline: object = field(default=None, repr=False)
 
     @property
     def num_requests(self) -> int:
         return int(self.latencies.size)
 
-    def percentile(self, pct: float) -> float:
+    def percentile(self, pct: float) -> Seconds:
         return latency_percentile(self.latencies, pct)
 
     @property
-    def p50(self) -> float:
+    def p50(self) -> Seconds:
         return self.percentile(50)
 
     @property
-    def p95(self) -> float:
+    def p95(self) -> Seconds:
         return self.percentile(95)
 
     @property
-    def p99(self) -> float:
+    def p99(self) -> Seconds:
         return self.percentile(99)
 
     @property
-    def mean_latency(self) -> float:
+    def mean_latency(self) -> Seconds:
         if self.latencies.size == 0:
             return 0.0
         return float(self.latencies.mean())

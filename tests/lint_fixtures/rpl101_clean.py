@@ -1,0 +1,5 @@
+"""Fixture: simulated time comes from the event clock, never the host."""
+
+
+def epoch_timestamp(timeline):
+    return timeline.makespan

@@ -1,0 +1,11 @@
+"""Fixture: wall-clock read inside the simulator core (RPL101).
+
+Linted by ``tests/test_repro_lint.py`` under a ``src/repro/`` display
+path; the marker comment identifies the expected diagnostic line.
+"""
+
+import time
+
+
+def epoch_timestamp():
+    return time.time()  # <- RPL101

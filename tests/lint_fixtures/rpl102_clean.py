@@ -1,0 +1,9 @@
+"""Fixture: every random draw flows through a seeded Generator."""
+
+import numpy as np
+
+
+def shuffle_chunks(chunks, seed):
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(chunks))
+    return [chunks[i] for i in order]

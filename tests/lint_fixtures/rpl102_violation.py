@@ -1,0 +1,11 @@
+"""Fixture: unseeded global RNG inside the simulator core (RPL102)."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_chunks(chunks):
+    random.shuffle(chunks)  # <- RPL102
+    noise = np.random.rand(len(chunks))  # <- RPL102
+    return chunks, noise

@@ -1,0 +1,6 @@
+"""Fixture: set membership is fine; iteration goes through sorted()."""
+
+
+def visit_devices(plan):
+    for device in sorted({plan.src, plan.dst}):
+        yield device

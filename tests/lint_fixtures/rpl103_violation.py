@@ -1,0 +1,6 @@
+"""Fixture: iteration over an unordered set in the simulator (RPL103)."""
+
+
+def visit_devices(plan):
+    for device in {plan.src, plan.dst}:  # <- RPL103
+        yield device

@@ -1,0 +1,9 @@
+"""Fixture: failures surface through the repro.errors taxonomy."""
+
+from repro.errors import ConfigurationError
+
+
+def check_chunks(num_chunks):
+    if num_chunks < 1:
+        raise ConfigurationError("need at least one chunk")
+    raise NotImplementedError("subclasses emit the chunk plan")

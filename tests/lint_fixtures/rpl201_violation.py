@@ -1,0 +1,6 @@
+"""Fixture: a bare builtin exception escapes the simulator (RPL201)."""
+
+
+def check_chunks(num_chunks):
+    if num_chunks < 1:
+        raise ValueError("need at least one chunk")  # <- RPL201

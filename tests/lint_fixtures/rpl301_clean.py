@@ -1,0 +1,5 @@
+"""Fixture: bytes convert to seconds through a rate before mixing."""
+
+
+def stall_seconds(wait_seconds, payload_bytes, bandwidth):
+    return wait_seconds + payload_bytes / bandwidth

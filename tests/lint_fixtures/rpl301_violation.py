@@ -1,0 +1,5 @@
+"""Fixture: a byte count leaks into a seconds expression (RPL301)."""
+
+
+def stall_seconds(wait_seconds, payload_bytes):
+    return wait_seconds + payload_bytes  # <- RPL301

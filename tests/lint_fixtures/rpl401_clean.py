@@ -1,0 +1,5 @@
+"""Fixture: the hot path emits one batched wave, no per-task loop."""
+
+
+def emit_epoch(scheduler, devices, seconds):
+    return scheduler.submit_batch("h2d", devices, seconds)

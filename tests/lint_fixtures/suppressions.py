@@ -1,0 +1,20 @@
+"""Fixture: every violation here carries a suppression comment.
+
+Linted under a hot-path ``src/repro/core/trainer.py`` display path, this
+file must produce zero diagnostics — it exercises the bare ``ignore``,
+the code-scoped ``ignore[...]``, and the ``allow-loop`` escape hatch
+(both on the ``for`` line and on the line above).
+"""
+
+import time
+
+
+def measure(plans, chunks):
+    started = time.perf_counter()  # repro-lint: ignore[RPL101]
+    elapsed = time.perf_counter() - started  # repro-lint: ignore
+    for plan in plans:  # repro-lint: allow-loop — scalar reference path
+        plan.submit()
+    # repro-lint: allow-loop — setup runs once per epoch
+    for chunk in chunks.plans:
+        chunk.stage()
+    return elapsed

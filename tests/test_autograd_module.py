@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Linear, Module, Parameter, SGD, Adam, Tensor, init, ops
-from repro.errors import ConfigurationError
+from repro.errors import AutogradError, ConfigurationError
 
 
 class TwoLayer(Module):
@@ -77,21 +77,21 @@ class TestStateDict:
         model = TwoLayer(rng)
         state = model.state_dict()
         del state["first.bias"]
-        with pytest.raises(KeyError):
+        with pytest.raises(AutogradError):
             model.load_state_dict(state)
 
     def test_unexpected_key_raises(self, rng):
         model = TwoLayer(rng)
         state = model.state_dict()
         state["bogus"] = np.zeros(1)
-        with pytest.raises(KeyError):
+        with pytest.raises(AutogradError):
             model.load_state_dict(state)
 
     def test_shape_mismatch_raises(self, rng):
         model = TwoLayer(rng)
         state = model.state_dict()
         state["first.weight"] = np.zeros((2, 2))
-        with pytest.raises(ValueError):
+        with pytest.raises(AutogradError):
             model.load_state_dict(state)
 
     def test_zero_grad(self, rng):

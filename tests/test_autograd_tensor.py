@@ -143,11 +143,8 @@ class TestNoGrad:
         assert not t.requires_grad
 
     def test_restored_after_exception(self):
-        try:
-            with no_grad():
-                raise ValueError("boom")
-        except ValueError:
-            pass
+        with pytest.raises(ValueError, match="boom"), no_grad():
+            raise ValueError("boom")
         assert is_grad_enabled()
 
 

@@ -75,9 +75,8 @@ class TestMemoryPool:
 
     def test_scoped_frees_on_exception(self):
         pool = MemoryPool(100, "gpu")
-        with pytest.raises(ValueError):
-            with pool.scoped("x", 70):
-                raise ValueError("boom")
+        with pytest.raises(ValueError), pool.scoped("x", 70):
+            raise ValueError("boom")
         assert pool.in_use == 0
 
     def test_resize_grow_and_shrink(self):
@@ -128,7 +127,7 @@ class TestTimeBreakdown:
         assert clock.total == 3.0
 
     def test_unknown_category(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigurationError):
             TimeBreakdown().add("alien", 1.0)
 
     def test_negative_time(self):

@@ -91,7 +91,7 @@ class TestEventScheduler:
         first = scheduler.submit("gpu", 0, 2.0)
         second = scheduler.submit("gpu", 0, 2.0)
         second.start = first.start  # force an overlap
-        with pytest.raises(AssertionError):
+        with pytest.raises(SchedulerError):
             scheduler.validate()
 
     def test_critical_path_follows_blockers(self):
@@ -174,12 +174,10 @@ class TestVectorizedScheduler:
     def _random_wave(self, rng, num_submitted):
         channel = self.CHANNEL_NAMES[rng.integers(len(self.CHANNEL_NAMES))]
         k = int(rng.integers(1, 7))
-        if rng.random() < 0.15:
-            # Duplicate devices: both cores serialize the wave through
-            # the scalar path — still one submit_batch call.
-            devices = rng.integers(0, 3, size=k)
-        else:
-            devices = rng.choice(16, size=k, replace=False)
+        # Duplicate devices (the 0.15 branch): both cores serialize the
+        # wave through the scalar path — still one submit_batch call.
+        devices = (rng.integers(0, 3, size=k) if rng.random() < 0.15
+                   else rng.choice(16, size=k, replace=False))
         devices = devices.astype(np.int64)
         if channel == "net":
             devices = -2 - devices  # net links live below NET_DEVICE_BASE

@@ -1,0 +1,7 @@
+"""Developer tooling for the HongTu reproduction.
+
+A package so that ``python -m tools.repro_lint`` resolves from the repo
+root; the standalone scripts (``check_bench_regression.py``,
+``check_docs.py``) keep working as plain ``python tools/<script>.py``
+invocations.
+"""

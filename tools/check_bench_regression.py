@@ -38,11 +38,17 @@ import json
 import math
 import os
 import sys
+from typing import Any, Optional, Sequence, Tuple
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
 BASELINE_PATH = os.path.join(RESULTS_DIR, "baseline.json")
 DEFAULT_TOLERANCE = 0.15
 DEFAULT_WALL_TOLERANCE = 1.0
+
+#: (bench, metric, base, current, ratio, allowed) — current/ratio/
+#: allowed are None when the metric is missing or the baseline is 0
+Regression = Tuple[str, str, float, Optional[float], Optional[float],
+                   Optional[float]]
 
 
 def is_wall_metric(metric: str) -> bool:
@@ -50,7 +56,7 @@ def is_wall_metric(metric: str) -> bool:
     return metric.endswith("wall_seconds")
 
 
-def load_result(bench: str) -> dict:
+def load_result(bench: str) -> dict[str, Any]:
     """Metrics dict of one freshly produced results/<bench>.json."""
     path = os.path.join(RESULTS_DIR, f"{bench}.json")
     if not os.path.exists(path):
@@ -65,7 +71,7 @@ def load_result(bench: str) -> dict:
     return metrics
 
 
-def load_step(bench: str):
+def load_step(bench: str) -> Optional[str]:
     """CI job step that produced results/<bench>.json, or None.
 
     Benches record it via ``emit_json(..., step=...)``; failure output
@@ -81,7 +87,7 @@ def load_step(bench: str):
     return step if isinstance(step, str) and step else None
 
 
-def discover_results() -> list:
+def discover_results() -> list[str]:
     """Bench names with a results/<name>.json on disk (baseline aside)."""
     if not os.path.isdir(RESULTS_DIR):
         return []
@@ -92,10 +98,11 @@ def discover_results() -> list:
     )
 
 
-def compare(baseline: dict, tolerance: float,
-            wall_tolerance: float = DEFAULT_WALL_TOLERANCE) -> list:
+def compare(baseline: dict[str, dict[str, float]], tolerance: float,
+            wall_tolerance: float = DEFAULT_WALL_TOLERANCE
+            ) -> list[Regression]:
     """All (bench, metric, base, current, ratio, allowed) regressions."""
-    regressions = []
+    regressions: list[Regression] = []
     improvements = 0
     for bench in discover_results():
         if bench not in baseline:
@@ -140,7 +147,7 @@ def compare(baseline: dict, tolerance: float,
             if grew:
                 regressions.append(
                     (bench, metric, base_value, value, ratio, allowed))
-            elif base_value and ratio < 1.0 - allowed \
+            elif ratio is not None and ratio < 1.0 - allowed \
                     and not is_wall_metric(metric):
                 improvements += 1
                 print(
@@ -189,8 +196,9 @@ def update_baseline(baseline_path: str) -> None:
     )
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(__doc__ or "").splitlines()[0])
     parser.add_argument(
         "--tolerance",
         type=float,

@@ -53,7 +53,7 @@ def markdown_files() -> list[Path]:
 def extract_pycon_blocks(text: str) -> list[tuple[int, str]]:
     """(start_line, block_source) for every fenced ``pycon`` block."""
     blocks: list[tuple[int, str]] = []
-    language = None
+    language: str | None = None
     start = 0
     lines: list[str] = []
     for number, line in enumerate(text.splitlines(), start=1):
@@ -110,7 +110,7 @@ def check_links(path: Path) -> list[str]:
             continue
         if not in_fence:
             stripped.append(line)
-    for number, line in enumerate(stripped, start=1):
+    for line in stripped:
         for target in _LINK.findall(line):
             if target.startswith(("http://", "https://", "mailto:", "#")):
                 continue

@@ -1,0 +1,157 @@
+"""Shared infrastructure of the repro-lint checkers.
+
+Every checker consumes a parsed :class:`SourceFile` and yields
+:class:`Diagnostic` records rendered ``path:line: CODE message``. All
+checkers honor per-line suppression comments:
+
+* ``# repro-lint: ignore`` — suppress every diagnostic on that line;
+* ``# repro-lint: ignore[RPL101,RPL301]`` — suppress the listed codes;
+* ``# repro-lint: allow-loop`` — the hot-path loop checker's dedicated
+  escape hatch (on the ``for`` line or the line directly above it).
+
+Suppression comments are located with :mod:`tokenize`, never by string
+matching, so a ``# repro-lint: ...`` inside a string literal does not
+suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Diagnostic", "SourceFile", "Checker", "iter_python_files"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+_ALLOW_LOOP_RE = re.compile(r"#\s*repro-lint:\s*allow-loop\b")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a file position, a rule code, and a message."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+class SourceFile:
+    """A parsed python file plus its per-line suppression comments."""
+
+    def __init__(self, path: Path, display_path: str, text: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.tree = ast.parse(text, filename=display_path)
+        self.comments: Dict[int, str] = self._collect_comments(text)
+
+    @staticmethod
+    def _collect_comments(text: str) -> Dict[int, str]:
+        comments: Dict[int, str] = {}
+        # ast.parse succeeded, so a TokenError should be unreachable; an
+        # un-tokenizable file simply loses suppression support.
+        with contextlib.suppress(tokenize.TokenError):
+            tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        return comments
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """True when a ``repro-lint: ignore`` comment covers ``code``."""
+        comment = self.comments.get(line)
+        if comment is None:
+            return False
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True
+        return code in {c.strip() for c in codes.split(",")}
+
+    def allows_loop(self, line: int) -> bool:
+        """True when ``allow-loop`` marks ``line`` or the line above."""
+        for candidate in (line, line - 1):
+            comment = self.comments.get(candidate)
+            if comment is not None and _ALLOW_LOOP_RE.search(comment):
+                return True
+        return False
+
+    @property
+    def normalized(self) -> str:
+        """The display path with forward slashes (for scoping rules)."""
+        return self.display_path.replace("\\", "/")
+
+    def in_simulator(self) -> bool:
+        """True for modules under ``src/repro/`` (the simulator core)."""
+        return "src/repro/" in self.normalized or \
+            self.normalized.startswith("repro/")
+
+
+class Checker:
+    """Base class: scope filter + AST walk producing diagnostics."""
+
+    #: codes this checker can emit (documentation + test discovery)
+    codes: Tuple[str, ...] = ()
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return True
+
+    def check(self, source: SourceFile) -> List[Diagnostic]:
+        raise NotImplementedError
+
+    def run(self, source: SourceFile) -> List[Diagnostic]:
+        """Scope-filter, check, then drop suppressed diagnostics."""
+        if not self.applies_to(source):
+            return []
+        return [
+            diagnostic for diagnostic in self.check(source)
+            if not source.suppressed(diagnostic.line, diagnostic.code)
+        ]
+
+    def diagnostic(self, source: SourceFile, node: ast.AST, code: str,
+                   message: str) -> Diagnostic:
+        return Diagnostic(source.display_path, getattr(node, "lineno", 1),
+                          code, message)
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".mypy_cache",
+              "lint_fixtures"}
+
+
+def iter_python_files(targets: Sequence[str],
+                      root: Optional[Path] = None) -> Iterable[Path]:
+    """Expand files/directories to a sorted, de-duplicated ``*.py`` list.
+
+    ``lint_fixtures`` directories are skipped when walking a directory —
+    they exist to *violate* the rules — but a fixture passed explicitly
+    as a file argument is linted (that is how the tests drive the
+    corpus).
+    """
+    base = root if root is not None else Path(".")
+    seen = []
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = base / path
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in child.parts):
+                    continue
+                if child not in seen:
+                    seen.append(child)
+        elif path.suffix == ".py" and path not in seen:
+            seen.append(path)
+    return seen

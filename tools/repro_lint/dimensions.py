@@ -1,0 +1,260 @@
+"""RPL301 — cost-dimension lint (seconds vs bytes).
+
+The cost models are implicitly dimensioned by naming convention:
+``*_seconds`` expressions carry simulated seconds, ``*_bytes`` (and
+``nbytes``) carry payload sizes. Mixing the two additively — adding a
+byte count to a seconds total, returning a bytes expression from a
+``*_seconds`` method — is always a bug, and one the unit tests only
+catch when the wrong magnitude trips a tolerance. This checker flags the
+mix statically.
+
+Dimension inference is deliberately conservative — *unknown* never
+conflicts with anything — so only definite mixes fire:
+
+* names/attributes: ``*_seconds``/``seconds``/``makespan``/``latency``
+  → seconds; ``*_bytes``/``nbytes`` → bytes;
+* annotations: parameters and returns annotated with the
+  :mod:`repro.units` aliases (``Seconds``/``SecondsLike`` vs
+  ``Bytes``/``BytesLike``) dimension the annotated name;
+* calls: a call to ``*_seconds(...)`` yields seconds, ``*_bytes(...)``
+  yields bytes; reductions (``.max()``, ``.sum()``, ``min(...)``,
+  ``float(...)``, ...) propagate their operand's dimension;
+* multiplication/division *clears* the dimension (bytes / bandwidth is
+  seconds; that conversion is the whole point of a cost model).
+
+Flagged sites: ``+``/``-`` mixing the two dimensions, comparisons
+between them, assignments binding a value of one dimension to a name of
+the other, returns whose expression contradicts the function's
+``*_seconds``/``*_bytes`` name or annotation, and keyword arguments
+whose name contradicts the value's dimension.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from tools.repro_lint.base import Checker, Diagnostic, SourceFile
+
+__all__ = ["DimensionChecker", "SECONDS", "BYTES"]
+
+SECONDS = "seconds"
+BYTES = "bytes"
+
+#: bare names that carry a dimension without the suffix
+_SECONDS_NAMES = {"seconds", "makespan", "latency", "timeout", "slo"}
+_BYTES_NAMES = {"nbytes"}
+
+#: repro.units annotation names, by dimension
+_SECONDS_ANNOTATIONS = {"Seconds", "SecondsLike"}
+_BYTES_ANNOTATIONS = {"Bytes", "BytesLike"}
+
+#: reduction/cast callables that preserve their operand's dimension
+_PRESERVING_BUILTINS = {"float", "int", "abs", "round", "max", "min", "sum"}
+_PRESERVING_METHODS = {"max", "min", "sum", "mean", "item", "copy",
+                       "astype", "tolist", "get"}
+
+
+def _name_dim(name: str) -> Optional[str]:
+    if name.endswith("_seconds") or name in _SECONDS_NAMES:
+        return SECONDS
+    if name.endswith("_bytes") or name in _BYTES_NAMES:
+        return BYTES
+    return None
+
+
+def _annotation_dim(annotation: Optional[ast.AST]) -> Optional[str]:
+    """Dimension of a ``repro.units`` annotation (by terminal name)."""
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.rsplit(".", 1)[-1]
+    else:
+        return None
+    if name in _SECONDS_ANNOTATIONS:
+        return SECONDS
+    if name in _BYTES_ANNOTATIONS:
+        return BYTES
+    return None
+
+
+class _FunctionEnv:
+    """Per-function dimension bindings from annotations."""
+
+    def __init__(self, node: Optional[ast.AST] = None) -> None:
+        self.bindings: Dict[str, str] = {}
+        self.expected: Optional[str] = None
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        args = list(node.args.posonlyargs) + list(node.args.args) + \
+            list(node.args.kwonlyargs)
+        for arg in args:
+            dim = _annotation_dim(arg.annotation)
+            if dim is not None:
+                self.bindings[arg.arg] = dim
+        self.expected = _annotation_dim(node.returns)
+        if self.expected is None:
+            self.expected = _name_dim(node.name)
+
+
+def _dim(node: ast.AST, env: _FunctionEnv) -> Optional[str]:
+    """Best-effort dimension of an expression; None = unknown."""
+    if isinstance(node, ast.Name):
+        bound = env.bindings.get(node.id)
+        if bound is not None:
+            return bound
+        return _name_dim(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_dim(node.attr)
+    if isinstance(node, ast.Subscript):
+        return _dim(node.value, env)
+    if isinstance(node, ast.UnaryOp):
+        return _dim(node.operand, env)
+    if isinstance(node, ast.IfExp):
+        body, orelse = _dim(node.body, env), _dim(node.orelse, env)
+        return body if body == orelse else None
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = _dim(node.left, env), _dim(node.right, env)
+            if left is not None and right is not None and left != right:
+                return None  # the conflict is reported where it occurs
+            return left if left is not None else right
+        return None  # *, /, //, %, ** convert dimensions
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            dim = _name_dim(func.id)
+            if dim is not None:
+                return dim
+            if func.id in _PRESERVING_BUILTINS and node.args:
+                dims = {_dim(arg, env) for arg in node.args
+                        if not isinstance(arg, ast.Starred)}
+                dims.discard(None)
+                if len(dims) == 1:
+                    return dims.pop()
+            return None
+        if isinstance(func, ast.Attribute):
+            dim = _name_dim(func.attr)
+            if dim is not None:
+                return dim
+            if func.attr in _PRESERVING_METHODS:
+                return _dim(func.value, env)
+        return None
+    return None
+
+
+class DimensionChecker(Checker):
+    codes = ("RPL301",)
+
+    def check(self, source: SourceFile) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        module_env = _FunctionEnv()
+        self._walk(source, source.tree, module_env, diagnostics)
+        return diagnostics
+
+    def _walk(self, source: SourceFile, node: ast.AST, env: _FunctionEnv,
+              out: List[Diagnostic]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_env = _FunctionEnv(child)
+                self._check_function(source, child, child_env, out)
+                self._walk(source, child, child_env, out)
+                continue
+            self._check_node(source, child, env, out)
+            self._walk(source, child, env, out)
+
+    # -- per-node checks ---------------------------------------------------
+    def _check_function(self, source: SourceFile, node: ast.AST,
+                        env: _FunctionEnv, out: List[Diagnostic]) -> None:
+        if env.expected is None:
+            return
+        name = getattr(node, "name", "<function>")
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and sub is not node:
+                continue
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                got = _dim(sub.value, env)
+                if got is not None and got != env.expected:
+                    out.append(self.diagnostic(
+                        source, sub, "RPL301",
+                        f"`{name}` is dimensioned {env.expected} but "
+                        f"returns a {got} expression",
+                    ))
+
+    def _check_node(self, source: SourceFile, node: ast.AST,
+                    env: _FunctionEnv, out: List[Diagnostic]) -> None:
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = _dim(node.left, env), _dim(node.right, env)
+            if left is not None and right is not None and left != right:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                out.append(self.diagnostic(
+                    source, node, "RPL301",
+                    f"`{op}` mixes a {left} expression with a {right} "
+                    f"expression; convert through a cost model first",
+                ))
+        elif isinstance(node, ast.Compare):
+            dims = [_dim(node.left, env)]
+            dims.extend(_dim(comp, env) for comp in node.comparators)
+            known = [d for d in dims if d is not None]
+            if len(set(known)) > 1:
+                out.append(self.diagnostic(
+                    source, node, "RPL301",
+                    "comparison mixes seconds with bytes; convert "
+                    "through a cost model first",
+                ))
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._check_assign(source, node, env, out)
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                expected = _name_dim(keyword.arg)
+                got = _dim(keyword.value, env)
+                if expected is not None and got is not None \
+                        and expected != got:
+                    out.append(self.diagnostic(
+                        source, node, "RPL301",
+                        f"keyword `{keyword.arg}=` expects {expected} "
+                        f"but receives a {got} expression",
+                    ))
+
+    def _check_assign(self, source: SourceFile, node: ast.AST,
+                      env: _FunctionEnv, out: List[Diagnostic]) -> None:
+        value = getattr(node, "value", None)
+        if value is None:
+            return
+        got = _dim(value, env)
+        if got is None:
+            return
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        for target in targets:
+            if isinstance(target, ast.Name):
+                expected = env.bindings.get(target.id) or \
+                    _name_dim(target.id)
+            elif isinstance(target, ast.Attribute):
+                expected = _name_dim(target.attr)
+            else:
+                continue
+            if isinstance(node, ast.AnnAssign):
+                annotated = _annotation_dim(node.annotation)
+                if annotated is not None:
+                    expected = annotated
+                if isinstance(target, ast.Name):
+                    bind = annotated or expected
+                    if bind is not None:
+                        env.bindings[target.id] = bind
+            if expected is not None and expected != got:
+                name = ast.unparse(target)
+                out.append(self.diagnostic(
+                    source, node, "RPL301",
+                    f"`{name}` is dimensioned {expected} but is "
+                    f"assigned a {got} expression",
+                ))

@@ -1,0 +1,99 @@
+"""RPL201 — error-taxonomy lint for the simulator core.
+
+Every runtime failure of :mod:`repro` must surface through the exception
+hierarchy of :mod:`repro.errors`, so callers (the CLI, the benchmark
+harness, the serving engine) can catch one base class and render domain
+diagnostics — the contract the runtime error-routing pass (PR 3) opened
+and this checker closes. A ``raise`` in ``src/repro/`` may use:
+
+* any exception class defined in ``src/repro/errors.py``;
+* ``NotImplementedError`` (the abstract-interface idiom),
+  ``StopIteration``/``StopAsyncIteration`` (iterator protocol),
+  ``SystemExit`` (argparse-style CLI usage errors), ``KeyboardInterrupt``
+  and ``GeneratorExit`` (control flow, not failures);
+* a bare ``raise`` (re-raising the active exception);
+* any *variable* (re-raising a captured exception object).
+
+Raising any other builtin exception class — ``ValueError``,
+``RuntimeError``, ``KeyError``, ``AssertionError``, ... — is flagged.
+The checker resolves only literal builtin names, so it has no false
+positives on taxonomy classes or captured exception objects; raising a
+builtin through an alias is out of scope by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from pathlib import Path
+from typing import FrozenSet, List, Optional
+
+from tools.repro_lint.base import Checker, Diagnostic, SourceFile
+
+__all__ = ["TaxonomyChecker"]
+
+#: builtins a simulator module may raise directly (protocol/control flow)
+_ALLOWED_BUILTINS = frozenset({
+    "NotImplementedError", "StopIteration", "StopAsyncIteration",
+    "SystemExit", "KeyboardInterrupt", "GeneratorExit",
+})
+
+#: every builtin exception class name (the flaggable universe)
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+
+def _taxonomy_classes(errors_path: Optional[Path]) -> FrozenSet[str]:
+    """Class names defined at the top level of ``repro/errors.py``."""
+    if errors_path is None or not errors_path.is_file():
+        return frozenset()
+    tree = ast.parse(errors_path.read_text(encoding="utf-8"))
+    return frozenset(
+        node.name for node in tree.body if isinstance(node, ast.ClassDef)
+    )
+
+
+class TaxonomyChecker(Checker):
+    codes = ("RPL201",)
+
+    def __init__(self, errors_path: Optional[Path] = None) -> None:
+        self.taxonomy = _taxonomy_classes(errors_path)
+
+    def applies_to(self, source: SourceFile) -> bool:
+        if not source.in_simulator():
+            return False
+        # errors.py itself defines the taxonomy; its docstring examples
+        # and (hypothetical) raises are the one exempt module.
+        return not source.normalized.endswith("repro/errors.py")
+
+    def check(self, source: SourceFile) -> List[Diagnostic]:
+        diagnostics: List[Diagnostic] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name: Optional[str] = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name is None:
+                continue
+            if name in self.taxonomy or name in _ALLOWED_BUILTINS:
+                continue
+            if name not in _BUILTIN_EXCEPTIONS:
+                continue  # a variable or an imported domain class
+            hint = "raise a repro.errors class (e.g. ConfigurationError)"
+            if self.taxonomy:
+                hint = (
+                    "route it through repro.errors "
+                    f"({', '.join(sorted(self.taxonomy)[:3])}, ...)"
+                )
+            diagnostics.append(self.diagnostic(
+                source, node, "RPL201",
+                f"bare `{name}` raised in the simulator core; {hint}",
+            ))
+        return diagnostics
